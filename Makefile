@@ -1,0 +1,48 @@
+# Convenience targets for the Speedlight reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples quick-experiments clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every table/figure at full configuration.
+experiments:
+	$(PYTHON) -m repro run motivation
+	$(PYTHON) -m repro run table1
+	$(PYTHON) -m repro run fig9
+	$(PYTHON) -m repro run fig10
+	$(PYTHON) -m repro run fig11
+	$(PYTHON) -m repro run fig12
+	$(PYTHON) -m repro run fig13
+	$(PYTHON) -m repro run ablation-ideal
+	$(PYTHON) -m repro run ablation-initiation
+	$(PYTHON) -m repro run ablation-transport
+	$(PYTHON) -m repro run scaling
+
+quick-experiments:
+	for exp in motivation table1 fig9 fig10 fig11 fig12 fig13 \
+	           ablation-ideal ablation-initiation ablation-transport \
+	           scaling; do \
+	    $(PYTHON) -m repro run $$exp --quick || exit 1; \
+	done
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/load_balancing_study.py
+	$(PYTHON) examples/incast_detection.py
+	$(PYTHON) examples/partial_deployment.py
+	$(PYTHON) examples/forwarding_loop_detection.py
+	$(PYTHON) examples/capacity_planning.py
+	$(PYTHON) examples/loss_localization.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table/figure of the paper (see DESIGN.md's
+per-experiment index) at its "quick" configuration and prints the same
+rows/series the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Reports print at the end of the session so they survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list = []
+
+
+@pytest.fixture
+def report_sink():
+    """Collect a rendered experiment report for end-of-run printing."""
+    def sink(text: str) -> None:
+        _REPORTS.append(text)
+
+    return sink
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction reports")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,23 @@
+"""Ablation benchmark: hardware-constrained vs. idealised data plane.
+
+Quantifies what Tofino's inability to loop over skipped snapshot IDs
+costs: under intermittent initiation loss the idealised Figure 3
+protocol keeps every snapshot consistent, while Speedlight must discard
+the intermediate epochs (and relies on observer retries instead).
+"""
+
+from repro.experiments.ablations import (IdealVsSpeedlightConfig,
+                                         run_ideal_vs_speedlight)
+
+
+def test_ablation_ideal_vs_speedlight(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_ideal_vs_speedlight, args=(IdealVsSpeedlightConfig(),),
+        rounds=1, iterations=1)
+    report_sink(result.report())
+    speed = result.outcomes["speedlight"]
+    ideal = result.outcomes["ideal"]
+    assert ideal["complete"] > 0
+    assert ideal["consistent"] == ideal["complete"]
+    assert speed["complete"] > 0
+    assert speed["consistent"] < speed["complete"]

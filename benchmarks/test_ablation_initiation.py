@@ -1,0 +1,20 @@
+"""Ablation benchmark: multi-initiator vs. single-initiator snapshots.
+
+Quantifies the design decision of §3 ("snapshots in our system are
+initiated at all nodes simultaneously"): with a single initiator the
+snapshot spreads at traffic-propagation speed, so synchronization is
+orders of magnitude looser than the clock-bounded multi-initiator design.
+"""
+
+from repro.experiments.ablations import (InitiationConfig,
+                                         run_initiation_strategies)
+
+
+def test_ablation_initiation_strategy(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_initiation_strategies, args=(InitiationConfig(),),
+        rounds=1, iterations=1)
+    report_sink(result.report())
+    assert result.sync_multi.median < 50_000            # us-scale
+    assert result.sync_single.median > 1_000_000        # ms-scale
+    assert result.sync_single.median > 100 * result.sync_multi.median

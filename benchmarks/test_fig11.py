@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 11 (synchronization vs. network size).
+
+Paper targets: average synchronization grows slowly (extreme-value
+effect over bounded jitter distributions) and stays under 100 us even at
+10,000 routers of 64 ports each.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, report_sink):
+    result = benchmark.pedantic(fig11.run, args=(fig11.Fig11Config(),),
+                                rounds=1, iterations=1)
+    report_sink(result.report())
+    sync = result.avg_sync_ns
+    counts = sorted(sync)
+    # Monotone growth with network size...
+    values = [sync[c] for c in counts]
+    assert values == sorted(values)
+    # ...that is sub-linear (x1000 routers buys far less than x1000 sync).
+    assert sync[10_000] < 10 * sync[10]
+    # ...and bounded under the paper's 100 us ceiling.
+    assert sync[10_000] < 100_000

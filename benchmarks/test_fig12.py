@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 12 (load-balance stddev CDFs).
+
+Paper shapes reproduced (absolute scales differ — simulation-bounded
+traffic rates; see EXPERIMENTS.md):
+
+* flowlet switching balances better than ECMP when measured with
+  synchronized snapshots, across all three workloads;
+* Hadoop: polling understates the flowlet gain;
+* memcache: polling overestimates the (tiny) imbalance.
+"""
+
+from repro.experiments import fig12
+
+
+def test_fig12(benchmark, report_sink):
+    result = benchmark.pedantic(fig12.run, args=(fig12.Fig12Config.quick(),),
+                                rounds=1, iterations=1)
+    report_sink(result.report())
+
+    # Flowlets beat ECMP under snapshots, for every workload.
+    for workload in result.config.workloads:
+        assert result.median(workload, "flowlet", "snapshots") < \
+            result.median(workload, "ecmp", "snapshots"), workload
+
+    # Hadoop: the flowlet gain visible to snapshots shrinks under polling.
+    gain_snap = (result.median("hadoop", "ecmp", "snapshots") /
+                 max(result.median("hadoop", "flowlet", "snapshots"), 1e-9))
+    gain_poll = (result.median("hadoop", "ecmp", "polling") /
+                 max(result.median("hadoop", "flowlet", "polling"), 1e-9))
+    assert gain_snap > gain_poll
+
+    # memcache: polling overestimates the imbalance for flowlets.
+    assert result.median("memcache", "flowlet", "polling") > \
+        result.median("memcache", "flowlet", "snapshots")

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 13 (traffic-correlation discovery).
+
+Paper targets: under GraphX, snapshots find substantially more
+statistically significant port-pair correlations than polling (+43% in
+the paper); the master server's port shows no significant correlations;
+ECMP next-hop uplink pairs correlate positively under snapshots.
+"""
+
+from repro.experiments import fig13
+
+
+def test_fig13(benchmark, report_sink):
+    result = benchmark.pedantic(fig13.run, args=(fig13.Fig13Config(),),
+                                rounds=1, iterations=1)
+    report_sink(result.report())
+    # Snapshots recover more significant pairs than polling.
+    assert result.significant_fraction("snapshots") > \
+        result.significant_fraction("polling")
+    assert result.extra_pairs_found() > 0.15
+    # Ground truth 1: master port quiet (allow alpha-level noise).
+    assert result.master_significant("snapshots") <= 1
+    # Ground truth 2: ECMP uplink pairs positive under snapshots.
+    statuses = result.ecmp_pair_status("snapshots")
+    assert statuses.count("positive") >= len(statuses) - 1
+    assert "negative" not in statuses

@@ -1,0 +1,27 @@
+"""Benchmark: full-protocol scaling on growing fat-trees (the end-to-end
+companion to Figure 11's Monte-Carlo)."""
+
+from repro.experiments import scaling
+
+
+def test_protocol_scaling(benchmark, report_sink):
+    result = benchmark.pedantic(scaling.run, args=(scaling.ScalingConfig(),),
+                                rounds=1, iterations=1)
+    report_sink(result.report())
+    arities = sorted(result.points)
+    for arity in arities:
+        point = result.points[arity]
+        # Every epoch completes on every unit at every size.
+        assert point.completed == point.expected
+        # Synchronization stays in the tens of microseconds.
+        assert point.sync.max < 100_000
+    # Per-switch notification load tracks ports/switch (2 per port per
+    # snapshot), independent of network size.
+    for arity in arities:
+        point = result.points[arity]
+        ports_per_switch = point.units / (2 * point.switches)
+        expected = 2 * ports_per_switch * result.config.snapshots
+        assert abs(point.notifications_per_switch - expected) < 1e-6
+    # Sync grows sub-linearly: 4x more switches buys < 2.5x the tail.
+    small, large = result.points[arities[0]], result.points[arities[-1]]
+    assert large.sync.median < 2.5 * small.sync.median

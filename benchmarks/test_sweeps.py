@@ -1,0 +1,34 @@
+"""Benchmark: calibration sensitivity sweeps.
+
+Not a paper figure — these make EXPERIMENTS.md's calibration story
+executable: how the Figure 10 knee, the Figure 9 synchronization, and
+the channel-state tail move with the constants a re-calibration would
+touch.
+"""
+
+from repro.experiments.sweeps import (PtpSweepConfig, RateSweepConfig,
+                                      ServiceCostSweepConfig, run_ptp_sweep,
+                                      run_rate_sweep, run_service_cost_sweep)
+
+
+def _run_all():
+    return (run_service_cost_sweep(ServiceCostSweepConfig()),
+            run_ptp_sweep(PtpSweepConfig()),
+            run_rate_sweep(RateSweepConfig()))
+
+
+def test_calibration_sweeps(benchmark, report_sink):
+    service, ptp, rate = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    report_sink("\n\n".join([service.report(), ptp.report(), rate.report()]))
+    # The measured Figure 10 knee stays within 40% of the analytical
+    # 1/(2 * ports * cost) model over an 8x cost range.
+    for cost, measured in service.max_rate_hz.items():
+        assert 0.6 * service.model_rate_hz(cost) <= measured \
+            <= 1.5 * service.model_rate_hz(cost)
+    # Clock quality bounds snapshot sync.
+    sigmas = sorted(ptp.sync_median_ns)
+    assert ptp.sync_median_ns[sigmas[-1]] > 20 * ptp.sync_median_ns[sigmas[0]]
+    # Channel-state sync tightens monotonically with traffic rate.
+    rates = sorted(rate.sync_median_ns)
+    medians = [rate.sync_median_ns[r] for r in rates]
+    assert medians == sorted(medians, reverse=True)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (data-plane resource usage)."""
+
+from repro.experiments import table1
+from repro.resources import Variant
+
+
+def test_table1(benchmark, report_sink):
+    result = benchmark(table1.run, table1.Table1Config())
+    report_sink(result.report())
+    # The model must land exactly on the paper's published table.
+    for variant, expected in table1.PAPER_TABLE1.items():
+        report = result.reports[variant]
+        for attr, value in expected.items():
+            assert getattr(report, attr) == value, (variant, attr)
+    assert abs(result.report_14port.sram_kb - 638) <= 1
+    assert abs(result.report_14port.tcam_kb - 90) <= 1

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Use case: detecting a transient forwarding loop (paper §2.2 Q4).
+
+"Forwarding loops are the canonical example of an undesirable network
+state that is difficult to detect" — asynchronous counters can't
+distinguish a loop from ordinary transit traffic, because measurements
+taken at different times can double-count or miss packets.  Causally
+consistent snapshots make the evidence unambiguous: across consecutive
+snapshots, switch-to-switch traffic keeps growing while *no new traffic
+enters the network* — a conservation violation only a loop can produce.
+
+This script misconfigures a 4-switch ring so a phantom destination's
+route points clockwise at every hop, injects a small burst, and lets
+synchronized packet-count snapshots expose the loop.
+
+Run:  python examples/forwarding_loop_detection.py
+"""
+
+from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.sim.engine import MS, S, US
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.switch import Direction
+from repro.topology import ring
+from repro.topology.graph import NodeKind
+
+
+def main() -> None:
+    # Slow ring links so each lap of the loop is visible across snapshots.
+    topology = ring(num_switches=4, hosts_per_switch=1)
+    network = Network(topology, NetworkConfig(seed=5))
+    for link in network.links:
+        if "server" not in link.name:
+            link.propagation_ns = 100 * US
+
+    # The misconfiguration: every switch forwards "phantom" clockwise.
+    switches = [f"sw{i}" for i in range(4)]
+    for i, name in enumerate(switches):
+        next_hop = switches[(i + 1) % 4]
+        port = network.port_toward(name, next_hop)
+        network.switch(name).install_route("phantom", [port])
+
+    deployment = SpeedlightDeployment(network, DeploymentConfig(
+        metric="packet_count"))
+
+    # A short burst toward the phantom destination enters at server0.
+    network.host("server0").send_flow("phantom", 20, sport=1, dport=2,
+                                      gap_ns=10 * US)
+
+    epochs = deployment.schedule_campaign(count=6, interval_ns=3 * MS)
+    network.run(until=200 * MS)
+
+    def ingress_counts(snap):
+        """(packets entering from hosts, packets arriving switch-to-switch)."""
+        from_hosts = transit = 0
+        for unit, record in snap.records.items():
+            if unit.direction is not Direction.INGRESS:
+                continue
+            peer, kind = network.peer_of_port(unit.device, unit.port)
+            if kind is NodeKind.HOST:
+                from_hosts += record.value
+            else:
+                transit += record.value
+        return from_hosts, transit
+
+    print("epoch | pkts entered from hosts | switch-to-switch arrivals")
+    history = []
+    for epoch in epochs:
+        snap = deployment.observer.snapshot(epoch)
+        if not snap.complete:
+            continue
+        entered, transit = ingress_counts(snap)
+        history.append((epoch, entered, transit))
+        print(f"{epoch:>5} | {entered:>23} | {transit:>25}")
+
+    (_, e0, t0), (_, e1, t1) = history[0], history[-1]
+    print(f"\nbetween the first and last snapshot: host traffic grew by "
+          f"{e1 - e0}, transit grew by {t1 - t0}.")
+    if t1 - t0 > 4 * max(e1 - e0, 1):
+        print("transit grows without new input — packets are circulating: "
+              "FORWARDING LOOP detected.")
+        print("(each consistent snapshot is a legal cut, so this growth "
+              "cannot be an artifact of measurement timing.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file exists so that
+`pip install -e .` works with the legacy (non-PEP-517) code path on
+machines where pip cannot build editable wheels (e.g. offline boxes
+without the `wheel` distribution installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Synchronized Network Snapshots" (SIGCOMM 2018).
+
+The package rebuilds Speedlight — the paper's synchronized network
+snapshot system — on top of a pure-Python discrete-event network
+simulator.  See DESIGN.md for the full system inventory and the mapping
+from every table/figure in the paper to the modules that regenerate it.
+
+Quick tour
+----------
+
+>>> from repro.topology import leaf_spine
+>>> from repro.sim import Network
+>>> from repro.core import SpeedlightDeployment
+>>> net = Network(leaf_spine())
+>>> deployment = SpeedlightDeployment(net, metric="packet_count")
+>>> observer = deployment.observer
+
+Subpackages
+-----------
+
+``repro.sim``
+    Discrete-event simulator: switches, hosts, links, clocks.
+``repro.core``
+    The snapshot protocol: data plane, control plane, observer.
+``repro.counters``
+    Snapshottable data-plane metrics (packet/byte counts, queue depth,
+    EWMA interarrival).
+``repro.lb``
+    ECMP and flowlet load balancing.
+``repro.workloads``
+    Hadoop/GraphX/memcache-like traffic generators.
+``repro.polling``
+    The traditional counter-polling baseline.
+``repro.analysis``
+    Statistics and causal-consistency checking.
+``repro.resources``
+    The Table 1 Tofino resource model.
+``repro.experiments``
+    One module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,47 @@
+"""Statistics and verification tools for snapshot measurements.
+
+* :mod:`~repro.analysis.stats` — CDFs, balance metrics, and the Spearman
+  correlation analysis of Figure 13;
+* :mod:`~repro.analysis.consistency` — the ground-truth causal-consistency
+  checker: replays data-plane trace events and verifies that every
+  snapshot the system declared consistent is in fact a closed cut with
+  conserved flow counts.
+"""
+
+from repro.analysis.stats import (
+    Cdf,
+    spearman_matrix,
+    significant_fraction,
+    balance_stddevs,
+)
+from repro.analysis.consistency import (
+    ConsistencyChecker,
+    ConsistencyViolation,
+)
+from repro.analysis.report import (
+    CampaignSeries,
+    snapshot_rows,
+    snapshot_to_json,
+)
+from repro.analysis.invariants import (
+    LinkAudit,
+    LinkReport,
+    LoopDetector,
+    LoopVerdict,
+)
+
+__all__ = [
+    "LinkAudit",
+    "LinkReport",
+    "LoopDetector",
+    "LoopVerdict",
+    "CampaignSeries",
+    "snapshot_rows",
+    "snapshot_to_json",
+    "Cdf",
+    "spearman_matrix",
+    "significant_fraction",
+    "balance_stddevs",
+    "ConsistencyChecker",
+    "ConsistencyViolation",
+]

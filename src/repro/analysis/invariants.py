@@ -1,0 +1,155 @@
+"""Network-wide invariants over consistent snapshots.
+
+§2.2 (question 4) argues that verifying global forwarding behaviour
+needs consistent snapshots — "otherwise we can observe states that are
+impossible."  This module turns that into a library: operators feed it
+consistent snapshots of packet counts and it evaluates invariants that
+only hold on legal cuts.
+
+* :class:`LinkAudit` — per physical link, compare the sender's egress
+  count (plus in-flight credits) against the receiver's ingress count.
+  On a consistent cut the discrepancy is exactly the packets lost on or
+  after the sender's count (wire loss, tail drops) plus those still in
+  flight — i.e. **non-negative**.  A negative discrepancy means the
+  receiver counted packets the sender never sent before the cut: the
+  impossible state inconsistent measurements manufacture.
+* :class:`LoopDetector` — across consecutive snapshots, traffic entering
+  the fabric from hosts bounds how much transit (switch-to-switch)
+  traffic can grow; transit growth far beyond the edge growth times the
+  maximum path length is evidence of circulating packets (the
+  forwarding-loop signature of ``examples/forwarding_loop_detection.py``,
+  as an API).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.snapshot import GlobalSnapshot
+from repro.sim.network import Network
+from repro.sim.switch import Direction, UnitId
+from repro.topology.graph import NodeKind
+
+
+@dataclass
+class LinkReport:
+    """Audit result for one direction of one physical link."""
+
+    sender: UnitId           # egress unit at the sending switch
+    receiver: UnitId         # ingress unit at the receiving switch
+    sent: int                # sender's value (+ channel credits)
+    received: int
+    @property
+    def discrepancy(self) -> int:
+        """sent − received: in-flight + losses; negative is impossible
+        on a consistent cut."""
+        return self.sent - self.received
+
+
+class LinkAudit:
+    """Audits switch-to-switch links against one snapshot."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._links: List[Tuple[UnitId, UnitId]] = []
+        for name in sorted(network.switches):
+            for neighbor, port in sorted(network.port_map[name].items()):
+                if network.topology.kind(neighbor) is not NodeKind.SWITCH:
+                    continue
+                peer_port = network.port_map[neighbor][name]
+                self._links.append(
+                    (UnitId(name, port, Direction.EGRESS),
+                     UnitId(neighbor, peer_port, Direction.INGRESS)))
+
+    def audit(self, snapshot: GlobalSnapshot) -> List[LinkReport]:
+        """Per-link reports for every link both of whose units appear in
+        the snapshot (partial deployments audit the enabled core)."""
+        reports = []
+        for sender, receiver in self._links:
+            sent_rec = snapshot.records.get(sender)
+            recv_rec = snapshot.records.get(receiver)
+            if sent_rec is None or recv_rec is None:
+                continue
+            reports.append(LinkReport(
+                sender=sender, receiver=receiver,
+                sent=sent_rec.total_value, received=recv_rec.total_value))
+        return reports
+
+    def violations(self, snapshot: GlobalSnapshot) -> List[LinkReport]:
+        """Links whose receiver counted more than the sender emitted —
+        impossible on a consistent cut."""
+        if not snapshot.consistent:
+            raise ValueError(
+                "link auditing requires a consistent snapshot; this one "
+                "is marked inconsistent")
+        return [r for r in self.audit(snapshot) if r.discrepancy < 0]
+
+
+@dataclass
+class LoopVerdict:
+    edge_growth: int
+    transit_growth: int
+    amplification: float
+    loop_suspected: bool
+
+    def __str__(self) -> str:
+        verdict = "LOOP SUSPECTED" if self.loop_suspected else "normal"
+        return (f"edge +{self.edge_growth}, transit +{self.transit_growth} "
+                f"(x{self.amplification:.1f}) -> {verdict}")
+
+
+class LoopDetector:
+    """Detects circulating traffic from consecutive consistent snapshots.
+
+    Every packet a host injects traverses at most ``max_path_hops``
+    switch ingress units; if transit arrivals grow faster than
+    ``edge growth x max_path_hops`` (plus slack), packets are revisiting
+    switches — a forwarding loop.
+    """
+
+    def __init__(self, network: Network, max_path_hops: Optional[int] = None,
+                 slack: float = 1.5) -> None:
+        self.network = network
+        if max_path_hops is None:
+            # Hop bound from the topology: switch count is a safe cap
+            # for any loop-free path.
+            max_path_hops = max(2, len(network.switches))
+        self.max_path_hops = max_path_hops
+        self.slack = slack
+
+    def _ingress_totals(self, snapshot: GlobalSnapshot) -> Tuple[int, int]:
+        edge = transit = 0
+        for unit, record in snapshot.records.items():
+            if unit.direction is not Direction.INGRESS:
+                continue
+            peer, kind = self.network.peer_of_port(unit.device, unit.port)
+            if kind is NodeKind.HOST:
+                edge += record.value
+            else:
+                transit += record.value
+        return edge, transit
+
+    def compare(self, before: GlobalSnapshot,
+                after: GlobalSnapshot) -> LoopVerdict:
+        if before.epoch >= after.epoch:
+            raise ValueError("snapshots must be in epoch order")
+        edge0, transit0 = self._ingress_totals(before)
+        edge1, transit1 = self._ingress_totals(after)
+        edge_growth = edge1 - edge0
+        transit_growth = transit1 - transit0
+        bound = max(edge_growth, 0) * self.max_path_hops * self.slack
+        # A quiet network with growing transit is the clearest signature;
+        # require some absolute growth so idle noise never triggers.
+        suspected = transit_growth > max(bound, 10)
+        amplification = (transit_growth / edge_growth
+                         if edge_growth > 0 else float("inf")
+                         if transit_growth > 0 else 0.0)
+        return LoopVerdict(edge_growth=edge_growth,
+                           transit_growth=transit_growth,
+                           amplification=amplification,
+                           loop_suspected=suspected)
+
+    def scan(self, snapshots: Sequence[GlobalSnapshot]) -> List[LoopVerdict]:
+        ordered = sorted(snapshots, key=lambda s: s.epoch)
+        return [self.compare(a, b) for a, b in zip(ordered, ordered[1:])]

@@ -1,0 +1,108 @@
+"""Snapshot export and campaign time-series assembly.
+
+Turns :class:`~repro.core.snapshot.GlobalSnapshot` objects into plain
+rows/dicts (for JSON/CSV export or ad-hoc analysis) and assembles
+campaigns into per-unit time series — the input shape for the
+correlation and balance analyses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.snapshot import GlobalSnapshot
+from repro.sim.switch import Direction, UnitId
+
+
+def snapshot_rows(snapshot: GlobalSnapshot) -> List[Dict[str, object]]:
+    """One flat dict per unit record (stable ordering)."""
+    rows = []
+    for unit, record in sorted(snapshot.records.items(),
+                               key=lambda kv: (kv[0].device, kv[0].port,
+                                               kv[0].direction.value)):
+        rows.append({
+            "epoch": snapshot.epoch,
+            "device": unit.device,
+            "port": unit.port,
+            "direction": unit.direction.value,
+            "value": record.value,
+            "channel_state": record.channel_state,
+            "total": record.total_value,
+            "consistent": record.consistent,
+            "captured_ns": record.captured_ns,
+        })
+    return rows
+
+
+def snapshot_to_json(snapshot: GlobalSnapshot, indent: Optional[int] = None) -> str:
+    """A self-describing JSON document for one snapshot."""
+    doc = {
+        "epoch": snapshot.epoch,
+        "status": snapshot.status.value,
+        "consistent": snapshot.consistent,
+        "requested_wall_ns": snapshot.requested_wall_ns,
+        "capture_spread_ns": snapshot.capture_spread_ns,
+        "excluded_devices": sorted(snapshot.excluded_devices),
+        "records": snapshot_rows(snapshot),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+@dataclass
+class CampaignSeries:
+    """Per-unit time series across a snapshot campaign.
+
+    Only units present in *every* snapshot are included, so all series
+    have equal length (ragged series break rank-correlation analyses).
+    """
+
+    epochs: List[int]
+    series: Dict[UnitId, List[int]]
+
+    @classmethod
+    def from_snapshots(cls, snapshots: Sequence[GlobalSnapshot],
+                       use_total: bool = False) -> "CampaignSeries":
+        snaps = [s for s in snapshots if s.records]
+        if not snaps:
+            raise ValueError("no snapshots with records")
+        common = set(snaps[0].records)
+        for snap in snaps[1:]:
+            common &= set(snap.records)
+        if not common:
+            raise ValueError("snapshots share no units")
+        series: Dict[UnitId, List[int]] = {u: [] for u in common}
+        for snap in snaps:
+            for unit in common:
+                record = snap.records[unit]
+                series[unit].append(record.total_value if use_total
+                                    else record.value)
+        return cls(epochs=[s.epoch for s in snaps], series=series)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def units(self) -> List[UnitId]:
+        return sorted(self.series, key=lambda u: (u.device, u.port,
+                                                  u.direction.value))
+
+    def named(self, direction: Optional[Direction] = None) -> Dict[str, List[float]]:
+        """Series keyed by "device:port" strings (the spearman_matrix
+        input shape), optionally filtered to one direction."""
+        out: Dict[str, List[float]] = {}
+        for unit in self.units():
+            if direction is not None and unit.direction is not direction:
+                continue
+            out[f"{unit.device}:{unit.port}"] = [float(v)
+                                                 for v in self.series[unit]]
+        return out
+
+    def deltas(self) -> "CampaignSeries":
+        """Per-interval differences (cumulative counters → rates)."""
+        if len(self.epochs) < 2:
+            raise ValueError("need at least two snapshots for deltas")
+        return CampaignSeries(
+            epochs=self.epochs[1:],
+            series={u: [b - a for a, b in zip(vals, vals[1:])]
+                    for u, vals in self.series.items()})

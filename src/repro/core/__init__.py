@@ -1,0 +1,65 @@
+"""The Synchronized Network Snapshot protocol — the paper's contribution.
+
+Layering (mirroring §4–§6 of the paper):
+
+* :mod:`~repro.core.ids` — snapshot-ID arithmetic with wraparound;
+* :mod:`~repro.core.ideal` — the idealised per-unit algorithm (Figure 3);
+* :mod:`~repro.core.dataplane` — Speedlight's hardware-constrained
+  per-unit implementation (Figures 4 & 5);
+* :mod:`~repro.core.notifications` — the data-plane → CPU channel;
+* :mod:`~repro.core.control_plane` — per-switch coordination (Figure 7,
+  §6): initiation, completion/inconsistency detection, liveness;
+* :mod:`~repro.core.observer` — the host-side snapshot observer;
+* :mod:`~repro.core.snapshot` — global snapshot assembly;
+* :mod:`~repro.core.deployment` — one-call wiring of all of the above
+  onto a simulated network (including partial deployment, §10).
+
+Most users only need :class:`SpeedlightDeployment`::
+
+    net = Network(leaf_spine())
+    sl = SpeedlightDeployment(net, metric="packet_count", channel_state=True)
+    epochs = sl.schedule_campaign(count=100, interval_ns=10 * MS)
+    net.run(until=2 * S)
+    snaps = sl.observer.completed_snapshots(require_consistent=True)
+"""
+
+from repro.core.ids import IdSpace
+from repro.core.ideal import IdealUnit, IdealSlot
+from repro.core.dataplane import SpeedlightUnit, SnapshotSlot
+from repro.core.notifications import Notification
+from repro.core.control_plane import (
+    ControlPlaneConfig,
+    NotificationChannel,
+    SwitchControlPlane,
+    UnitSnapshotRecord,
+)
+from repro.core.observer import ObserverConfig, SnapshotObserver
+from repro.core.campaign import CampaignConfig, ConsistentCampaign
+from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
+from repro.core.deployment import (
+    DeploymentConfig,
+    SpeedlightDeployment,
+    GAUGE_METRICS,
+)
+
+__all__ = [
+    "IdSpace",
+    "IdealUnit",
+    "IdealSlot",
+    "SpeedlightUnit",
+    "SnapshotSlot",
+    "Notification",
+    "ControlPlaneConfig",
+    "NotificationChannel",
+    "SwitchControlPlane",
+    "UnitSnapshotRecord",
+    "ObserverConfig",
+    "SnapshotObserver",
+    "CampaignConfig",
+    "ConsistentCampaign",
+    "GlobalSnapshot",
+    "SnapshotStatus",
+    "DeploymentConfig",
+    "SpeedlightDeployment",
+    "GAUGE_METRICS",
+]

@@ -1,0 +1,122 @@
+"""Measurement campaigns with automatic replacement of bad snapshots.
+
+"All values are shipped to the snapshot observer ... The observer
+computes completion and executes retries." (§6)
+
+:class:`ConsistentCampaign` drives a snapshot campaign toward a target
+number of *usable* (complete and consistent) snapshots: it schedules at
+a fixed cadence and, whenever a snapshot resolves incomplete or
+inconsistent, schedules a replacement — the observer-level retry loop
+that makes channel-state measurement practical on hardware that
+occasionally has to discard epochs (§5.3).
+
+The campaign is event-driven (no busy polling): it reacts to snapshot
+completion callbacks and to the per-epoch deadline checks the observer
+already schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.observer import SnapshotObserver
+from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
+from repro.sim.engine import MS, Simulator
+
+
+@dataclass
+class CampaignConfig:
+    """Policy for a consistent-snapshot campaign."""
+
+    #: Usable snapshots to collect.
+    target: int = 10
+    #: Cadence of the primary schedule (replacements append at the same
+    #: cadence after the original tail).
+    interval_ns: int = 10 * MS
+    #: Upper bound on total snapshots taken (defense against a broken
+    #: deployment consuming epochs forever); None disables.
+    max_attempts: Optional[int] = None
+    #: How long after its scheduled wall time a snapshot is considered
+    #: failed if still pending (replacement is then scheduled).
+    deadline_ns: int = 100 * MS
+
+
+class ConsistentCampaign:
+    """Collects a target number of usable snapshots, retrying duds."""
+
+    def __init__(self, sim: Simulator, observer: SnapshotObserver,
+                 config: Optional[CampaignConfig] = None) -> None:
+        self.sim = sim
+        self.observer = observer
+        self.config = config or CampaignConfig()
+        if self.config.target < 1:
+            raise ValueError("target must be positive")
+        self.usable: List[GlobalSnapshot] = []
+        self.discarded: List[GlobalSnapshot] = []
+        self.attempts = 0
+        self._started = False
+        self._done_callbacks: List[Callable[["ConsistentCampaign"], None]] = []
+        self._next_slot_ns = 0
+        observer.on_complete(self._on_complete)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._next_slot_ns = self.sim.now + self.observer.config.lead_time_ns
+        for _ in range(self.config.target):
+            self._schedule_one()
+
+    def on_done(self, callback: Callable[["ConsistentCampaign"], None]) -> None:
+        self._done_callbacks.append(callback)
+
+    @property
+    def done(self) -> bool:
+        return len(self.usable) >= self.config.target
+
+    @property
+    def exhausted(self) -> bool:
+        return (self.config.max_attempts is not None
+                and self.attempts >= self.config.max_attempts)
+
+    def _schedule_one(self) -> None:
+        if self.done or self.exhausted:
+            return
+        self.attempts += 1
+        wall = max(self._next_slot_ns,
+                   self.sim.now + self.observer.config.lead_time_ns)
+        self._next_slot_ns = wall + self.config.interval_ns
+        epoch = self.observer.take_snapshot(at_wall_ns=wall)
+        self.sim.schedule_at(wall + self.config.deadline_ns,
+                             self._check_deadline, epoch)
+
+    # ------------------------------------------------------------------
+    # Reactions
+    # ------------------------------------------------------------------
+    def _on_complete(self, snapshot: GlobalSnapshot) -> None:
+        if self.done:
+            return
+        if snapshot.usable:
+            self.usable.append(snapshot)
+            if self.done:
+                for callback in self._done_callbacks:
+                    callback(self)
+        else:
+            self.discarded.append(snapshot)
+            self._schedule_one()
+
+    def _check_deadline(self, epoch: int) -> None:
+        snapshot = self.observer.snapshot(epoch)
+        if snapshot.status is SnapshotStatus.PENDING and not self.done:
+            # Completion may still happen later (the observer keeps
+            # retrying), but the campaign moves on with a replacement.
+            self.discarded.append(snapshot)
+            self._schedule_one()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ConsistentCampaign(usable={len(self.usable)}/"
+                f"{self.config.target}, attempts={self.attempts})")

@@ -1,0 +1,185 @@
+"""Speedlight's hardware-constrained data-plane snapshot unit.
+
+This implements the per-processing-unit logic of Figures 4 and 5 with
+the Tofino limitations of §5.3 modelled explicitly:
+
+* **No intermediate-ID loops.**  When a packet's snapshot ID is ahead of
+  the local ID by more than one, the unit saves local state into the
+  *packet's* slot only; skipped slots never receive local state.  The
+  control plane detects the skip from the notification and reacts
+  (mark-inconsistent with channel state, value inference without).
+* **Single-slot channel-state updates.**  An in-flight packet (carried ID
+  behind the local ID) credits the channel state of the *current* slot
+  only — one stateful-ALU operation.  That credit is exactly right when
+  the gap is one (the common case) and leaves the intermediate slots
+  wrong when it is larger, which is why the control plane marks those
+  slots inconsistent (§6, Figure 7 case 1).
+* **Bounded registers.**  Snapshot IDs and the slot array wrap
+  (:class:`~repro.core.ids.IdSpace`); the observer enforces the
+  no-lapping window out-of-band.
+* **Notifications.**  Any change to the local ID or a Last Seen entry
+  emits a :class:`~repro.core.notifications.Notification` carrying the
+  old and new values of both (§5.3).
+
+The unit is substrate-agnostic: it sees packets through the
+``SnapshotAgent`` protocol of :mod:`repro.sim.switch` and reads the
+metric through a bound ``value_fn`` (the register the operator chose to
+snapshot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.ids import IdSpace
+from repro.core.notifications import Notification
+from repro.sim.packet import Packet, PacketType
+from repro.sim.switch import UnitId
+
+
+@dataclass
+class SnapshotSlot:
+    """One entry of the Snapshot Value register array.
+
+    ``valid`` models the hardware valid bit: the control plane clears it
+    after reading so a slot reused post-wraparound is distinguishable
+    from a stale one.  ``channel_state`` accumulates in-flight credits
+    (metric-specific; packet counts by default).
+    """
+
+    valid: bool = False
+    value: int = 0
+    channel_state: int = 0
+    captured_ns: int = 0
+
+    def clear(self) -> None:
+        self.valid = False
+        self.value = 0
+        self.channel_state = 0
+        self.captured_ns = 0
+
+
+class SpeedlightUnit:
+    """The per-unit data-plane snapshot logic (Figures 4 & 5)."""
+
+    def __init__(self, unit_id: UnitId, id_space: IdSpace,
+                 value_fn: Callable[[], int], *,
+                 channel_state: bool = False,
+                 notify: Optional[Callable[[Notification], None]] = None,
+                 in_flight_value_fn: Optional[Callable[[Packet], int]] = None) -> None:
+        self.unit_id = unit_id
+        self.ids = id_space
+        self.value_fn = value_fn
+        self.channel_state = channel_state
+        self.notify = notify
+        #: Contribution of one in-flight packet to channel state.  The
+        #: default (1 per packet) suits packet counts; byte counts pass
+        #: ``lambda pkt: pkt.size_bytes``.
+        self.in_flight_value_fn = in_flight_value_fn or (lambda pkt: 1)
+
+        self._sid = 0  # wrapped; registers power up at zero (§6)
+        self.last_seen: Dict[int, int] = {}
+        if id_space.size is not None:
+            self._slots: Dict[int, SnapshotSlot] = {
+                i: SnapshotSlot() for i in range(id_space.size)}
+        else:
+            self._slots = {}
+        self.packets_seen = 0
+        self.notifications_emitted = 0
+
+    # ------------------------------------------------------------------
+    # SnapshotAgent protocol
+    # ------------------------------------------------------------------
+    @property
+    def sid(self) -> int:
+        """Current (wrapped) snapshot ID register."""
+        return self._sid
+
+    def process_packet(self, packet: Packet, channel_id: int, now_ns: int) -> int:
+        """One pipeline pass of the snapshot match-action stages."""
+        self.packets_seen += 1
+        header = packet.snapshot
+        assert header is not None, "snapshot unit fed a headerless packet"
+        old_sid = self._sid
+        cmp = self.ids.cmp(header.sid, self._sid)
+
+        if cmp > 0:
+            # New snapshot: save local state into the packet's slot.  The
+            # hardware cannot loop over skipped intermediate slots.
+            self._capture(header.sid, now_ns)
+            self._sid = header.sid
+        elif cmp < 0 and self.channel_state and header.packet_type is PacketType.DATA:
+            # In-flight packet: one register op credits the current slot.
+            # (Initiations are "never considered an in-flight packet", §6.)
+            slot = self._slot(self._sid)
+            slot.channel_state += self.in_flight_value_fn(packet)
+
+        old_ls: Optional[int] = None
+        new_ls: Optional[int] = None
+        ls_changed = False
+        if self.channel_state:
+            old_ls = self.last_seen.get(channel_id, 0)
+            new_ls = header.sid
+            # Last Seen tracks the most recent epoch observed on the
+            # channel; it never moves backwards.
+            if self.ids.cmp(new_ls, old_ls) > 0:
+                self.last_seen[channel_id] = new_ls
+                ls_changed = True
+            else:
+                new_ls = old_ls
+
+        if old_sid != self._sid or ls_changed:
+            self._emit(Notification(
+                unit=self.unit_id, old_sid=old_sid, new_sid=self._sid,
+                timestamp_ns=now_ns,
+                channel=channel_id if self.channel_state else None,
+                old_last_seen=old_ls, new_last_seen=new_ls))
+        return self._sid
+
+    # ------------------------------------------------------------------
+    # Register plumbing
+    # ------------------------------------------------------------------
+    def _slot(self, wrapped_sid: int) -> SnapshotSlot:
+        slot = self._slots.get(wrapped_sid)
+        if slot is None:  # unbounded spaces allocate lazily
+            slot = self._slots[wrapped_sid] = SnapshotSlot()
+        return slot
+
+    def _capture(self, wrapped_sid: int, now_ns: int) -> None:
+        slot = self._slot(wrapped_sid)
+        slot.valid = True
+        slot.value = self.value_fn()
+        slot.channel_state = 0
+        slot.captured_ns = now_ns
+
+    def _emit(self, notification: Notification) -> None:
+        self.notifications_emitted += 1
+        if self.notify is not None:
+            self.notify(notification)
+
+    # ------------------------------------------------------------------
+    # Control-plane register access
+    # ------------------------------------------------------------------
+    def read_slot(self, wrapped_sid: int) -> SnapshotSlot:
+        """Register read of one Snapshot Value entry (PCIe access)."""
+        return self._slot(wrapped_sid)
+
+    def clear_slot(self, wrapped_sid: int) -> None:
+        """Reset a slot's valid bit after the control plane consumed it,
+        making the slot safe for reuse after ID wraparound."""
+        self._slot(wrapped_sid).clear()
+
+    def read_last_seen(self, channel_id: int) -> int:
+        return self.last_seen.get(channel_id, 0)
+
+    def poll_state(self) -> Dict[str, int]:
+        """Proactive register poll used for notification-drop recovery
+        (§6, "Ensuring liveness")."""
+        state = {"sid": self._sid}
+        for channel, value in self.last_seen.items():
+            state[f"last_seen[{channel}]"] = value
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpeedlightUnit({self.unit_id}, sid={self._sid})"

@@ -1,0 +1,119 @@
+"""Snapshot-ID arithmetic with wraparound.
+
+The data plane stores snapshot IDs in small registers, so "Speedlight
+enables rollover of the snapshot ID to 0 after reaching the maximum ID"
+(§5.3) under the assumption that "no ID in the system is ever 'lapped'".
+The snapshot observer enforces that assumption out-of-band by bounding
+how many snapshots can be outstanding at once.
+
+:class:`IdSpace` centralises every wrapped-ID operation:
+
+* wrapping an unbounded logical epoch into register width,
+* circular comparison of two wrapped IDs,
+* unwrapping a wrapped ID against an unwrapped reference held by the
+  control plane (which tracks 64-bit logical epochs).
+
+Comparison convention: we use the symmetric half-window rule — two
+wrapped IDs compare correctly as long as their true (unwrapped) epochs
+differ by at most ``window = (N - 1) // 2`` where ``N = max_sid + 1``.
+The paper instead leans on the Last Seen array as a rollover reference,
+which tolerates a spread up to ``N - 1``; the half-window rule is
+simpler, strictly safe, and the observer's outstanding-snapshot bound is
+set to ``window`` accordingly (documented deviation; see DESIGN.md).
+
+``max_sid=None`` selects an unbounded ID space (the idealised protocol
+of Figure 3, and the "Packet Count" Table 1 variant without wraparound
+support, which simply requires the observer to reset before overflow).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class IdSpace:
+    """Wrapped snapshot-ID arithmetic."""
+
+    def __init__(self, max_sid: Optional[int] = None) -> None:
+        if max_sid is not None and max_sid < 3:
+            raise ValueError("max_sid must be >= 3 (window would be empty)")
+        self.max_sid = max_sid
+
+    @property
+    def size(self) -> Optional[int]:
+        """Number of distinct wrapped IDs (None when unbounded)."""
+        return None if self.max_sid is None else self.max_sid + 1
+
+    @property
+    def window(self) -> int:
+        """Largest spread of concurrently live epochs that compares
+        correctly.  The observer must not let snapshots outstanding
+        exceed this."""
+        if self.max_sid is None:
+            return 2**62  # effectively unbounded
+        return (self.size - 1) // 2
+
+    def wrap(self, unwrapped: int) -> int:
+        """Logical epoch -> register value."""
+        if unwrapped < 0:
+            raise ValueError(f"epochs are non-negative, got {unwrapped}")
+        if self.max_sid is None:
+            return unwrapped
+        return unwrapped % self.size
+
+    def cmp(self, a: int, b: int) -> int:
+        """Circular comparison of wrapped IDs ``a`` and ``b``.
+
+        Returns -1, 0 or 1 as ``a`` is before, equal to, or after ``b``.
+        Correct when the true epochs differ by at most :attr:`window`.
+        """
+        if self.max_sid is None:
+            return (a > b) - (a < b)
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        delta = (a - b) % self.size
+        return 1 if delta <= self.window else -1
+
+    def forward_distance(self, a: int, b: int) -> int:
+        """How many increments take wrapped ``a`` to wrapped ``b``."""
+        if self.max_sid is None:
+            if b < a:
+                raise ValueError(f"{b} is behind {a} in an unbounded space")
+            return b - a
+        self._check(a)
+        self._check(b)
+        return (b - a) % self.size
+
+    def succ(self, a: int) -> int:
+        """The wrapped ID after ``a``."""
+        if self.max_sid is None:
+            return a + 1
+        self._check(a)
+        return (a + 1) % self.size
+
+    def unwrap_onto(self, wrapped: int, reference: int) -> int:
+        """Map ``wrapped`` to the unwrapped epoch nearest ``reference``.
+
+        ``reference`` is an unwrapped epoch the caller knows is within
+        :attr:`window` of the answer (e.g. the control plane's current
+        view of the unit's epoch).  Picks the representative of
+        ``wrapped``'s congruence class closest to ``reference``.
+        """
+        if self.max_sid is None:
+            return wrapped
+        self._check(wrapped)
+        size = self.size
+        base = reference - (reference % size) + wrapped
+        candidates = (base - size, base, base + size)
+        best = min(candidates, key=lambda c: (abs(c - reference), c))
+        return max(best, 0)
+
+    def _check(self, value: int) -> None:
+        if not 0 <= value <= self.max_sid:
+            raise ValueError(
+                f"wrapped ID {value} out of range [0, {self.max_sid}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IdSpace(max_sid={self.max_sid})"

@@ -1,0 +1,223 @@
+"""The snapshot observer — a host process orchestrating global snapshots.
+
+"A Synchronized Network Snapshot begins humbly: with a host acting as a
+snapshot observer.  The observer broadcasts a request to every device in
+the network to take a snapshot of a given metric at a given time in the
+future." (§3)
+
+Responsibilities implemented here (§6):
+
+* allocate snapshot epochs and enforce the **no-lapping window** of the
+  wrapped ID space out-of-band (stale pending snapshots are abandoned
+  before the window could be violated);
+* register each snapshot with every device control plane over the
+  management plane, naming a wall-clock initiation instant far enough in
+  the future for registrations to arrive;
+* assemble per-unit records into :class:`~repro.core.snapshot.GlobalSnapshot`
+  objects, compute completion, and execute retries;
+* time out and exclude failed devices ("If a device fails, it may
+  timeout and be excluded from the global snapshot");
+* support node attachment: a device registered after a snapshot was
+  initiated is not in that snapshot's expected set, so its spurious
+  completions are ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.control_plane import SwitchControlPlane, UnitSnapshotRecord
+from repro.core.ids import IdSpace
+from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
+from repro.sim.engine import Simulator, MS
+from repro.sim.mgmt import ManagementPlane
+from repro.sim.switch import UnitId
+
+
+@dataclass
+class ObserverConfig:
+    """Observer timing policy."""
+
+    #: How far in the future snapshots are scheduled — must exceed the
+    #: worst-case management-plane delivery latency so every control
+    #: plane hears about the snapshot before its initiation instant.
+    lead_time_ns: int = 5 * MS
+    #: Re-send initiations for snapshots incomplete after this long.
+    retry_timeout_ns: int = 50 * MS
+    max_retries: int = 2
+    #: Give up and exclude silent devices after this long.
+    device_timeout_ns: int = 250 * MS
+
+
+class SnapshotObserver:
+    """Coordinates network-wide snapshots from a host vantage point."""
+
+    def __init__(self, sim: Simulator, mgmt: ManagementPlane,
+                 id_space: IdSpace,
+                 config: Optional[ObserverConfig] = None) -> None:
+        self.sim = sim
+        self.mgmt = mgmt
+        self.ids = id_space
+        self.config = config or ObserverConfig()
+        self.control_planes: Dict[str, SwitchControlPlane] = {}
+        self._device_units: Dict[str, Set[UnitId]] = {}
+        self.snapshots: Dict[int, GlobalSnapshot] = {}
+        self._next_epoch = 1  # epoch 0 is the power-on state, never taken
+        self._completion_callbacks: List[Callable[[GlobalSnapshot], None]] = []
+
+    # ------------------------------------------------------------------
+    # Device registration (including live node attachment, §6)
+    # ------------------------------------------------------------------
+    def register_device(self, name: str, control_plane: SwitchControlPlane,
+                        units: Set[UnitId]) -> None:
+        """Add a device to the active set.  Devices registered after a
+        snapshot was initiated join from the *next* snapshot on."""
+        if name in self.control_planes:
+            raise ValueError(f"device {name!r} already registered")
+        self.control_planes[name] = control_plane
+        self._device_units[name] = set(units)
+
+    def remove_device(self, name: str) -> None:
+        self.control_planes.pop(name, None)
+        self._device_units.pop(name, None)
+
+    def on_complete(self, callback: Callable[[GlobalSnapshot], None]) -> None:
+        """Run ``callback`` whenever a snapshot reaches COMPLETE."""
+        self._completion_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Taking snapshots
+    # ------------------------------------------------------------------
+    def take_snapshot(self, at_wall_ns: Optional[int] = None,
+                      initiators: Optional[List[str]] = None) -> int:
+        """Schedule one global snapshot; returns its epoch.
+
+        ``at_wall_ns`` defaults to now + lead time.  Results appear in
+        :attr:`snapshots` as the simulation runs.
+
+        ``initiators`` restricts which devices receive the initiation
+        (default: all — the paper's multi-initiator design).  With a
+        single initiator the snapshot propagates Chandy-Lamport style via
+        tagged traffic, which the initiation-strategy ablation uses to
+        quantify what multi-initiation buys in synchronization.
+        """
+        epoch = self._next_epoch
+        self._next_epoch += 1
+        at_wall = at_wall_ns if at_wall_ns is not None else (
+            self.sim.now + self.config.lead_time_ns)
+        expected: Set[UnitId] = set()
+        for units in self._device_units.values():
+            expected |= units
+        snapshot = GlobalSnapshot(epoch=epoch, requested_wall_ns=at_wall,
+                                  expected_units=expected)
+        self.snapshots[epoch] = snapshot
+        targets = (self.control_planes if initiators is None
+                   else {n: self.control_planes[n] for n in initiators})
+        for name, cp in targets.items():
+            self.mgmt.send(cp.schedule_initiation, epoch, at_wall)
+        # No-lapping enforcement happens when this epoch actually starts
+        # circulating: any snapshot more than a window behind must stop
+        # being awaited, since its register slots are about to be reused.
+        self.sim.schedule_at(max(at_wall, self.sim.now),
+                             self._enforce_window, epoch)
+        self.sim.schedule_at(at_wall + self.config.retry_timeout_ns,
+                             self._check_progress, epoch)
+        return epoch
+
+    def schedule_campaign(self, count: int, interval_ns: int,
+                          start_wall_ns: Optional[int] = None) -> List[int]:
+        """Schedule ``count`` snapshots at a fixed cadence; returns their
+        epochs (the measurement-campaign primitive used throughout §8)."""
+        if count < 1:
+            raise ValueError("count must be positive")
+        start = start_wall_ns if start_wall_ns is not None else (
+            self.sim.now + self.config.lead_time_ns)
+        epochs = []
+        for i in range(count):
+            epochs.append(self.take_snapshot(at_wall_ns=start + i * interval_ns))
+        return epochs
+
+    def _enforce_window(self, initiating_epoch: int) -> None:
+        """Abandon stale pending snapshots so wrapped IDs never lap.
+
+        Runs at each epoch's initiation instant: once ``initiating_epoch``
+        starts circulating, any snapshot more than an ID-space window
+        behind it can no longer be compared correctly in the data plane
+        (§5.3) — the observer stops awaiting it.  Campaigns whose
+        completion keeps pace with their cadence are never affected,
+        regardless of how many epochs were pre-scheduled.
+        """
+        floor = initiating_epoch - self.ids.window + 1
+        if floor <= 0:
+            return
+        for epoch, snapshot in self.snapshots.items():
+            if epoch < floor and snapshot.status is SnapshotStatus.PENDING:
+                snapshot.status = SnapshotStatus.ABANDONED
+
+    # ------------------------------------------------------------------
+    # Record intake
+    # ------------------------------------------------------------------
+    def on_unit_record(self, record: UnitSnapshotRecord) -> None:
+        """Entry point for records shipped by control planes (wired by
+        the deployment through the management plane)."""
+        snapshot = self.snapshots.get(record.epoch)
+        if snapshot is None:
+            return  # epoch predates this observer or was never scheduled
+        if snapshot.status in (SnapshotStatus.ABANDONED,):
+            return
+        accepted = snapshot.add_record(record)
+        if accepted and snapshot.complete and snapshot.status is SnapshotStatus.PENDING:
+            snapshot.status = SnapshotStatus.COMPLETE
+            for callback in self._completion_callbacks:
+                callback(snapshot)
+
+    # ------------------------------------------------------------------
+    # Progress checking, retries, device exclusion
+    # ------------------------------------------------------------------
+    def _check_progress(self, epoch: int) -> None:
+        snapshot = self.snapshots[epoch]
+        if snapshot.status is not SnapshotStatus.PENDING:
+            return
+        if snapshot.retries < self.config.max_retries:
+            snapshot.retries += 1
+            # Re-register the initiation: duplicate initiations are
+            # ignored by data planes that already advanced, and they
+            # recover lost registration/initiation messages.
+            for cp in self.control_planes.values():
+                self.mgmt.send(cp.schedule_initiation, epoch,
+                               self.sim.now + self.config.lead_time_ns)
+            self.sim.schedule(self.config.retry_timeout_ns,
+                              self._check_progress, epoch)
+            return
+        # Out of retries: exclude devices that never reported anything.
+        silent = {u.device for u in snapshot.missing_units}
+        reported = {u.device for u in snapshot.records}
+        for device in silent - reported:
+            snapshot.exclude_device(device)
+        if snapshot.complete:
+            snapshot.status = SnapshotStatus.COMPLETE
+            for callback in self._completion_callbacks:
+                callback(snapshot)
+        else:
+            snapshot.status = SnapshotStatus.PARTIAL
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def snapshot(self, epoch: int) -> GlobalSnapshot:
+        return self.snapshots[epoch]
+
+    def completed_snapshots(self, require_consistent: bool = False) -> List[GlobalSnapshot]:
+        """All COMPLETE snapshots, in epoch order."""
+        result = [s for _e, s in sorted(self.snapshots.items())
+                  if s.status is SnapshotStatus.COMPLETE]
+        if require_consistent:
+            result = [s for s in result if s.consistent]
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        done = sum(1 for s in self.snapshots.values()
+                   if s.status is SnapshotStatus.COMPLETE)
+        return (f"SnapshotObserver(devices={len(self.control_planes)}, "
+                f"snapshots={len(self.snapshots)}, complete={done})")

@@ -1,0 +1,43 @@
+"""Snapshottable data-plane counters.
+
+Speedlight is metric-agnostic: "any value accessible at line rate in the
+data plane can be snapshotted" (§3).  This package provides the metrics
+used by the paper's evaluation:
+
+* :class:`PacketCounter` / :class:`ByteCounter` — per-port counts;
+* :class:`QueueDepthCounter` — instantaneous egress queue depth;
+* :class:`EwmaInterarrival` — the exponentially-weighted moving average
+  of packet interarrival time from §8, implemented register-for-register
+  the way the paper's two-phase Tofino program does it (decay 0.5);
+* :class:`EwmaPacketRate` — the packet-rate EWMA used in Figure 13;
+* :class:`FibVersionCounter` — forwarding-state version tags (§10).
+
+Counters model *stateful registers*: they are updated inline by the
+processing unit for every data packet and read either by the snapshot
+logic (at snapshot time) or by the control plane (the polling baseline).
+"""
+
+from repro.counters.base import Counter, make_counter, register_counter, COUNTER_REGISTRY
+from repro.counters.basic import PacketCounter, ByteCounter
+from repro.counters.queue_depth import QueueDepthCounter
+from repro.counters.ewma import EwmaInterarrival, EwmaPacketRate
+from repro.counters.fib_version import FibVersionCounter
+from repro.counters.advanced import ActiveFlowEstimator, QueueHighWatermark
+from repro.counters.heavy_hitter import CountMinSketch, HeavyHitterCounter
+
+__all__ = [
+    "ActiveFlowEstimator",
+    "QueueHighWatermark",
+    "CountMinSketch",
+    "HeavyHitterCounter",
+    "Counter",
+    "make_counter",
+    "register_counter",
+    "COUNTER_REGISTRY",
+    "PacketCounter",
+    "ByteCounter",
+    "QueueDepthCounter",
+    "EwmaInterarrival",
+    "EwmaPacketRate",
+    "FibVersionCounter",
+]

@@ -1,0 +1,63 @@
+"""Counter framework.
+
+A counter is an object with two data-plane-visible operations:
+
+* ``update(packet, now_ns)`` — executed inline for every data packet that
+  traverses the owning processing unit (the "Update Counter" stage of
+  Figures 4 and 5);
+* ``read()`` — return the current register value.  The snapshot agent
+  calls this at snapshot time; the control plane calls it when polling.
+
+Counters must hold only *local* state: the paper requires switch-wide
+shared state to be re-expressed as per-unit state (§4.2).  The framework
+enforces nothing — it is a convention — but all bundled counters follow
+it.
+
+``COUNTER_REGISTRY`` maps metric names (as used in snapshot requests,
+e.g. ``"packet_count"``) to factories, so deployments can be configured
+with a string.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+from repro.sim.packet import Packet
+
+
+class Counter(abc.ABC):
+    """Base class for data-plane counters."""
+
+    @abc.abstractmethod
+    def update(self, packet: Packet, now_ns: int) -> None:
+        """Process one packet (line-rate register update)."""
+
+    @abc.abstractmethod
+    def read(self) -> int:
+        """Current register value (integer, as hardware registers are)."""
+
+    def reset(self) -> None:
+        """Zero the registers.  Subclasses override as needed."""
+
+
+#: Metric name -> factory.  Factories take no arguments; per-unit context
+#: (e.g. which queue a depth counter watches) is bound by the deployment.
+COUNTER_REGISTRY: Dict[str, Callable[[], Counter]] = {}
+
+
+def register_counter(name: str, factory: Callable[[], Counter]) -> None:
+    """Register a counter factory under a metric name."""
+    if name in COUNTER_REGISTRY:
+        raise ValueError(f"counter {name!r} already registered")
+    COUNTER_REGISTRY[name] = factory
+
+
+def make_counter(name: str) -> Counter:
+    """Instantiate a registered counter by metric name."""
+    try:
+        factory = COUNTER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(COUNTER_REGISTRY))
+        raise KeyError(f"unknown metric {name!r}; known metrics: {known}") from None
+    return factory()

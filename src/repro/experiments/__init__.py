@@ -1,0 +1,33 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes the same shape:
+
+* a ``Config`` dataclass with a ``quick()`` classmethod (reduced sizes
+  for CI/benchmarks) — the default constructor matches the paper's
+  parameters as closely as simulation cost allows;
+* ``run(config) -> Result`` — executes the experiment and returns a
+  structured result;
+* ``Result.report() -> str`` — the rows/series the paper reports,
+  formatted for the terminal.
+
+Run any experiment directly::
+
+    python -m repro.experiments.fig9
+    python -m repro.experiments.table1
+
+Index (see DESIGN.md for the full mapping):
+
+==========  =============================================================
+table1      Tofino resource usage of the three data-plane variants
+fig9        CDF of measurement synchronization: snapshots vs. polling
+fig10       max sustained snapshot rate vs. ports per router
+fig11       average synchronization vs. network size (Monte-Carlo)
+fig12       load-balance stddev CDFs: ECMP vs flowlet x snapshot vs poll
+fig13       pairwise port correlations under GraphX: snapshots vs poll
+ablations   ideal-vs-speedlight data plane; multi- vs single-initiator
+==========  =============================================================
+"""
+
+from repro.experiments import harness
+
+__all__ = ["harness"]

@@ -1,0 +1,111 @@
+"""Shared experiment utilities: text tables, ASCII CDF plots, and
+campaign helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import Cdf
+from repro.core.deployment import SpeedlightDeployment
+from repro.sim.network import Network
+
+
+class TextTable:
+    """Minimal aligned-column text table for experiment reports."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} cells, "
+                             f"got {len(cells)}")
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        sep = "  ".join("-" * w for w in widths)
+        return "\n".join([line(self.columns), sep] +
+                         [line(r) for r in self.rows])
+
+
+def ascii_cdf(curves: Dict[str, Cdf], width: int = 64, height: int = 12,
+              log_x: bool = True, x_label: str = "",
+              x_scale: float = 1.0) -> str:
+    """Render one or more CDFs as an ASCII plot (the paper's figures are
+    CDF plots; this keeps the terminal reports visually comparable).
+
+    ``log_x`` matches the log-scale x-axes of Figures 9/10; each curve
+    gets a distinct glyph; overlapping cells show the later curve.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    glyphs = "*o+x#@"
+    lo = min(cdf.min for cdf in curves.values()) / x_scale
+    hi = max(cdf.max for cdf in curves.values()) / x_scale
+    lo = max(lo, 1e-12)
+    hi = max(hi, lo * 1.0001)
+    if log_x:
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+        def to_col(value: float) -> int:
+            t = (math.log10(max(value, 1e-12)) - lo_t) / (hi_t - lo_t)
+            return min(width - 1, max(0, int(t * (width - 1))))
+    else:
+        def to_col(value: float) -> int:
+            t = (value - lo) / (hi - lo)
+            return min(width - 1, max(0, int(t * (width - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, cdf) in enumerate(sorted(curves.items())):
+        glyph = glyphs[index % len(glyphs)]
+        for row in range(height):
+            fraction = (row + 0.5) / height  # bottom row ~ small fractions
+            value = cdf.percentile(fraction * 100) / x_scale
+            grid[height - 1 - row][to_col(value)] = glyph
+    lines = ["1.0 |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("    +" + "-" * width)
+    left = f"{lo:.3g}"
+    right = f"{hi:.3g} {x_label}".rstrip()
+    lines.append("     " + left + " " * max(1, width - len(left) - len(right))
+                 + right)
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]} {label}"
+                       for i, label in enumerate(sorted(curves)))
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def drain_campaign(network: Network, deployment: SpeedlightDeployment,
+                   epochs: Sequence[int], settle_ns: int) -> None:
+    """Run the simulation until the campaign's last snapshot plus a
+    settling period (retries, shipping, observer assembly)."""
+    if not epochs:
+        return
+    last = max(deployment.observer.snapshot(e).requested_wall_ns
+               for e in epochs)
+    network.run(until=last + settle_ns)
+
+
+def header(title: str, subtitle: str = "") -> str:
+    bar = "=" * max(len(title), len(subtitle), 40)
+    lines = [bar, title]
+    if subtitle:
+        lines.append(subtitle)
+    lines.append(bar)
+    return "\n".join(lines)

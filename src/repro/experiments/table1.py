@@ -1,0 +1,92 @@
+"""Table 1: resource usage of the Speedlight data plane on the Tofino.
+
+Regenerates the paper's table (three variants at 64 ports) from the
+analytical resource model, plus the 14-port wraparound+channel-state
+configuration quoted in §7.1 (638 KB SRAM / 90 KB TCAM) and the "less
+than 25% of any dedicated resource" utilization claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.experiments.harness import TextTable, header
+from repro.resources import TOFINO_1, ResourceReport, Variant, estimate
+
+#: The published Table 1 numbers (64-port configuration), used by the
+#: report to show paper-vs-model side by side and by the test suite to
+#: pin the model.
+PAPER_TABLE1: Dict[Variant, Dict[str, float]] = {
+    Variant.PACKET_COUNT: dict(stateless_alus=17, stateful_alus=9,
+                               table_ids=27, gateways=15, stages=10,
+                               sram_kb=606, tcam_kb=42),
+    Variant.WRAP_AROUND: dict(stateless_alus=19, stateful_alus=9,
+                              table_ids=35, gateways=19, stages=10,
+                              sram_kb=671, tcam_kb=59),
+    Variant.CHANNEL_STATE: dict(stateless_alus=24, stateful_alus=11,
+                                table_ids=37, gateways=19, stages=12,
+                                sram_kb=770, tcam_kb=244),
+}
+
+#: §7.1's quoted 14-port configuration.
+PAPER_14PORT = dict(sram_kb=638, tcam_kb=90)
+
+
+@dataclass
+class Table1Config:
+    ports: int = 64
+
+    @classmethod
+    def quick(cls) -> "Table1Config":
+        return cls()
+
+
+@dataclass
+class Table1Result:
+    reports: Dict[Variant, ResourceReport]
+    report_14port: ResourceReport
+
+    def report(self) -> str:
+        rows = [
+            ("Stateless ALUs", "stateless_alus"),
+            ("Stateful ALUs", "stateful_alus"),
+            ("Logical Table IDs", "table_ids"),
+            ("Conditional Table Gateways", "gateways"),
+            ("Physical Stages", "stages"),
+            ("SRAM (KB)", "sram_kb"),
+            ("TCAM (KB)", "tcam_kb"),
+        ]
+        table = TextTable(["Resource"] + [v.label for v in Variant] +
+                          ["(paper)"])
+        for label, attr in rows:
+            cells = [label]
+            for variant in Variant:
+                cells.append(getattr(self.reports[variant], attr))
+            cells.append("/".join(str(PAPER_TABLE1[v][attr]) for v in Variant))
+            table.add(*cells)
+        lines = [header("Table 1 — Speedlight data plane resource usage",
+                        f"{next(iter(self.reports.values())).ports}-port "
+                        "snapshots, per-port packet counters"),
+                 table.render(), ""]
+        lines.append(
+            f"14-port wrap+chnl configuration: "
+            f"{self.report_14port.sram_kb:.0f} KB SRAM / "
+            f"{self.report_14port.tcam_kb:.0f} KB TCAM "
+            f"(paper: {PAPER_14PORT['sram_kb']} / {PAPER_14PORT['tcam_kb']})")
+        worst = max(self.reports[Variant.CHANNEL_STATE]
+                    .utilization(TOFINO_1).values())
+        lines.append(
+            f"Max utilization of any dedicated resource (chnl-state build): "
+            f"{worst:.1%} (paper claims < 25%)")
+        return "\n".join(lines)
+
+
+def run(config: Table1Config = Table1Config()) -> Table1Result:
+    reports = {v: estimate(v, config.ports) for v in Variant}
+    return Table1Result(reports=reports,
+                        report_14port=estimate(Variant.CHANNEL_STATE, 14))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run().report())

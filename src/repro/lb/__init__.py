@@ -1,0 +1,13 @@
+"""Load-balancing algorithms implemented in the switch data plane.
+
+The paper's running question — *is my load balancing protocol balancing
+the load?* — is evaluated in §8.3 by comparing flow-level ECMP [RFC2992]
+against flowlet switching [Kandula et al. 2007] under three workloads.
+Both algorithms live here and plug into
+:class:`repro.sim.switch.Switch` via the ``LoadBalancer`` protocol.
+"""
+
+from repro.lb.ecmp import EcmpBalancer, flow_hash
+from repro.lb.flowlet import FlowletBalancer, FlowletConfig
+
+__all__ = ["EcmpBalancer", "flow_hash", "FlowletBalancer", "FlowletConfig"]

@@ -1,0 +1,39 @@
+"""Tofino resource model for the Speedlight data plane (Table 1).
+
+The original Table 1 is a compiler report; this package reproduces it
+with an analytical model of the P4 program's resource consumption,
+calibrated against every number the paper publishes (three variants at
+64 ports, plus the 14-port wraparound+channel-state configuration).
+"""
+
+from repro.resources.model import (
+    Variant,
+    ResourceReport,
+    TofinoCapacity,
+    estimate,
+    TOFINO_1,
+)
+from repro.resources.pipeline import (
+    PIPELINE,
+    REGISTERS,
+    PipelineTable,
+    RegisterArray,
+    register_bytes,
+    tables_for,
+    totals_for,
+)
+
+__all__ = [
+    "Variant",
+    "ResourceReport",
+    "TofinoCapacity",
+    "estimate",
+    "TOFINO_1",
+    "PIPELINE",
+    "REGISTERS",
+    "PipelineTable",
+    "RegisterArray",
+    "register_bytes",
+    "tables_for",
+    "totals_for",
+]

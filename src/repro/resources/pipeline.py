@@ -1,0 +1,159 @@
+"""Structural inventory of the Speedlight P4 pipeline.
+
+:mod:`repro.resources.model` reports the Table 1 totals; this module
+records *where they come from*: the match-action tables each variant
+compiles, with per-table resource annotations, laid out over physical
+stages exactly as the logical pipelines of Figures 4 and 5 require
+("the prototype utilizes 10 to 12 physical processing stages ... to
+satisfy sequential dependencies in its control flow", §7.1).
+
+The inventory is the source of truth for the *computational and
+control-flow* rows of Table 1: summing the annotations reproduces the
+published ALU/table/gateway/stage counts for every variant (pinned by
+tests).  Memory sizing lives in :mod:`.model` (calibrated totals) with
+:func:`register_arrays` here providing the raw register inventory that
+explains the per-port growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.resources.model import Variant
+
+#: Order of strictly-increasing capability, for inclusion filtering.
+_VARIANT_LEVEL = {
+    Variant.PACKET_COUNT: 0,
+    Variant.WRAP_AROUND: 1,
+    Variant.CHANNEL_STATE: 2,
+}
+
+
+@dataclass(frozen=True)
+class PipelineTable:
+    """One logical match-action table of the Speedlight program."""
+
+    name: str
+    plane: str           # "ingress" or "egress"
+    stage: int           # physical stage the compiler placed it in
+    table_ids: int       # logical table IDs consumed
+    gateways: int        # conditional table gateways
+    stateless_alus: int  # VLIW action-slot operations
+    stateful_alus: int   # register-array operations
+    #: Minimum variant that compiles this table in.
+    min_variant: Variant = Variant.PACKET_COUNT
+
+    def included_in(self, variant: Variant) -> bool:
+        return _VARIANT_LEVEL[variant] >= _VARIANT_LEVEL[self.min_variant]
+
+
+#: The full program: Figures 4 (ingress) and 5 (egress) as compiled
+#: tables.  The base build is the Packet Count variant; wraparound adds
+#: rollover-detection logic in the comparison stages; channel state adds
+#: two more stages for the Last Seen array and in-flight crediting.
+PIPELINE: List[PipelineTable] = [
+    # ----- ingress (Figure 4) -----
+    PipelineTable("parse_snapshot_header", "ingress", 0, 2, 1, 2, 0),
+    PipelineTable("update_counter", "ingress", 1, 1, 0, 1, 1),
+    PipelineTable("read_snapshot_id", "ingress", 1, 1, 0, 0, 1),
+    PipelineTable("compare_packet_local_id", "ingress", 2, 3, 3, 2, 0),
+    PipelineTable("rollover_detect", "ingress", 2, 2, 2, 1, 0,
+                  Variant.WRAP_AROUND),
+    PipelineTable("rollover_window", "ingress", 2, 2, 0, 0, 0,
+                  Variant.WRAP_AROUND),
+    PipelineTable("capture_snapshot_value", "ingress", 3, 2, 1, 1, 1),
+    PipelineTable("update_snapshot_id", "ingress", 3, 1, 1, 1, 1),
+    PipelineTable("clone_notify_cpu", "ingress", 4, 2, 1, 1, 1),
+    PipelineTable("forward_initiation", "ingress", 4, 2, 1, 1, 0),
+    # ----- egress (Figure 5) -----
+    PipelineTable("check_header_present", "egress", 5, 2, 1, 1, 0),
+    PipelineTable("update_counter", "egress", 6, 1, 0, 1, 1),
+    PipelineTable("read_snapshot_id", "egress", 6, 1, 0, 0, 1),
+    PipelineTable("compare_packet_local_id", "egress", 7, 3, 3, 2, 0),
+    PipelineTable("rollover_detect", "egress", 7, 2, 2, 1, 0,
+                  Variant.WRAP_AROUND),
+    PipelineTable("rollover_window", "egress", 7, 2, 0, 0, 0,
+                  Variant.WRAP_AROUND),
+    PipelineTable("capture_snapshot_value", "egress", 8, 2, 1, 1, 1),
+    PipelineTable("update_snapshot_id", "egress", 8, 1, 1, 1, 1),
+    PipelineTable("remove_header_to_host", "egress", 9, 2, 1, 1, 0),
+    PipelineTable("notify_cpu", "egress", 9, 1, 0, 1, 0),
+    # ----- channel-state extension (two extra physical stages) -----
+    PipelineTable("update_last_seen", "egress", 10, 1, 0, 2, 1,
+                  Variant.CHANNEL_STATE),
+    PipelineTable("credit_channel_state", "egress", 11, 1, 0, 3, 1,
+                  Variant.CHANNEL_STATE),
+]
+
+
+def tables_for(variant: Variant) -> List[PipelineTable]:
+    """The tables the given variant compiles, in stage order."""
+    return sorted((t for t in PIPELINE if t.included_in(variant)),
+                  key=lambda t: (t.stage, t.plane, t.name))
+
+
+def totals_for(variant: Variant) -> Dict[str, int]:
+    """Aggregate computational/control-flow totals for a variant.
+
+    These are exactly the top five rows of Table 1; tests pin them to
+    the published numbers, so the inventory cannot silently drift from
+    the report.
+    """
+    tables = tables_for(variant)
+    return {
+        "table_ids": sum(t.table_ids for t in tables),
+        "gateways": sum(t.gateways for t in tables),
+        "stateless_alus": sum(t.stateless_alus for t in tables),
+        "stateful_alus": sum(t.stateful_alus for t in tables),
+        "stages": len({t.stage for t in tables}),
+    }
+
+
+@dataclass(frozen=True)
+class RegisterArray:
+    """One stateful register array and its sizing rule."""
+
+    name: str
+    entry_bytes: int
+    #: Entries as a function of (ports, slots): "per_unit" arrays hold
+    #: one entry per processing unit (2x ports); "per_slot" hold one per
+    #: unit per snapshot slot; "per_neighbor" one per egress unit per
+    #: upstream neighbor (ports^2 scaling).
+    scaling: str
+    min_variant: Variant = Variant.PACKET_COUNT
+
+    def included_in(self, variant: Variant) -> bool:
+        return _VARIANT_LEVEL[variant] >= _VARIANT_LEVEL[self.min_variant]
+
+    def entries(self, ports: int, slots: int) -> int:
+        units = 2 * ports
+        if self.scaling == "per_unit":
+            return units
+        if self.scaling == "per_slot":
+            return units * slots
+        if self.scaling == "per_neighbor":
+            return ports * (ports + 1)  # egress units x (ingress ports + CPU)
+        raise ValueError(f"unknown scaling {self.scaling!r}")
+
+    def bytes_for(self, ports: int, slots: int) -> int:
+        return self.entry_bytes * self.entries(ports, slots)
+
+
+REGISTERS: List[RegisterArray] = [
+    RegisterArray("target_counter", 8, "per_unit"),
+    RegisterArray("snapshot_id", 2, "per_unit"),
+    RegisterArray("snapshot_value", 4, "per_slot"),
+    RegisterArray("capture_timestamp", 4, "per_unit"),
+    RegisterArray("snapshot_channel_state", 4, "per_slot",
+                  Variant.CHANNEL_STATE),
+    RegisterArray("last_seen", 2, "per_neighbor", Variant.CHANNEL_STATE),
+]
+
+
+def register_bytes(variant: Variant, ports: int, slots: int = 256) -> int:
+    """Total stateful-register footprint in bytes (the dominant per-port
+    SRAM term; match-action entries add the fixed remainder accounted in
+    the calibrated model)."""
+    return sum(array.bytes_for(ports, slots) for array in REGISTERS
+               if array.included_in(variant))

@@ -1,0 +1,175 @@
+"""Communication channels: physical links and loss models.
+
+The snapshot algorithm's system model (paper §4.1) is a graph of
+processing units connected by unidirectional FIFO channels.  Two channel
+flavours exist in the simulator:
+
+* **Physical links** (:class:`Link`) connect an egress unit of one device
+  to an ingress unit of another.  They are full duplex (modelled as two
+  independent unidirectional directions), have a fixed propagation delay
+  and an optional loss model.  Because the delay is constant and senders
+  serialise departures, each direction is FIFO.
+* **Fabric channels** (inside :mod:`repro.sim.switch`) connect every
+  ingress unit to every egress unit of the same device with a constant
+  pipeline latency — also FIFO per (ingress, egress, CoS) triple.
+
+Packet loss is the one non-ideality the protocol must tolerate (§6
+"Ensuring liveness"); :class:`BernoulliLoss` provides seeded random drops
+and :class:`ScriptedLoss` lets tests drop specific packets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Protocol, Set, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+
+
+class LossModel:
+    """Decides whether a given transmission is dropped."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset any internal state (optional)."""
+
+
+class NoLoss(LossModel):
+    """A lossless channel (the default)."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-packet drops with fixed probability."""
+
+    def __init__(self, probability: float, rng: random.Random) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        self.probability = probability
+        self.rng = rng
+        self.dropped = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        if self.rng.random() < self.probability:
+            self.dropped += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.dropped = 0
+
+
+class ScriptedLoss(LossModel):
+    """Drop exactly the packets whose uid is in ``drop_uids``.
+
+    Used by tests to inject deterministic losses (e.g. "drop the snapshot
+    initiation message and verify the control plane re-initiates").
+    """
+
+    def __init__(self, drop_uids: Optional[Set[int]] = None,
+                 predicate: Optional[Callable[[Packet], bool]] = None) -> None:
+        self.drop_uids = drop_uids or set()
+        self.predicate = predicate
+        self.dropped: List[Packet] = []
+
+    def should_drop(self, packet: Packet) -> bool:
+        drop = packet.uid in self.drop_uids or (
+            self.predicate is not None and self.predicate(packet)
+        )
+        if drop:
+            self.dropped.append(packet)
+        return drop
+
+    def reset(self) -> None:
+        self.dropped = []
+
+
+class LinkEndpoint(Protocol):
+    """Anything that can sit at the end of a link (switch port or host)."""
+
+    def receive_from_link(self, packet: Packet, link: "Link") -> None:
+        ...  # pragma: no cover - protocol definition
+
+    @property
+    def endpoint_name(self) -> str:
+        ...  # pragma: no cover - protocol definition
+
+
+class Link:
+    """A full-duplex point-to-point link.
+
+    Endpoints are attached with :meth:`attach`; :meth:`transmit` delivers a
+    packet from one endpoint to the other after the propagation delay.
+    Serialisation delay is the sender's responsibility (the egress queue
+    model in :mod:`repro.sim.switch` / :mod:`repro.sim.host`), which keeps
+    each direction strictly FIFO.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: int = 25_000_000_000,
+                 propagation_ns: int = 500,
+                 loss: Optional[LossModel] = None,
+                 name: str = "") -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_ns < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_ns = propagation_ns
+        self.loss = loss or NoLoss()
+        self.name = name
+        self._endpoints: List[Optional[LinkEndpoint]] = [None, None]
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+
+    def attach(self, endpoint: LinkEndpoint) -> int:
+        """Attach an endpoint; returns its side index (0 or 1)."""
+        for side in (0, 1):
+            if self._endpoints[side] is None:
+                self._endpoints[side] = endpoint
+                return side
+        raise RuntimeError(f"link {self.name!r} already has two endpoints")
+
+    def peer_of(self, endpoint: LinkEndpoint) -> LinkEndpoint:
+        """The endpoint at the other side of the link."""
+        a, b = self._endpoints
+        if endpoint is a:
+            if b is None:
+                raise RuntimeError(f"link {self.name!r} has no second endpoint")
+            return b
+        if endpoint is b:
+            if a is None:
+                raise RuntimeError(f"link {self.name!r} has no first endpoint")
+            return a
+        raise ValueError(f"{endpoint!r} is not attached to link {self.name!r}")
+
+    def serialization_ns(self, size_bytes: int) -> int:
+        """Time to clock ``size_bytes`` onto the wire at link rate."""
+        return (size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
+
+    def transmit(self, sender: LinkEndpoint, packet: Packet) -> bool:
+        """Send ``packet`` from ``sender`` to the peer endpoint.
+
+        Returns False if the loss model dropped the packet.  Delivery is
+        scheduled ``propagation_ns`` in the future; the caller has already
+        accounted for serialisation time.
+        """
+        receiver = self.peer_of(sender)
+        if self.loss.should_drop(packet):
+            self.packets_dropped += 1
+            return False
+        self.sim.schedule(self.propagation_ns, self._deliver, receiver, packet)
+        return True
+
+    def _deliver(self, receiver: LinkEndpoint, packet: Packet) -> None:
+        self.packets_delivered += 1
+        receiver.receive_from_link(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = [e.endpoint_name if e else "?" for e in self._endpoints]
+        return f"Link({names[0]} <-> {names[1]}, {self.bandwidth_bps // 10**9}Gbps)"

@@ -1,0 +1,166 @@
+"""Per-device clocks with drift and PTP-style synchronisation.
+
+Speedlight's synchronized initiation rests on the control planes of all
+devices sharing an approximately common notion of time (the paper uses
+``ptp4l``/``phc2sys``).  We model:
+
+* **Frequency drift.**  Each clock runs at ``1 + drift_ppb * 1e-9`` times
+  true (simulator) time; drift is drawn once per clock from a configurable
+  range typical of crystal oscillators (tens of ppm at the extreme, a few
+  ppm when disciplined).
+* **Offset.**  The difference between local and true time at the moment of
+  the last synchronisation.
+* **PTP resync.**  A :class:`PTPService` periodically snaps every clock's
+  offset to a fresh residual error sampled from a configurable
+  distribution.  Good datacenter PTP leaves single-digit microsecond
+  residuals; NTP leaves ~1 ms (the paper's §2.1 contrast).
+
+The conversion methods are exact inverses of each other so that a device
+scheduling an action "at local time L" lands at a well-defined true time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator, US, MS, S
+
+
+class Clock:
+    """A local clock with frequency drift and settable offset.
+
+    ``local = true + offset + drift_ppb * (true - sync_point) / 1e9``
+
+    where ``sync_point`` is the true time of the last resynchronisation.
+    """
+
+    def __init__(self, drift_ppb: int = 0, offset_ns: int = 0) -> None:
+        self.drift_ppb = int(drift_ppb)
+        self.offset_ns = int(offset_ns)
+        self.sync_point_ns = 0
+
+    def local_time(self, true_ns: int) -> int:
+        """Convert true (simulator) time to this clock's local time."""
+        elapsed = true_ns - self.sync_point_ns
+        return true_ns + self.offset_ns + (self.drift_ppb * elapsed) // 1_000_000_000
+
+    def true_time(self, local_ns: int) -> int:
+        """Convert a local timestamp back to true time (inverse of
+        :meth:`local_time`, up to integer rounding)."""
+        # local = true + offset + drift*(true - sp)/1e9
+        #       = true*(1 + drift/1e9) + offset - drift*sp/1e9
+        numer = (local_ns - self.offset_ns) * 1_000_000_000 + self.drift_ppb * self.sync_point_ns
+        denom = 1_000_000_000 + self.drift_ppb
+        return numer // denom
+
+    def resync(self, true_ns: int, residual_error_ns: int) -> None:
+        """Discipline the clock at ``true_ns``, leaving ``residual_error_ns``
+        of offset (positive means the local clock reads ahead of true time).
+        """
+        self.sync_point_ns = true_ns
+        self.offset_ns = int(residual_error_ns)
+
+    def error_at(self, true_ns: int) -> int:
+        """Current deviation of local time from true time, in ns."""
+        return self.local_time(true_ns) - true_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(drift={self.drift_ppb}ppb, offset={self.offset_ns}ns)"
+
+
+@dataclass
+class PTPConfig:
+    """Parameters of the PTP synchronisation model.
+
+    Defaults are shaped to reproduce the paper's testbed numbers: residual
+    offsets of a few microseconds with occasional heavier-tailed samples
+    ("randomness in PTP, queuing, and scheduling", §8.1).
+    """
+
+    #: Interval between synchronisation rounds.
+    sync_interval_ns: int = 1 * S
+    #: Standard deviation of the Gaussian residual offset after a sync.
+    residual_sigma_ns: int = 1_500
+    #: Hard clamp on the residual magnitude (PTP servo never lets the
+    #: offset run away on a healthy network).
+    residual_max_ns: int = 8_000
+    #: Probability that a sync round produces a heavy-tail residual
+    #: (uniform in [residual_sigma, residual_max]) — models occasional
+    #: delayed sync messages.
+    tail_probability: float = 0.05
+    #: Range of per-clock frequency drift assigned at attach time.
+    drift_ppb_min: int = -40_000
+    drift_ppb_max: int = 40_000
+
+
+class PTPService:
+    """Periodically disciplines a set of clocks.
+
+    Each clock attached to the service gets a drift drawn from the config
+    range and is resynchronised every ``sync_interval_ns`` with a fresh
+    residual offset.  ``start()`` performs an initial sync at the current
+    simulation time so clocks are disciplined from the outset.
+    """
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 config: Optional[PTPConfig] = None) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.config = config or PTPConfig()
+        self.clocks: Dict[str, Clock] = {}
+        self._started = False
+
+    def attach(self, name: str, clock: Optional[Clock] = None) -> Clock:
+        """Register a clock under ``name``; creates one if not given."""
+        if name in self.clocks:
+            raise ValueError(f"clock {name!r} already attached")
+        if clock is None:
+            drift = self.rng.randint(self.config.drift_ppb_min,
+                                     self.config.drift_ppb_max)
+            clock = Clock(drift_ppb=drift)
+        self.clocks[name] = clock
+        if self._started:
+            self._discipline(clock)
+        return clock
+
+    def start(self) -> None:
+        """Perform the initial sync and schedule periodic resyncs."""
+        if self._started:
+            return
+        self._started = True
+        self._sync_round()
+
+    def sample_residual(self) -> int:
+        """Draw one residual offset error (signed, ns)."""
+        cfg = self.config
+        if self.rng.random() < cfg.tail_probability:
+            magnitude = self.rng.uniform(cfg.residual_sigma_ns, cfg.residual_max_ns)
+        else:
+            magnitude = abs(self.rng.gauss(0.0, cfg.residual_sigma_ns))
+            magnitude = min(magnitude, cfg.residual_max_ns)
+        sign = 1 if self.rng.random() < 0.5 else -1
+        return sign * int(magnitude)
+
+    def _discipline(self, clock: Clock) -> None:
+        clock.resync(self.sim.now, self.sample_residual())
+
+    def _sync_round(self) -> None:
+        for clock in self.clocks.values():
+            self._discipline(clock)
+        self.sim.schedule(self.config.sync_interval_ns, self._sync_round)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the experiments
+    # ------------------------------------------------------------------
+    def pairwise_spread_ns(self) -> int:
+        """Max minus min local-clock reading across all clocks, right now.
+
+        This is the instantaneous "synchronisation" of the control planes
+        and lower-bounds the snapshot synchronisation achievable.
+        """
+        if not self.clocks:
+            return 0
+        readings: List[int] = [c.local_time(self.sim.now) for c in self.clocks.values()]
+        return max(readings) - min(readings)

@@ -1,0 +1,164 @@
+"""End hosts: traffic sources and sinks.
+
+Hosts are deliberately simple — the paper's workloads exercise the
+*network*, and Speedlight explicitly requires no host cooperation (§5.1).
+A host can:
+
+* send packets or whole flows (open-loop, paced at its NIC rate),
+* receive packets and keep per-flow accounting that workloads and tests
+  inspect,
+* host the snapshot observer / polling observer processes (those live in
+  :mod:`repro.core.observer` and :mod:`repro.polling` and merely use the
+  host's name as their vantage point).
+
+Hosts never see snapshot headers: the last snapshot-enabled egress unit
+pops the header before the packet reaches the host link.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.channel import Link
+from repro.sim.packet import FlowKey, Packet
+from repro.sim.switch import _EgressQueue
+
+
+@dataclass
+class FlowRecord:
+    """Receiver-side accounting for one flow."""
+
+    flow: FlowKey
+    packets: int = 0
+    bytes: int = 0
+    first_arrival_ns: Optional[int] = None
+    last_arrival_ns: Optional[int] = None
+
+    def note(self, packet: Packet, now_ns: int) -> None:
+        self.packets += 1
+        self.bytes += packet.size_bytes
+        if self.first_arrival_ns is None:
+            self.first_arrival_ns = now_ns
+        self.last_arrival_ns = now_ns
+
+
+class Host:
+    """A server attached to the network by a single link."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.link: Optional[Link] = None
+        self._nic = _EgressQueue(sim, transmit=self._transmit,
+                                 ser_fn=self._serialization_ns)
+        self.received: Dict[FlowKey, FlowRecord] = {}
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.packets_sent = 0
+        #: Optional callback invoked on every received packet (used by
+        #: request/response workloads such as the memcache generator).
+        self.on_receive: Optional[Callable[[Packet], None]] = None
+        #: Destination-port listeners (transport endpoints); a packet
+        #: whose dport has a listener is delivered to it after the
+        #: generic accounting/callback.
+        self._listeners: Dict[int, Callable[[Packet], None]] = {}
+
+    # -- LinkEndpoint protocol -----------------------------------------
+    @property
+    def endpoint_name(self) -> str:
+        return self.name
+
+    def connect(self, link: Link) -> None:
+        if self.link is not None:
+            raise RuntimeError(f"host {self.name} already connected")
+        self.link = link
+        link.attach(self)
+
+    def receive_from_link(self, packet: Packet, link: Link) -> None:
+        if packet.snapshot is not None:
+            # Defensive: headers must be stripped before host delivery.
+            packet.pop_snapshot_header()
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes
+        record = self.received.get(packet.flow)
+        if record is None:
+            record = self.received[packet.flow] = FlowRecord(packet.flow)
+        record.note(packet, self.sim.now)
+        if self.on_receive is not None:
+            self.on_receive(packet)
+        listener = self._listeners.get(packet.flow.dport)
+        if listener is not None:
+            listener(packet)
+
+    # ------------------------------------------------------------------
+    # Transport support
+    # ------------------------------------------------------------------
+    def listen(self, dport: int, handler: Callable[[Packet], None]) -> None:
+        """Register a handler for packets addressed to ``dport``."""
+        if dport in self._listeners:
+            raise ValueError(f"{self.name} already listens on {dport}")
+        self._listeners[dport] = handler
+
+    def unlisten(self, dport: int) -> None:
+        self._listeners.pop(dport, None)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_packet(self, packet: Packet) -> None:
+        """Queue one packet on the NIC (serialised at link rate)."""
+        if self.link is None:
+            raise RuntimeError(f"host {self.name} is not connected")
+        self.packets_sent += 1
+        packet.created_ns = self.sim.now
+        self._nic.push(packet)
+
+    def _serialization_ns(self, packet: Packet) -> int:
+        assert self.link is not None
+        return max(1, self.link.serialization_ns(packet.size_bytes))
+
+    def _transmit(self, packet: Packet) -> None:
+        assert self.link is not None
+        self.link.transmit(self, packet)
+
+    def send_flow(self, dst: str, num_packets: int, *, sport: int, dport: int,
+                  size_bytes: int = 1500, gap_ns: int = 0,
+                  start_delay_ns: int = 0, proto: int = 6) -> FlowKey:
+        """Send ``num_packets`` packets of a flow, ``gap_ns`` apart.
+
+        With ``gap_ns=0`` the NIC paces the flow at line rate.  Returns
+        the flow key so callers can look up receiver-side records.
+        """
+        flow = FlowKey(self.name, dst, sport, dport, proto)
+
+        def emit(seq: int) -> None:
+            self.send_packet(Packet(flow=flow, size_bytes=size_bytes, seq=seq))
+            if seq + 1 < num_packets:
+                self.sim.schedule(max(gap_ns, 1), emit, seq + 1)
+
+        if num_packets > 0:
+            self.sim.schedule(start_delay_ns, emit, 0)
+        return flow
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nic_queue_depth(self) -> int:
+        return self._nic.depth_packets
+
+    def flow_throughput_bps(self, flow: FlowKey) -> float:
+        """Average receive throughput of a flow over its lifetime."""
+        record = self.received.get(flow)
+        if record is None or record.first_arrival_ns is None:
+            return 0.0
+        duration = record.last_arrival_ns - record.first_arrival_ns
+        if duration <= 0:
+            return 0.0
+        return record.bytes * 8 * 1e9 / duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name})"

@@ -1,0 +1,60 @@
+"""Management-plane messaging.
+
+The snapshot observer talks to device control planes over the management
+network (out-of-band in the paper's testbed: the observer "broadcasts a
+request to every device in the network", §3).  This channel is *not* the
+data plane: it has millisecond-free but non-zero latency and jitter, and
+its delays do not affect snapshot consistency — only how far in advance
+the observer must schedule a snapshot.
+
+The same channel carries the baseline polling framework's per-port read
+requests, whose ~1 ms per-counter round trip (§2.1, [41]) is the reason
+polling synchronises so poorly in Figure 9.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator, US
+
+
+class ManagementPlane:
+    """Delivers messages between management endpoints with jittered latency."""
+
+    def __init__(self, sim: Simulator, rng: random.Random,
+                 base_latency_ns: int = 50 * US,
+                 jitter_ns: int = 20 * US) -> None:
+        if base_latency_ns < 0 or jitter_ns < 0:
+            raise ValueError("latencies must be non-negative")
+        self.sim = sim
+        self.rng = rng
+        self.base_latency_ns = base_latency_ns
+        self.jitter_ns = jitter_ns
+        self.messages_sent = 0
+
+    def one_way_latency_ns(self) -> int:
+        """Sample a one-way delivery latency."""
+        jitter = self.rng.uniform(0, self.jitter_ns) if self.jitter_ns else 0
+        return self.base_latency_ns + int(jitter)
+
+    def send(self, deliver: Callable[..., Any], *args: Any) -> None:
+        """Deliver ``deliver(*args)`` after one sampled one-way latency."""
+        self.messages_sent += 1
+        self.sim.schedule(self.one_way_latency_ns(), deliver, *args)
+
+    def request(self, handler: Callable[..., Any], reply: Callable[..., Any],
+                *args: Any) -> None:
+        """A request/response exchange.
+
+        ``handler(*args)`` runs at the remote side after one one-way
+        latency; its return value is delivered to ``reply`` after another
+        one-way latency.  This is the primitive behind counter polling.
+        """
+        def _at_remote() -> None:
+            result = handler(*args)
+            self.sim.schedule(self.one_way_latency_ns(), reply, result)
+
+        self.messages_sent += 1
+        self.sim.schedule(self.one_way_latency_ns(), _at_remote)

@@ -1,0 +1,136 @@
+"""In-simulation monitoring utilities.
+
+These are *observer-side debugging tools for the simulation itself* —
+omniscient, zero-cost probes used by tests and examples to establish
+ground truth (e.g. "what was the queue really doing while polling
+claimed X?").  They are deliberately outside the measurement system
+under study: Speedlight and the polling baseline only ever see what a
+real deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator, US
+
+
+@dataclass
+class Sample:
+    time_ns: int
+    value: float
+
+
+class PeriodicSampler:
+    """Samples a callable at a fixed period into an in-memory series."""
+
+    def __init__(self, sim: Simulator, fn: Callable[[], float],
+                 period_ns: int = 10 * US, name: str = "") -> None:
+        if period_ns <= 0:
+            raise ValueError("period must be positive")
+        self.sim = sim
+        self.fn = fn
+        self.period_ns = period_ns
+        self.name = name
+        self.samples: List[Sample] = []
+        self._running = False
+
+    def start(self, stop_ns: Optional[int] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._stop_ns = stop_ns
+        self.sim.schedule(self.period_ns, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self._stop_ns is not None and self.sim.now > self._stop_ns:
+            self._running = False
+            return
+        self.samples.append(Sample(self.sim.now, float(self.fn())))
+        self.sim.schedule(self.period_ns, self._tick)
+
+    # ------------------------------------------------------------------
+    # Series queries
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> List[float]:
+        return [s.value for s in self.samples]
+
+    def max(self) -> float:
+        if not self.samples:
+            raise ValueError(f"sampler {self.name!r} has no samples")
+        return max(self.values)
+
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"sampler {self.name!r} has no samples")
+        return sum(self.values) / len(self.samples)
+
+    def value_at(self, time_ns: int) -> float:
+        """Last sample at or before ``time_ns`` (step interpolation)."""
+        best: Optional[Sample] = None
+        for sample in self.samples:
+            if sample.time_ns <= time_ns:
+                best = sample
+            else:
+                break
+        if best is None:
+            raise ValueError(f"no sample at or before t={time_ns}")
+        return best.value
+
+
+class LinkLoadMonitor:
+    """Ground-truth utilisation of an egress link over fixed windows.
+
+    Wraps the egress queue's byte counter; per window, records
+    bits-sent / capacity — the true load that EWMA registers and
+    counters approximate.
+    """
+
+    def __init__(self, sim: Simulator, egress_unit, bandwidth_bps: int,
+                 window_ns: int = 100 * US) -> None:
+        self.sim = sim
+        self.egress = egress_unit
+        self.bandwidth_bps = bandwidth_bps
+        self.window_ns = window_ns
+        self.utilization: List[Tuple[int, float]] = []
+        self._last_bytes = 0
+        self._running = False
+
+    def start(self, stop_ns: Optional[int] = None) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._stop_ns = stop_ns
+        self._last_bytes = self.egress.queue.bytes_sent
+        self.sim.schedule(self.window_ns, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self._stop_ns is not None and self.sim.now > self._stop_ns:
+            self._running = False
+            return
+        sent = self.egress.queue.bytes_sent
+        bits = (sent - self._last_bytes) * 8
+        self._last_bytes = sent
+        capacity_bits = self.bandwidth_bps * self.window_ns / 1e9
+        self.utilization.append((self.sim.now,
+                                 bits / capacity_bits if capacity_bits else 0.0))
+        self.sim.schedule(self.window_ns, self._tick)
+
+    def peak(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return max(u for _t, u in self.utilization)
+
+    def mean(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return sum(u for _t, u in self.utilization) / len(self.utilization)

@@ -1,0 +1,227 @@
+"""Network assembly: topology → running simulation objects.
+
+:class:`Network` instantiates a :class:`~repro.topology.Topology` into
+switches, hosts and links on a shared :class:`~repro.sim.engine.Simulator`;
+computes ECMP routes; and owns the shared services (root RNG, PTP clock
+sync, management plane).
+
+Port numbering: each device's neighbors are assigned consecutive port
+indices in sorted neighbor-name order, so port maps are deterministic and
+tests can reference "the uplink ports" by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.engine import Simulator, US, MS, S
+from repro.sim.clock import Clock, PTPConfig, PTPService
+from repro.sim.channel import Link, LossModel
+from repro.sim.host import Host
+from repro.sim.mgmt import ManagementPlane
+from repro.sim.switch import Port, Switch, SwitchConfig, TraceEvent
+from repro.topology.graph import NodeKind, Topology
+
+
+@dataclass
+class NetworkConfig:
+    """Knobs for network instantiation."""
+
+    seed: int = 0
+    switch_config: SwitchConfig = field(default_factory=SwitchConfig)
+    ptp_config: PTPConfig = field(default_factory=PTPConfig)
+    mgmt_base_latency_ns: int = 50 * US
+    mgmt_jitter_ns: int = 20 * US
+    #: Optional factory producing a loss model per link, e.g. for fault
+    #: injection tests: ``lambda spec, rng: BernoulliLoss(0.001, rng)``.
+    loss_factory: Optional[Callable[..., LossModel]] = None
+    #: Factory producing each switch's load balancer, called with the
+    #: switch index (used as the hash salt).  Defaults to flow-level ECMP.
+    lb_factory: Optional[Callable[[int], object]] = None
+    #: Record packet traces through snapshot units (consistency checks).
+    enable_tracing: bool = False
+
+
+class Network:
+    """A fully wired simulated network."""
+
+    def __init__(self, topology: Topology,
+                 config: Optional[NetworkConfig] = None,
+                 sim: Optional[Simulator] = None) -> None:
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.sim = sim or Simulator()
+        self.rng = random.Random(self.config.seed)
+        self.ptp = PTPService(self.sim, self._child_rng("ptp"),
+                              self.config.ptp_config)
+        self.mgmt = ManagementPlane(self.sim, self._child_rng("mgmt"),
+                                    self.config.mgmt_base_latency_ns,
+                                    self.config.mgmt_jitter_ns)
+        self.switches: Dict[str, Switch] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.links: List[Link] = []
+        #: device name -> {neighbor name -> local port index}
+        self.port_map: Dict[str, Dict[str, int]] = {}
+        #: All TraceEvents, in time order (populated when
+        #: ``config.enable_tracing`` is set; consumed by the
+        #: causal-consistency checker).
+        self.trace_log: List["TraceEvent"] = []
+        self._build()
+        self._install_routes()
+        if self.config.enable_tracing:
+            for switch in self.switches.values():
+                switch.trace_sink = self.trace_log.append
+        self.ptp.start()
+
+    def _child_rng(self, label: str) -> random.Random:
+        """Derive an independent RNG stream from the root seed."""
+        return random.Random(f"{self.config.seed}/{label}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        from repro.lb import EcmpBalancer  # late import avoids a cycle
+
+        topo = self.topology
+        lb_factory = self.config.lb_factory or (lambda salt: EcmpBalancer(salt))
+        for index, name in enumerate(topo.switches):
+            cfg = SwitchConfig(**{**self.config.switch_config.__dict__,
+                                  "num_ports": topo.degree(name),
+                                  "enable_tracing": self.config.enable_tracing})
+            self.switches[name] = Switch(self.sim, name, cfg,
+                                         lb=lb_factory(index))
+            self.ptp.attach(name)
+        for name in topo.hosts:
+            self.hosts[name] = Host(self.sim, name)
+        for name in topo.nodes:
+            neighbors = topo.neighbors(name)
+            self.port_map[name] = {nbr: i for i, nbr in enumerate(neighbors)}
+        link_rng = self._child_rng("loss")
+        for spec in topo.links:
+            loss = None
+            if self.config.loss_factory is not None:
+                loss = self.config.loss_factory(spec, link_rng)
+            link = Link(self.sim, spec.bandwidth_bps, spec.propagation_ns,
+                        loss=loss, name=f"{spec.a}-{spec.b}")
+            self.links.append(link)
+            for node in (spec.a, spec.b):
+                if topo.kind(node) is NodeKind.SWITCH:
+                    port = self.port_map[node][spec.other(node)]
+                    self.switches[node].ports[port].connect(link)
+                else:
+                    self.hosts[node].connect(link)
+
+    def _install_routes(self) -> None:
+        topo = self.topology
+        for sw_name, switch in self.switches.items():
+            ports_of = self.port_map[sw_name]
+            for host in topo.hosts:
+                next_hops = topo.ecmp_next_hops(sw_name, host)
+                if not next_hops:
+                    continue
+                switch.install_route(host, [ports_of[n] for n in next_hops])
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def switch(self, name: str) -> Switch:
+        return self.switches[name]
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def port_toward(self, device: str, neighbor: str) -> int:
+        """Local port index on ``device`` facing ``neighbor``."""
+        return self.port_map[device][neighbor]
+
+    def uplink_ports(self, leaf: str) -> List[int]:
+        """Ports of ``leaf`` that face other switches (the "uplinks" whose
+        balance Figure 12 studies)."""
+        ports = []
+        for neighbor, port in self.port_map[leaf].items():
+            if self.topology.kind(neighbor) is NodeKind.SWITCH:
+                ports.append(port)
+        return sorted(ports)
+
+    def peer_of_port(self, switch_name: str, port: int) -> Tuple[str, NodeKind]:
+        """Name and kind of the device at the far end of a switch port."""
+        for neighbor, p in self.port_map[switch_name].items():
+            if p == port:
+                return neighbor, self.topology.kind(neighbor)
+        raise KeyError(f"{switch_name} has no port {port}")
+
+    # ------------------------------------------------------------------
+    # Snapshot-deployment support
+    # ------------------------------------------------------------------
+    def feasible_channels(self, switch_name: str) -> Set[Tuple[int, int]]:
+        """All (ingress port, egress port) pairs that routing can use.
+
+        A packet arriving at switch ``S`` from neighbor ``X`` is headed
+        to some host ``h`` for which ``S`` is on a shortest path from
+        ``X``; it leaves via one of ``S``'s ECMP ports for ``h``.  Pairs
+        outside this set never carry traffic (e.g. valley paths under
+        up-down routing), so snapshot completion must not gate on them —
+        the paper's "removal of non-utilized upstream neighbors" (§6),
+        derived here from the routing function instead of hand-configured.
+        """
+        import networkx as nx
+
+        topo = self.topology
+        graph = topo.to_networkx()
+        switch = self.switches[switch_name]
+        dist_cache: Dict[str, Dict[str, int]] = {}
+
+        def dist(a: str, b: str) -> Optional[int]:
+            lengths = dist_cache.get(a)
+            if lengths is None:
+                lengths = dist_cache[a] = nx.single_source_shortest_path_length(graph, a)
+            return lengths.get(b)
+
+        pairs: Set[Tuple[int, int]] = set()
+        for neighbor, in_port in self.port_map[switch_name].items():
+            from_host = topo.kind(neighbor) is NodeKind.HOST
+            for dst, out_ports in switch.routes.items():
+                if dst == neighbor:
+                    continue
+                if not from_host:
+                    d_nbr = dist(neighbor, dst)
+                    d_here = dist(switch_name, dst)
+                    if d_nbr is None or d_here is None or d_nbr != d_here + 1:
+                        continue  # S is not on a shortest path from X to dst
+                for out_port in out_ports:
+                    if out_port != in_port:
+                        pairs.add((in_port, out_port))
+        return pairs
+
+    def refresh_header_stripping(self) -> None:
+        """Recompute which egress units must pop the snapshot header.
+
+        An egress unit strips the header when its link peer cannot parse
+        it: always for hosts, and for switches whose facing ingress unit
+        is not snapshot-enabled (partial deployment, §10).
+        """
+        for sw_name, switch in self.switches.items():
+            for port in switch.ports:
+                if port.link is None:
+                    port.egress.strip_header_for_peer = True
+                    continue
+                peer_name, kind = self.peer_of_port(sw_name, port.index)
+                if kind is NodeKind.HOST:
+                    port.egress.strip_header_for_peer = True
+                    continue
+                peer_switch = self.switches[peer_name]
+                peer_port = self.port_map[peer_name][sw_name]
+                peer_ingress = peer_switch.ports[peer_port].ingress
+                port.egress.strip_header_for_peer = not peer_ingress.snapshot_enabled
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Network({self.topology.name!r}, "
+                f"switches={len(self.switches)}, hosts={len(self.hosts)})")

@@ -1,0 +1,117 @@
+"""Packets and the Speedlight snapshot header.
+
+The snapshot header (paper §5.1) carries three fields:
+
+* **packet type** — ``DATA`` for ordinary traffic, ``INITIATION`` for the
+  control-plane initiation messages of §6 (Figure 6, path 3);
+* **snapshot ID** — the epoch the *send* of this packet belongs to, set at
+  each hop to the sending processing unit's current ID;
+* **channel ID** — identifies the upstream neighbor (only needed when
+  channel state is collected).
+
+Hosts never see the header: it is pushed by the first snapshot-enabled
+ingress unit and popped before delivery to a host (or, under partial
+deployment, at the last snapshot-enabled device on the path).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+class PacketType(enum.Enum):
+    """Snapshot header packet type (§5.1)."""
+
+    DATA = "data"
+    INITIATION = "initiation"
+
+
+@dataclass
+class SnapshotHeader:
+    """The in-band snapshot header added to every packet.
+
+    ``sid`` is rewritten at every snapshot-enabled processing unit so the
+    downstream unit learns the upstream unit's current snapshot epoch.
+    """
+
+    sid: int = 0
+    packet_type: PacketType = PacketType.DATA
+    channel_id: Optional[int] = None
+
+    def copy(self) -> "SnapshotHeader":
+        return SnapshotHeader(self.sid, self.packet_type, self.channel_id)
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """A 5-tuple identifying a flow, used by the load balancers."""
+
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    proto: int = 6  # TCP by default
+
+    def reversed(self) -> "FlowKey":
+        return FlowKey(self.dst, self.src, self.dport, self.sport, self.proto)
+
+
+_packet_uid = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    ``payload`` is free-form application data (request ids, probe TTLs);
+    the network never interprets it except for broadcast-probe TTLs.
+    """
+
+    flow: FlowKey
+    size_bytes: int = 1500
+    seq: int = 0
+    created_ns: int = 0
+    snapshot: Optional[SnapshotHeader] = None
+    uid: int = field(default_factory=lambda: next(_packet_uid))
+    cos: int = 0
+    payload: Any = None
+
+    @property
+    def src(self) -> str:
+        return self.flow.src
+
+    @property
+    def dst(self) -> str:
+        return self.flow.dst
+
+    def push_snapshot_header(self, sid: int = 0,
+                             packet_type: PacketType = PacketType.DATA) -> SnapshotHeader:
+        """Attach a snapshot header (first snapshot-enabled hop)."""
+        self.snapshot = SnapshotHeader(sid=sid, packet_type=packet_type)
+        return self.snapshot
+
+    def pop_snapshot_header(self) -> Optional[SnapshotHeader]:
+        """Remove and return the snapshot header (last enabled hop)."""
+        header, self.snapshot = self.snapshot, None
+        return header
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        snap = f", sid={self.snapshot.sid}" if self.snapshot else ""
+        return (f"Packet(#{self.uid} {self.flow.src}->{self.flow.dst} "
+                f"seq={self.seq} {self.size_bytes}B{snap})")
+
+
+def make_initiation_packet(sid: int, created_ns: int = 0) -> Packet:
+    """Build a control-plane snapshot initiation message (§6).
+
+    Initiation packets travel CPU → ingress → egress of each port and are
+    dropped after processing.  They are never counted by metric counters
+    and never treated as in-flight channel state.
+    """
+    flow = FlowKey(src="cpu", dst="cpu", sport=0, dport=0, proto=0)
+    pkt = Packet(flow=flow, size_bytes=64, created_ns=created_ns)
+    pkt.snapshot = SnapshotHeader(sid=sid, packet_type=PacketType.INITIATION)
+    return pkt

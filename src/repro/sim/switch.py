@@ -1,0 +1,626 @@
+"""Switch model: ports, processing units, fabric, egress queues.
+
+The paper's system model (§4.1, Figure 2) views a switch as a set of
+per-port, per-direction **processing units** connected by FIFO channels:
+
+* every **ingress unit** has one external upstream neighbor (the device at
+  the other end of the physical link) plus the local control plane;
+* every **egress unit** has one upstream neighbor per ingress port of the
+  same switch (packets can arrive from any of them) plus the control
+  plane;
+* the internal fabric connecting ingress to egress units is FIFO per
+  (ingress, egress, class-of-service) triple.
+
+Processing units are *linearizable*: they process one packet at a time in
+arrival order.  The discrete-event engine gives us that for free — each
+unit's handler runs to completion before any other event.
+
+Snapshot logic is attached to units via the small
+:class:`SnapshotAgent` interface so that :mod:`repro.core` (the protocol)
+and :mod:`repro.sim` (the substrate) stay decoupled.  A unit with no
+agent simply forwards packets untouched, which is exactly the partial
+deployment story of §10.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
+
+from repro.sim.engine import Simulator, US
+from repro.sim.channel import Link
+from repro.sim.packet import Packet, PacketType, SnapshotHeader
+
+#: Channel ID an ingress unit uses for its single external upstream
+#: neighbor (§5.1: "for ingress processing units, there is only one
+#: upstream neighbor").
+EXTERNAL_CHANNEL = 0
+
+#: Channel ID for the local control plane.  The CPU is "treated as an
+#: additional neighbor for the last seen array, though this value is only
+#: used for rollover detection and not to detect snapshot completion" (§6).
+CPU_CHANNEL = -1
+
+#: Destination name marking a snapshot-propagation broadcast probe (§6,
+#: "we can inject broadcasts into the network that force propagation of
+#: snapshot IDs").  An ingress unit floods it to every other egress; an
+#: egress forwards it over the wire only while the packet's TTL lasts and
+#: the peer parses snapshot headers.
+BROADCAST_DST = "__broadcast__"
+
+
+class Direction(enum.Enum):
+    """Which side of the port a processing unit sits on."""
+
+    INGRESS = "ingress"
+    EGRESS = "egress"
+
+
+@dataclass(frozen=True)
+class UnitId:
+    """Globally unique name of a processing unit."""
+
+    device: str
+    port: int
+    direction: Direction
+
+    def __str__(self) -> str:
+        return f"{self.device}:{self.port}:{self.direction.value}"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One packet's pass through one snapshot-enabled unit.
+
+    Emitted to the network's trace sink when tracing is enabled; the
+    causal-consistency checker (:mod:`repro.analysis.consistency`)
+    replays these to validate every snapshot cut against ground truth.
+    ``carried_sid`` is the (wrapped) ID the packet arrived with;
+    ``unit_sid_after`` is the unit's (wrapped) ID after processing —
+    i.e. the ID stamped into the departing packet.
+    """
+
+    packet_uid: int
+    unit: UnitId
+    time_ns: int
+    carried_sid: int
+    unit_sid_after: int
+    channel: int
+    is_data: bool
+    size_bytes: int
+
+
+class SnapshotAgent(Protocol):
+    """What the data-plane snapshot logic must provide to a unit.
+
+    Implemented by :class:`repro.core.dataplane.SpeedlightUnit` and
+    :class:`repro.core.ideal.IdealUnit`.
+    """
+
+    def process_packet(self, packet: Packet, channel_id: int,
+                       now_ns: int) -> int:
+        """Run the snapshot logic for one packet.
+
+        Receives the packet (whose snapshot header is guaranteed present)
+        and the logical channel it arrived on; must return the snapshot
+        ID to stamp into the header before the packet is forwarded (the
+        unit's current ID).
+        """
+        ...  # pragma: no cover - protocol definition
+
+    @property
+    def sid(self) -> int:
+        ...  # pragma: no cover - protocol definition
+
+
+class CounterSet:
+    """The set of data-plane counters attached to one processing unit.
+
+    Counters are updated inline for every DATA packet traversing the
+    unit; initiation packets are never counted (§6).
+
+    Note on ordering: in this model the snapshot logic runs *before* the
+    counter update.  The published pipeline diagrams place the counter
+    update first, but the snapshot capture must store the *pre-update*
+    register value (the stateful ALU returns the old value) for the
+    Figure 3 cut semantics — a packet that triggers a new snapshot is
+    itself post-snapshot, otherwise the receive of a post-snapshot send
+    would land inside the snapshot and break causal consistency (the
+    paper's own proof sketch, §4.2).  Running snapshot-then-update is the
+    behaviourally equivalent ordering.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, "CounterLike"] = {}
+
+    def add(self, name: str, counter: "CounterLike") -> None:
+        if name in self._counters:
+            raise ValueError(f"counter {name!r} already attached")
+        self._counters[name] = counter
+
+    def get(self, name: str) -> "CounterLike":
+        return self._counters[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def names(self) -> List[str]:
+        return sorted(self._counters)
+
+    def update_all(self, packet: Packet, now_ns: int) -> None:
+        for counter in self._counters.values():
+            counter.update(packet, now_ns)
+
+    def read(self, name: str):
+        """Read a counter's current value (the control-plane register read
+        used by the polling baseline)."""
+        return self._counters[name].read()
+
+
+class CounterLike(Protocol):
+    """Minimal counter interface (see :mod:`repro.counters`)."""
+
+    def update(self, packet: Packet, now_ns: int) -> None:
+        ...  # pragma: no cover - protocol definition
+
+    def read(self):
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class SwitchConfig:
+    """Static configuration of a switch."""
+
+    #: Number of front-panel ports.
+    num_ports: int = 16
+    #: Constant ingress pipeline latency (parse + match-action stages).
+    ingress_latency_ns: int = 300
+    #: Constant egress pipeline latency.
+    egress_latency_ns: int = 300
+    #: Latency of the internal fabric between ingress and egress units.
+    fabric_latency_ns: int = 400
+    #: Latency of the ASIC→CPU notification path (PCIe DMA + raw socket).
+    asic_cpu_latency_ns: int = 4 * US
+    #: Number of class-of-service lanes per egress (strict priority,
+    #: higher class first).  Each (ingress, egress, class) triple is its
+    #: own FIFO logical channel in the snapshot system model (§4.1).
+    num_cos: int = 1
+    #: Per-egress buffer limit in packets (tail drop beyond it); None
+    #: models an unbounded buffer.  Drops are one of the non-idealities
+    #: the snapshot protocol explicitly tolerates (§4.2, §6).
+    queue_capacity_packets: Optional[int] = None
+    #: Record per-packet traces through snapshot units (memory-hungry;
+    #: enabled by consistency tests, off for the big experiments).
+    enable_tracing: bool = False
+
+
+class _EgressQueue:
+    """Store-and-forward output queue feeding the physical link.
+
+    One queue per egress unit, with ``num_cos`` strict-priority lanes
+    (higher class first; within a class, FIFO — the paper's CoS
+    sub-channel model, §4.1).  Serialisation delay is computed per
+    packet from ``ser_fn``; instantaneous depth in packets and bytes is
+    itself a snapshottable metric (the queue-depth counter).
+    """
+
+    def __init__(self, sim: Simulator,
+                 transmit: Optional[Callable[[Packet], None]] = None,
+                 ser_fn: Optional[Callable[[Packet], int]] = None,
+                 num_cos: int = 1,
+                 capacity_packets: Optional[int] = None) -> None:
+        if num_cos < 1:
+            raise ValueError("need at least one CoS lane")
+        if capacity_packets is not None and capacity_packets < 1:
+            raise ValueError("capacity must be positive (or None)")
+        self.sim = sim
+        self.transmit = transmit
+        self.ser_fn = ser_fn
+        self.num_cos = num_cos
+        self.capacity_packets = capacity_packets
+        self._lanes: List[Deque[Packet]] = [deque() for _ in range(num_cos)]
+        self.queued_bytes = 0
+        self.busy = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+        self.max_depth_packets = 0
+
+    @property
+    def depth_packets(self) -> int:
+        return sum(len(lane) for lane in self._lanes) + (1 if self.busy else 0)
+
+    @property
+    def depth_bytes(self) -> int:
+        return self.queued_bytes
+
+    def lane_depth(self, cos: int) -> int:
+        return len(self._lanes[cos])
+
+    def _lane_of(self, packet: Packet) -> int:
+        return min(max(packet.cos, 0), self.num_cos - 1)
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue a packet on its class's lane.
+
+        Returns False on a tail drop (buffer at capacity).
+        """
+        if (self.capacity_packets is not None
+                and self.depth_packets >= self.capacity_packets):
+            self.packets_dropped += 1
+            return False
+        self._lanes[self._lane_of(packet)].append(packet)
+        self.queued_bytes += packet.size_bytes
+        self.max_depth_packets = max(self.max_depth_packets, self.depth_packets)
+        if not self.busy:
+            self._start_next()
+        return True
+
+    def _pop(self) -> Optional[Packet]:
+        # Strict priority: highest class first.
+        for lane in reversed(self._lanes):
+            if lane:
+                return lane.popleft()
+        return None
+
+    def _start_next(self) -> None:
+        packet = self._pop()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        self.queued_bytes -= packet.size_bytes
+        assert self.ser_fn is not None and self.transmit is not None
+        self.sim.schedule(max(1, self.ser_fn(packet)), self._finish, packet)
+
+    def _finish(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self.transmit(packet)
+        self._start_next()
+
+
+class _ProcessingUnit:
+    """State shared by ingress and egress units."""
+
+    def __init__(self, switch: "Switch", port: int, direction: Direction) -> None:
+        self.switch = switch
+        self.port_index = port
+        self.unit_id = UnitId(switch.name, port, direction)
+        self.counters = CounterSet()
+        self.snapshot_agent: Optional[SnapshotAgent] = None
+        self.packets_processed = 0
+
+    @property
+    def snapshot_enabled(self) -> bool:
+        return self.snapshot_agent is not None
+
+    def _run_snapshot(self, packet: Packet, channel_id: int) -> None:
+        """Apply the snapshot agent to the packet's header, if any."""
+        agent = self.snapshot_agent
+        if agent is None or packet.snapshot is None:
+            return
+        now = self.switch.sim.now
+        carried = packet.snapshot.sid
+        new_sid = agent.process_packet(packet, channel_id, now)
+        packet.snapshot.sid = new_sid
+        sink = self.switch.trace_sink
+        if sink is not None:
+            sink(TraceEvent(
+                packet_uid=packet.uid, unit=self.unit_id, time_ns=now,
+                carried_sid=carried, unit_sid_after=new_sid,
+                channel=channel_id,
+                is_data=packet.snapshot.packet_type is PacketType.DATA,
+                size_bytes=packet.size_bytes))
+
+    def read_counter(self, name: str):
+        return self.counters.read(name)
+
+
+class IngressUnit(_ProcessingUnit):
+    """Per-port ingress processing (Figure 4).
+
+    Pipeline: update counters → (push header if absent) → snapshot logic →
+    forwarding lookup → fabric to the chosen egress unit.
+    """
+
+    def __init__(self, switch: "Switch", port: int) -> None:
+        super().__init__(switch, port, Direction.INGRESS)
+
+    def handle_packet(self, packet: Packet) -> None:
+        self.packets_processed += 1
+        sw = self.switch
+        is_initiation = (packet.snapshot is not None and
+                         packet.snapshot.packet_type is PacketType.INITIATION)
+
+        if self.snapshot_enabled:
+            if packet.snapshot is None:
+                # First snapshot-enabled hop on this packet's path: push a
+                # header carrying our current epoch.  A fresh header never
+                # triggers a snapshot (sid equality) but does refresh the
+                # external channel's last-seen entry, which is sound: host
+                # channels carry no tagged in-flight packets, so every
+                # host packet tagged here belongs to the current epoch.
+                packet.push_snapshot_header(sid=self.snapshot_agent.sid)
+            # Each CoS lane of the external link is its own FIFO logical
+            # channel (§4.1); with one lane this reduces to
+            # EXTERNAL_CHANNEL == 0.
+            channel = (CPU_CHANNEL if is_initiation
+                       else sw.cos_lane(packet))
+            self._run_snapshot(packet, channel)
+        elif is_initiation:
+            # A disabled unit should never see initiations; drop defensively.
+            return
+
+        if not is_initiation:
+            self.counters.update_all(packet, sw.sim.now)
+
+        delay = sw.config.ingress_latency_ns
+        if is_initiation:
+            # Initiation travels CPU → ingress → egress of the *same* port
+            # (Figure 6, path 3) and is dropped there after processing.
+            sw.sim.schedule(delay + sw.config.fabric_latency_ns,
+                            sw.ports[self.port_index].egress.handle_packet,
+                            packet, self.port_index)
+            return
+
+        if packet.dst == BROADCAST_DST:
+            self._flood(packet, delay)
+            return
+
+        out_port = sw.forward(packet, self.port_index)
+        if out_port is None:
+            sw.packets_unroutable += 1
+            return
+        sw.sim.schedule(delay + sw.config.fabric_latency_ns,
+                        sw.ports[out_port].egress.handle_packet,
+                        packet, self.port_index)
+
+    def _flood(self, packet: Packet, delay: int) -> None:
+        """Replicate a broadcast probe to every other connected egress.
+
+        The TTL (carried in ``payload``) bounds wire hops; replication
+        itself does not consume TTL.  Each copy carries its own header so
+        per-egress snapshot processing stays independent.
+        """
+        sw = self.switch
+        ttl = packet.payload if isinstance(packet.payload, int) else 0
+        for out_port in sw.connected_ports():
+            if out_port == self.port_index:
+                continue
+            copy = Packet(flow=packet.flow, size_bytes=packet.size_bytes,
+                          seq=packet.seq, created_ns=packet.created_ns,
+                          cos=packet.cos, payload=ttl)
+            if packet.snapshot is not None:
+                copy.snapshot = packet.snapshot.copy()
+            sw.sim.schedule(delay + sw.config.fabric_latency_ns,
+                            sw.ports[out_port].egress.handle_packet,
+                            copy, self.port_index)
+
+
+class EgressUnit(_ProcessingUnit):
+    """Per-port egress processing (Figure 5).
+
+    Pipeline: update counters → snapshot logic (channel = source ingress
+    port) → pop header if the peer is not snapshot-enabled → serialise
+    onto the link.
+    """
+
+    def __init__(self, switch: "Switch", port: int) -> None:
+        super().__init__(switch, port, Direction.EGRESS)
+        self.queue = _EgressQueue(
+            switch.sim, transmit=self._transmit,
+            ser_fn=self._serialization_ns,
+            num_cos=switch.config.num_cos,
+            capacity_packets=switch.config.queue_capacity_packets)
+        #: Set during wiring: True when the link peer cannot parse the
+        #: snapshot header (hosts always; disabled switches under partial
+        #: deployment).
+        self.strip_header_for_peer = True
+
+    def _serialization_ns(self, packet: Packet) -> int:
+        link = self.switch.ports[self.port_index].link
+        assert link is not None
+        return max(1, link.serialization_ns(packet.size_bytes))
+
+    def handle_packet(self, packet: Packet, from_ingress_port: int) -> None:
+        self.packets_processed += 1
+        sw = self.switch
+        is_initiation = (packet.snapshot is not None and
+                         packet.snapshot.packet_type is PacketType.INITIATION)
+
+        if self.snapshot_enabled:
+            channel = (CPU_CHANNEL if is_initiation
+                       else sw.egress_channel_id(from_ingress_port,
+                                                 sw.cos_lane(packet)))
+            self._run_snapshot(packet, channel)
+
+        if not is_initiation:
+            self.counters.update_all(packet, sw.sim.now)
+
+        if is_initiation:
+            # "...the egress unit ... drops the packet after processing" (§6)
+            return
+
+        link = sw.ports[self.port_index].link
+        if link is None:
+            sw.packets_unroutable += 1
+            return
+        if packet.dst == BROADCAST_DST:
+            # Probe: forward over the wire only while TTL lasts and the
+            # peer can parse the header; never bother hosts with probes.
+            ttl = packet.payload if isinstance(packet.payload, int) else 0
+            if ttl <= 0 or self.strip_header_for_peer:
+                return
+            packet.payload = ttl - 1
+        if self.strip_header_for_peer:
+            packet.pop_snapshot_header()
+        self.queue.push(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        link = self.switch.ports[self.port_index].link
+        assert link is not None
+        link.transmit(self.switch.ports[self.port_index], packet)
+
+    # Queue depth is a first-class metric (§1, §2.2 examples).
+    @property
+    def queue_depth_packets(self) -> int:
+        return self.queue.depth_packets
+
+    @property
+    def queue_depth_bytes(self) -> int:
+        return self.queue.depth_bytes
+
+
+class Port:
+    """One front-panel port: an ingress unit, an egress unit, and a link."""
+
+    def __init__(self, switch: "Switch", index: int) -> None:
+        self.switch = switch
+        self.index = index
+        self.ingress = IngressUnit(switch, index)
+        self.egress = EgressUnit(switch, index)
+        self.link: Optional[Link] = None
+
+    # -- LinkEndpoint protocol -----------------------------------------
+    @property
+    def endpoint_name(self) -> str:
+        return f"{self.switch.name}:{self.index}"
+
+    def receive_from_link(self, packet: Packet, link: Link) -> None:
+        self.ingress.handle_packet(packet)
+
+    def connect(self, link: Link) -> None:
+        if self.link is not None:
+            raise RuntimeError(f"port {self.endpoint_name} already connected")
+        self.link = link
+        link.attach(self)
+
+
+class LoadBalancer(Protocol):
+    """Picks one egress port from an ECMP group (see :mod:`repro.lb`)."""
+
+    def select(self, candidates: List[int], packet: Packet, now_ns: int) -> int:
+        ...  # pragma: no cover - protocol definition
+
+
+class _FirstPortBalancer:
+    """Degenerate balancer: always the first candidate (deterministic)."""
+
+    def select(self, candidates: List[int], packet: Packet, now_ns: int) -> int:
+        return candidates[0]
+
+
+class Switch:
+    """A snapshot-capable switch.
+
+    Forwarding is destination-based: :attr:`routes` maps a destination
+    host name to the list of candidate egress ports (the ECMP group), and
+    the attached :class:`LoadBalancer` picks one per packet.  Routes are
+    installed by :class:`repro.sim.network.Network` from the topology.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 config: Optional[SwitchConfig] = None,
+                 lb: Optional[LoadBalancer] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config or SwitchConfig()
+        self.ports: List[Port] = [Port(self, i) for i in range(self.config.num_ports)]
+        self.routes: Dict[str, List[int]] = {}
+        self.lb: LoadBalancer = lb or _FirstPortBalancer()
+        self.packets_unroutable = 0
+        #: FIB versioning for forwarding-state snapshots (§10): every
+        #: route install/update bumps the generation and tags the rule;
+        #: the last version matched at each ingress is a data-plane
+        #: register the snapshot primitive can capture.
+        self.fib_generation = 0
+        self.route_version: Dict[str, int] = {}
+        self.last_matched_version: List[int] = [0] * self.config.num_ports
+        #: Callback used by snapshot agents to ship notifications to the
+        #: local control plane; installed by the control plane at attach.
+        self.notification_sink: Optional[Callable[[object], None]] = None
+        #: Optional sink receiving a :class:`TraceEvent` per snapshot-unit
+        #: packet pass (set by the network when tracing is enabled).
+        self.trace_sink: Optional[Callable[[TraceEvent], None]] = None
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def install_route(self, dst: str, ports: List[int]) -> None:
+        """Install or update the route for ``dst``.
+
+        Every install bumps the FIB generation and tags the rule with it
+        ("the control plane can ensure every FIB rule and version tags
+        passing packets with a unique ID", §10) so forwarding state is
+        snapshottable via the ``fib_version`` metric.
+        """
+        if not ports:
+            raise ValueError(f"route to {dst!r} needs at least one port")
+        for p in ports:
+            if not 0 <= p < len(self.ports):
+                raise ValueError(f"port {p} out of range for {self.name}")
+        self.routes[dst] = list(ports)
+        self.fib_generation += 1
+        self.route_version[dst] = self.fib_generation
+
+    def forward(self, packet: Packet, in_port: int) -> Optional[int]:
+        """Forwarding lookup + load-balancer selection.
+
+        Stores the matched rule's version tag into the per-ingress
+        ``last_matched_version`` register (the §10 forwarding-state
+        snapshot target).
+        """
+        candidates = self.routes.get(packet.dst)
+        if not candidates:
+            return None
+        self.last_matched_version[in_port] = self.route_version[packet.dst]
+        if len(candidates) == 1:
+            return candidates[0]
+        return self.lb.select(candidates, packet, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # CoS channel numbering
+    # ------------------------------------------------------------------
+    def cos_lane(self, packet: Packet) -> int:
+        """The CoS lane a packet travels in (clamped to configured lanes)."""
+        return min(max(packet.cos, 0), self.config.num_cos - 1)
+
+    def egress_channel_id(self, ingress_port: int, cos: int) -> int:
+        """Logical channel ID at an egress unit for traffic arriving from
+        ``ingress_port`` in class ``cos``.  With a single CoS lane this is
+        just the ingress port number (the paper's base model); with more,
+        every (port, class) pair is a distinct FIFO channel (§4.1)."""
+        return ingress_port * self.config.num_cos + cos
+
+    # ------------------------------------------------------------------
+    # Unit access helpers
+    # ------------------------------------------------------------------
+    def unit(self, port: int, direction: Direction) -> _ProcessingUnit:
+        p = self.ports[port]
+        return p.ingress if direction is Direction.INGRESS else p.egress
+
+    def all_units(self) -> List[_ProcessingUnit]:
+        units: List[_ProcessingUnit] = []
+        for port in self.ports:
+            units.append(port.ingress)
+            units.append(port.egress)
+        return units
+
+    def snapshot_units(self) -> List[_ProcessingUnit]:
+        return [u for u in self.all_units() if u.snapshot_enabled]
+
+    def connected_ports(self) -> List[int]:
+        return [p.index for p in self.ports if p.link is not None]
+
+    def send_notification(self, notification: object) -> None:
+        """Ship a notification over the ASIC→CPU channel."""
+        if self.notification_sink is None:
+            return
+        self.sim.schedule(self.config.asic_cpu_latency_ns,
+                          self.notification_sink, notification)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Switch({self.name}, ports={len(self.ports)})"

@@ -1,0 +1,189 @@
+"""A reliable, windowed transport over the simulated network.
+
+The paper's workloads run over TCP; the open-loop generators in
+:mod:`repro.workloads` reproduce their traffic *texture*, which is all
+the measurement study needs.  This module adds the complementary piece
+for experiments that must react to loss and congestion: a Go-Back-N
+transport with cumulative ACKs, retransmission timers and a fixed
+window.  It is intentionally simple (no congestion control beyond the
+window; TCP dynamics are out of scope per DESIGN.md) but fully
+functional: byte streams arrive completely and in order over lossy,
+multipath networks.
+
+Usage::
+
+    flow = ReliableFlow(network, "server0", "server3",
+                        total_packets=500, window=32)
+    flow.start()
+    network.run(until=...)
+    assert flow.complete
+
+Protocol framing (over the simulator's packets):
+
+* DATA: ``flow=(src, dst, sport, dport)``, ``seq`` = sequence number,
+  ``payload='DATA'``;
+* ACK: reversed flow, ``seq`` = cumulative (next expected) sequence,
+  ``payload='ACK'``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.engine import MS, Simulator, US
+from repro.sim.network import Network
+from repro.sim.packet import FlowKey, Packet
+
+_port_allocator = itertools.count(40_000)
+
+
+@dataclass
+class TransportStats:
+    data_sent: int = 0
+    retransmissions: int = 0
+    acks_received: int = 0
+    acks_sent: int = 0
+    out_of_order_drops: int = 0
+
+
+class ReliableFlow:
+    """One Go-Back-N transfer between two hosts."""
+
+    def __init__(self, network: Network, src: str, dst: str, *,
+                 total_packets: int, size_bytes: int = 1500,
+                 window: int = 32, timeout_ns: int = 2 * MS,
+                 sport: Optional[int] = None,
+                 dport: Optional[int] = None) -> None:
+        if total_packets < 1:
+            raise ValueError("need at least one packet")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.src_host = network.host(src)
+        self.dst_host = network.host(dst)
+        self.total_packets = total_packets
+        self.size_bytes = size_bytes
+        self.window = window
+        self.timeout_ns = timeout_ns
+        self.sport = sport if sport is not None else next(_port_allocator)
+        self.dport = dport if dport is not None else next(_port_allocator)
+        self.flow = FlowKey(src, dst, self.sport, self.dport)
+        self.stats = TransportStats()
+
+        # Sender state (Go-Back-N).
+        self._base = 0          # oldest unacknowledged sequence
+        self._next_seq = 0      # next sequence to send
+        self._timer = None
+        self._started = False
+        self.completed_ns: Optional[int] = None
+
+        # Receiver state.
+        self._expected = 0
+        self.delivered: List[int] = []
+
+        self.dst_host.listen(self.dport, self._on_data)
+        self.src_host.listen(self.sport, self._on_ack)
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._fill_window()
+
+    @property
+    def complete(self) -> bool:
+        return self._base >= self.total_packets
+
+    def _fill_window(self) -> None:
+        while (self._next_seq < self._base + self.window
+               and self._next_seq < self.total_packets):
+            self._send_data(self._next_seq)
+            self._next_seq += 1
+        self._arm_timer()
+
+    def _send_data(self, seq: int) -> None:
+        self.stats.data_sent += 1
+        self.src_host.send_packet(Packet(
+            flow=self.flow, size_bytes=self.size_bytes, seq=seq,
+            payload="DATA"))
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self.complete:
+            self._timer = self.sim.schedule(self.timeout_ns, self._on_timeout)
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.complete:
+            return
+        # Go-Back-N: resend the whole outstanding window.
+        for seq in range(self._base, self._next_seq):
+            self.stats.retransmissions += 1
+            self._send_data(seq)
+        self._arm_timer()
+
+    def _on_ack(self, packet: Packet) -> None:
+        if packet.payload != "ACK":
+            return
+        self.stats.acks_received += 1
+        cumulative = packet.seq
+        if cumulative > self._base:
+            self._base = cumulative
+            if self.complete:
+                self.completed_ns = self.sim.now
+                if self._timer is not None:
+                    self._timer.cancel()
+                    self._timer = None
+            else:
+                self._fill_window()
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def _on_data(self, packet: Packet) -> None:
+        if packet.payload != "DATA":
+            return
+        if packet.seq == self._expected:
+            self._expected += 1
+            self.delivered.append(packet.seq)
+        elif packet.seq > self._expected:
+            # Go-Back-N receivers drop out-of-order segments.
+            self.stats.out_of_order_drops += 1
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        self.stats.acks_sent += 1
+        self.dst_host.send_packet(Packet(
+            flow=self.flow.reversed(), size_bytes=64, seq=self._expected,
+            payload="ACK"))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_order(self) -> bool:
+        return self.delivered == list(range(len(self.delivered)))
+
+    def goodput_bps(self) -> float:
+        if self.completed_ns is None or self.completed_ns == 0:
+            return 0.0
+        return (self.total_packets * self.size_bytes * 8 * 1e9
+                / self.completed_ns)
+
+    def close(self) -> None:
+        """Release the port listeners (e.g. before reusing ports)."""
+        self.dst_host.unlisten(self.dport)
+        self.src_host.unlisten(self.sport)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ReliableFlow({self.flow.src}->{self.flow.dst}, "
+                f"{self._base}/{self.total_packets}, "
+                f"retx={self.stats.retransmissions})")

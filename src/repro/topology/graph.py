@@ -1,0 +1,155 @@
+"""Declarative topology description.
+
+A topology is a set of named nodes (switches and hosts) and links with
+per-link bandwidth/propagation attributes.  It is a pure description —
+no simulator objects — so tests can assert on structure cheaply and the
+same topology can be instantiated many times with different seeds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+
+class NodeKind(enum.Enum):
+    SWITCH = "switch"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Attributes of one physical link."""
+
+    a: str
+    b: str
+    bandwidth_bps: int = 25_000_000_000
+    propagation_ns: int = 500
+
+    def other(self, node: str) -> str:
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not an endpoint of {self}")
+
+
+class Topology:
+    """Nodes + links, with shortest-path helpers used for route setup."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._kinds: Dict[str, NodeKind] = {}
+        self._links: List[LinkSpec] = []
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_switch(self, name: str) -> str:
+        self._add_node(name, NodeKind.SWITCH)
+        return name
+
+    def add_host(self, name: str) -> str:
+        self._add_node(name, NodeKind.HOST)
+        return name
+
+    def _add_node(self, name: str, kind: NodeKind) -> None:
+        if name in self._kinds:
+            raise ValueError(f"node {name!r} already exists")
+        self._kinds[name] = kind
+        self._graph.add_node(name, kind=kind)
+
+    def add_link(self, a: str, b: str, bandwidth_bps: int = 25_000_000_000,
+                 propagation_ns: int = 500) -> LinkSpec:
+        for node in (a, b):
+            if node not in self._kinds:
+                raise ValueError(f"unknown node {node!r}")
+        if self._kinds[a] is NodeKind.HOST and self._kinds[b] is NodeKind.HOST:
+            raise ValueError("host-to-host links are not supported")
+        if self._graph.has_edge(a, b):
+            raise ValueError(f"link {a!r}-{b!r} already exists")
+        spec = LinkSpec(a, b, bandwidth_bps, propagation_ns)
+        self._links.append(spec)
+        self._graph.add_edge(a, b, spec=spec)
+        return spec
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._kinds)
+
+    @property
+    def switches(self) -> List[str]:
+        return sorted(n for n, k in self._kinds.items() if k is NodeKind.SWITCH)
+
+    @property
+    def hosts(self) -> List[str]:
+        return sorted(n for n, k in self._kinds.items() if k is NodeKind.HOST)
+
+    @property
+    def links(self) -> List[LinkSpec]:
+        return list(self._links)
+
+    def kind(self, name: str) -> NodeKind:
+        return self._kinds[name]
+
+    def neighbors(self, name: str) -> List[str]:
+        return sorted(self._graph.neighbors(name))
+
+    def degree(self, name: str) -> int:
+        return self._graph.degree(name)
+
+    def link_between(self, a: str, b: str) -> Optional[LinkSpec]:
+        data = self._graph.get_edge_data(a, b)
+        return data["spec"] if data else None
+
+    def is_connected(self) -> bool:
+        return len(self._kinds) > 0 and nx.is_connected(self._graph)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def ecmp_next_hops(self, switch: str, dst_host: str) -> List[str]:
+        """All equal-cost next hops from ``switch`` toward ``dst_host``.
+
+        Hop count is the metric (standard for leaf-spine/fat-tree ECMP).
+        The returned neighbor names are sorted for determinism.
+        """
+        if self._kinds.get(switch) is not NodeKind.SWITCH:
+            raise ValueError(f"{switch!r} is not a switch")
+        if self._kinds.get(dst_host) is not NodeKind.HOST:
+            raise ValueError(f"{dst_host!r} is not a host")
+        if switch == dst_host:
+            raise ValueError("switch cannot be its own destination")
+        try:
+            dist = nx.shortest_path_length(self._graph, switch, dst_host)
+        except nx.NetworkXNoPath:
+            return []
+        next_hops = []
+        for neighbor in self._graph.neighbors(switch):
+            if neighbor == dst_host:
+                next_hops.append(neighbor)
+                continue
+            if self._kinds[neighbor] is NodeKind.HOST:
+                continue  # hosts never transit traffic
+            try:
+                d = nx.shortest_path_length(self._graph, neighbor, dst_host)
+            except nx.NetworkXNoPath:
+                continue
+            if d == dist - 1:
+                next_hops.append(neighbor)
+        return sorted(next_hops)
+
+    def to_networkx(self) -> nx.Graph:
+        """A copy of the underlying graph (for analysis/plotting)."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Topology({self.name!r}, switches={len(self.switches)}, "
+                f"hosts={len(self.hosts)}, links={len(self._links)})")

@@ -1,0 +1,111 @@
+"""Generic traffic generators: Poisson and on/off (bursty).
+
+These are the building blocks for tests and for custom measurement
+campaigns; the application-shaped workloads in this package compose the
+same primitives with application-specific structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sim.engine import MS, US
+from repro.workloads.base import Workload, WorkloadConfig
+
+
+@dataclass
+class PoissonConfig(WorkloadConfig):
+    """Every (src, dst) pair exchanges Poisson traffic."""
+
+    #: Mean per-pair packet rate, packets/second.
+    rate_pps: float = 10_000.0
+    size_bytes: int = 1000
+    #: Explicit pairs; None means all-to-all among participating hosts.
+    pairs: Optional[List[Tuple[str, str]]] = None
+    #: Draw a fresh source port for every packet, so the ECMP hash
+    #: spreads each pair's traffic over all equal-cost members (models
+    #: connection churn; without it each pair pins one member).
+    sport_churn: bool = False
+
+
+class PoissonWorkload(Workload):
+    """Independent Poisson packet processes per host pair.
+
+    Memoryless and smooth — the "null" traffic texture against which the
+    bursty workloads are contrasted.
+    """
+
+    def __init__(self, network, config: Optional[PoissonConfig] = None) -> None:
+        super().__init__(network, config or PoissonConfig())
+        self.config: PoissonConfig
+
+    def _pairs(self) -> List[Tuple[str, str]]:
+        if self.config.pairs is not None:
+            return list(self.config.pairs)
+        hosts = self.hosts
+        return [(a, b) for a in hosts for b in hosts if a != b]
+
+    def _begin(self) -> None:
+        mean_gap = 1e9 / self.config.rate_pps
+        for src, dst in self._pairs():
+            sport = self.next_sport()
+            self.sim.schedule(self.exp_delay(mean_gap), self._tick,
+                              src, dst, sport, mean_gap)
+
+    def _tick(self, src: str, dst: str, sport: int, mean_gap: float) -> None:
+        if not self.active:
+            return
+        if self.config.sport_churn:
+            sport = self.next_sport()
+        self.emit(src, dst, sport=sport, dport=9000,
+                  size_bytes=self.config.size_bytes)
+        self.sim.schedule(self.exp_delay(mean_gap), self._tick,
+                          src, dst, sport, mean_gap)
+
+
+@dataclass
+class OnOffConfig(WorkloadConfig):
+    """Bursty on/off traffic: exponential on and off periods."""
+
+    mean_on_ns: int = 1 * MS
+    mean_off_ns: int = 4 * MS
+    #: Packet gap while "on" (burst rate).
+    on_gap_ns: int = 10 * US
+    size_bytes: int = 1500
+    pairs: Optional[List[Tuple[str, str]]] = None
+
+
+class OnOffWorkload(Workload):
+    """Exponential on/off bursts per pair — microburst-like traffic.
+
+    Bursts shorter than the polling interval are exactly the regime where
+    "even small amounts of unattended asynchronicity can lead to large
+    inaccuracies in measurement" (§2.1).
+    """
+
+    def __init__(self, network, config: Optional[OnOffConfig] = None) -> None:
+        super().__init__(network, config or OnOffConfig())
+        self.config: OnOffConfig
+
+    def _pairs(self) -> List[Tuple[str, str]]:
+        if self.config.pairs is not None:
+            return list(self.config.pairs)
+        hosts = self.hosts
+        return [(a, b) for a in hosts for b in hosts if a != b]
+
+    def _begin(self) -> None:
+        for src, dst in self._pairs():
+            self.sim.schedule(self.exp_delay(self.config.mean_off_ns),
+                              self._start_burst, src, dst)
+
+    def _start_burst(self, src: str, dst: str) -> None:
+        if not self.active:
+            return
+        duration = self.exp_delay(self.config.mean_on_ns)
+        num = max(1, duration // max(self.config.on_gap_ns, 1))
+        self.emit_burst(src, dst, sport=self.next_sport(), dport=9001,
+                        num_packets=num, size_bytes=self.config.size_bytes,
+                        gap_ns=self.config.on_gap_ns)
+        self.sim.schedule(duration + self.exp_delay(self.config.mean_off_ns),
+                          self._start_burst, src, dst)

@@ -1,0 +1,91 @@
+"""Tests for snapshot export and campaign series."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import CampaignSeries, snapshot_rows, snapshot_to_json
+from repro.core.control_plane import UnitSnapshotRecord
+from repro.core.snapshot import GlobalSnapshot
+from repro.sim.switch import Direction, UnitId
+
+
+def _unit(device="sw0", port=0, direction=Direction.INGRESS):
+    return UnitId(device, port, direction)
+
+
+def _snap(epoch, values, channel=None):
+    """values: {unit: value}"""
+    snap = GlobalSnapshot(epoch=epoch, requested_wall_ns=0,
+                          expected_units=set(values))
+    for unit, value in values.items():
+        snap.add_record(UnitSnapshotRecord(
+            unit=unit, epoch=epoch, value=value, channel_state=channel,
+            consistent=True, captured_ns=epoch * 100, read_ns=epoch * 100))
+    return snap
+
+
+class TestRows:
+    def test_rows_sorted_and_flat(self):
+        units = {_unit(port=1): 10, _unit(port=0): 5,
+                 _unit("sw1", 0): 7}
+        rows = snapshot_rows(_snap(3, units))
+        assert [(r["device"], r["port"]) for r in rows] == [
+            ("sw0", 0), ("sw0", 1), ("sw1", 0)]
+        assert rows[0]["value"] == 5
+        assert rows[0]["epoch"] == 3
+
+    def test_json_round_trips(self):
+        snap = _snap(2, {_unit(): 9}, channel=4)
+        doc = json.loads(snapshot_to_json(snap))
+        assert doc["epoch"] == 2
+        assert doc["records"][0]["total"] == 13
+        assert doc["consistent"] is True
+
+
+class TestCampaignSeries:
+    def test_series_aligned_across_snapshots(self):
+        a, b = _unit(port=0), _unit(port=1)
+        snaps = [_snap(1, {a: 1, b: 10}), _snap(2, {a: 2, b: 20}),
+                 _snap(3, {a: 3, b: 30})]
+        series = CampaignSeries.from_snapshots(snaps)
+        assert len(series) == 3
+        assert series.series[a] == [1, 2, 3]
+        assert series.series[b] == [10, 20, 30]
+
+    def test_units_missing_somewhere_dropped(self):
+        a, b = _unit(port=0), _unit(port=1)
+        snaps = [_snap(1, {a: 1, b: 10}), _snap(2, {a: 2})]
+        series = CampaignSeries.from_snapshots(snaps)
+        assert list(series.series) == [a]
+
+    def test_total_values_option(self):
+        a = _unit()
+        snaps = [_snap(1, {a: 1}, channel=5)]
+        assert CampaignSeries.from_snapshots(snaps, use_total=True).series[a] \
+            == [6]
+
+    def test_named_filters_direction(self):
+        ingress, egress = _unit(port=0), _unit(port=0, direction=Direction.EGRESS)
+        snaps = [_snap(1, {ingress: 1, egress: 2})]
+        named = CampaignSeries.from_snapshots(snaps).named(Direction.EGRESS)
+        assert list(named) == ["sw0:0"]
+        assert named["sw0:0"] == [2.0]
+
+    def test_deltas(self):
+        a = _unit()
+        snaps = [_snap(1, {a: 10}), _snap(2, {a: 25}), _snap(3, {a: 45})]
+        deltas = CampaignSeries.from_snapshots(snaps).deltas()
+        assert deltas.series[a] == [15, 20]
+        assert deltas.epochs == [2, 3]
+
+    def test_deltas_need_two_snapshots(self):
+        with pytest.raises(ValueError):
+            CampaignSeries.from_snapshots([_snap(1, {_unit(): 1})]).deltas()
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSeries.from_snapshots([])
+        with pytest.raises(ValueError):
+            CampaignSeries.from_snapshots(
+                [_snap(1, {_unit(port=0): 1}), _snap(2, {_unit(port=1): 1})])

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.topology import leaf_spine, linear, single_switch
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def leaf_spine_net() -> Network:
+    """The paper's testbed: 2 leaves x 2 spines x 6 servers."""
+    return Network(leaf_spine(), NetworkConfig(seed=1))
+
+
+@pytest.fixture
+def small_net() -> Network:
+    """A compact leaf-spine (one host per leaf) for fast protocol tests."""
+    return Network(leaf_spine(hosts_per_leaf=1), NetworkConfig(seed=1))
+
+
+@pytest.fixture
+def single_switch_net() -> Network:
+    return Network(single_switch(num_hosts=4), NetworkConfig(seed=1))
+
+
+@pytest.fixture
+def traced_net() -> Network:
+    """Leaf-spine with trace logging for consistency checking."""
+    return Network(leaf_spine(hosts_per_leaf=1),
+                   NetworkConfig(seed=1, enable_tracing=True))

@@ -1,0 +1,110 @@
+"""Tests for the consistent-campaign driver."""
+
+import pytest
+
+from repro.core import (CampaignConfig, ConsistentCampaign,
+                        ControlPlaneConfig, DeploymentConfig,
+                        ObserverConfig, SpeedlightDeployment)
+from repro.sim.engine import MS, S
+from repro.sim.network import Network, NetworkConfig
+from repro.topology import leaf_spine, single_switch
+from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
+
+
+def _deploy(topo=None, **dep_kwargs):
+    net = Network(topo or single_switch(num_hosts=2), NetworkConfig(seed=3))
+    dep_kwargs.setdefault("metric", "packet_count")
+    dep = SpeedlightDeployment(net, DeploymentConfig(**dep_kwargs))
+    return net, dep
+
+
+class TestHappyPath:
+    def test_collects_target_without_retries(self):
+        net, dep = _deploy()
+        campaign = ConsistentCampaign(net.sim, dep.observer,
+                                      CampaignConfig(target=5,
+                                                     interval_ns=5 * MS))
+        campaign.start()
+        net.run(until=1 * S)
+        assert campaign.done
+        assert len(campaign.usable) == 5
+        assert campaign.attempts == 5
+        assert campaign.discarded == []
+
+    def test_done_callback_fires_once(self):
+        net, dep = _deploy()
+        campaign = ConsistentCampaign(net.sim, dep.observer,
+                                      CampaignConfig(target=3,
+                                                     interval_ns=5 * MS))
+        calls = []
+        campaign.on_done(lambda c: calls.append(len(c.usable)))
+        campaign.start()
+        net.run(until=1 * S)
+        assert calls == [3]
+
+    def test_start_idempotent(self):
+        net, dep = _deploy()
+        campaign = ConsistentCampaign(net.sim, dep.observer,
+                                      CampaignConfig(target=2,
+                                                     interval_ns=5 * MS))
+        campaign.start()
+        campaign.start()
+        net.run(until=1 * S)
+        assert campaign.attempts == 2
+
+    def test_target_validated(self):
+        net, dep = _deploy()
+        with pytest.raises(ValueError):
+            ConsistentCampaign(net.sim, dep.observer, CampaignConfig(target=0))
+
+
+class TestRetries:
+    def test_inconsistent_snapshots_replaced(self):
+        """A switch that misses most initiations produces inconsistent
+        channel-state epochs; the campaign must keep scheduling until the
+        usable target is met anyway."""
+        net = Network(leaf_spine(hosts_per_leaf=1), NetworkConfig(seed=8))
+        duration = 3 * S
+        wl = PoissonWorkload(net, PoissonConfig(
+            seed=9, rate_pps=20_000, stop_ns=duration, sport_churn=True))
+        wl.start()
+        dep = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", channel_state=True,
+            control_plane=ControlPlaneConfig(probe_delay_ns=2 * MS),
+            observer=ObserverConfig(retry_timeout_ns=30 * MS, max_retries=1)))
+        # Sabotage leaf1's initiation scheduling for every other epoch.
+        cp = dep.control_planes["leaf1"]
+        original = cp.schedule_initiation
+        state = {"n": 0}
+
+        def flaky(epoch, at_wall_ns):
+            state["n"] += 1
+            if state["n"] % 2 == 0:
+                return  # dropped registration
+            original(epoch, at_wall_ns)
+
+        cp.schedule_initiation = flaky
+        campaign = ConsistentCampaign(net.sim, dep.observer,
+                                      CampaignConfig(target=6,
+                                                     interval_ns=10 * MS,
+                                                     deadline_ns=80 * MS))
+        campaign.start()
+        net.run(until=duration)
+        assert campaign.done
+        assert len(campaign.usable) == 6
+        assert all(s.usable for s in campaign.usable)
+        assert campaign.attempts > 6  # replacements actually happened
+
+    def test_max_attempts_bounds_runaway(self):
+        net, dep = _deploy()
+        # Break the deployment entirely: nothing ever completes.
+        net.switch("sw0").notification_sink = lambda n: None
+        campaign = ConsistentCampaign(
+            net.sim, dep.observer,
+            CampaignConfig(target=3, interval_ns=5 * MS, max_attempts=5,
+                           deadline_ns=20 * MS))
+        campaign.start()
+        net.run(until=2 * S)
+        assert not campaign.done
+        assert campaign.exhausted
+        assert campaign.attempts == 5

@@ -1,0 +1,298 @@
+"""Tests for the switch control plane (Figure 7 + liveness)."""
+
+import random
+
+import pytest
+
+from repro.core.control_plane import (ControlPlaneConfig, NotificationChannel,
+                                      SwitchControlPlane, UnitSnapshotRecord)
+from repro.core.dataplane import SpeedlightUnit
+from repro.core.ids import IdSpace
+from repro.core.notifications import Notification
+from repro.sim.clock import Clock
+from repro.sim.engine import MS, Simulator, US
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.packet import FlowKey, Packet, PacketType, SnapshotHeader
+from repro.sim.switch import Direction, UnitId
+from repro.topology import single_switch
+
+UNIT_A = UnitId("sw0", 0, Direction.INGRESS)
+
+
+def _pkt(sid):
+    pkt = Packet(flow=FlowKey("a", "b", 1, 2))
+    pkt.snapshot = SnapshotHeader(sid=sid)
+    return pkt
+
+
+def _fast_cp_config(**overrides):
+    defaults = dict(notification_service_ns=1000, notification_jitter_ns=0,
+                    initiation_cpu_ns=100, initiation_jitter_ns=0,
+                    wakeup_median_ns=100, wakeup_tail_probability=0.0,
+                    reinitiation_timeout_ns=0, probe_delay_ns=0)
+    defaults.update(overrides)
+    return ControlPlaneConfig(**defaults)
+
+
+def _bench(channel_state=False, max_sid=255, cp_config=None, ship=None):
+    """A control plane over a real single-switch network, with one unit
+    registered manually for white-box driving."""
+    net = Network(single_switch(num_hosts=2), NetworkConfig(seed=1))
+    switch = net.switch("sw0")
+    shipped = []
+    cp = SwitchControlPlane(switch, Clock(), IdSpace(max_sid),
+                            channel_state=channel_state,
+                            config=cp_config or _fast_cp_config(),
+                            ship=ship or shipped.append)
+    agent = SpeedlightUnit(UNIT_A, cp.ids, lambda: 7,
+                           channel_state=channel_state,
+                           notify=switch.send_notification)
+    switch.ports[0].ingress.snapshot_agent = agent
+    cp.register_unit(agent, gating_channels=[0] if channel_state else [])
+    return net, cp, agent, shipped
+
+
+class TestNotificationChannel:
+    def _channel(self, capacity=4, service=1000):
+        sim = Simulator()
+        handled = []
+        channel = NotificationChannel(
+            sim, random.Random(1),
+            _fast_cp_config(buffer_capacity=capacity,
+                            notification_service_ns=service),
+            handled.append)
+        return sim, channel, handled
+
+    def _notification(self, i=0):
+        return Notification(unit=UNIT_A, old_sid=i, new_sid=i + 1,
+                            timestamp_ns=i)
+
+    def test_serial_service(self):
+        sim, channel, handled = self._channel()
+        channel.deliver(self._notification(0))
+        channel.deliver(self._notification(1))
+        sim.run(until=1500)
+        assert len(handled) == 1  # second still queued behind the first
+        sim.run()
+        assert len(handled) == 2
+
+    def test_overflow_drops(self):
+        sim, channel, handled = self._channel(capacity=2)
+        for i in range(5):
+            channel.deliver(self._notification(i))
+        sim.run()
+        # One in service + two buffered; the rest dropped.
+        assert channel.dropped == 2
+        assert len(handled) == 3
+
+    def test_backlog_tracking(self):
+        sim, channel, _handled = self._channel(capacity=100)
+        for i in range(10):
+            channel.deliver(self._notification(i))
+        assert channel.backlog == 10
+        sim.run()
+        assert channel.backlog == 0
+        assert channel.max_backlog == 10
+
+
+class TestNoChannelState:
+    def test_record_shipped_on_advance(self):
+        net, cp, agent, shipped = _bench()
+        agent.process_packet(_pkt(1), 0, now_ns=5)
+        net.run(until=1 * MS)
+        assert len(shipped) == 1
+        record = shipped[0]
+        assert record.epoch == 1
+        assert record.value == 7
+        assert record.consistent
+        assert record.channel_state is None
+
+    def test_skipped_epochs_inferred_from_above(self):
+        net, cp, agent, shipped = _bench()
+        agent.process_packet(_pkt(3), 0, now_ns=5)  # jump 0 -> 3
+        net.run(until=1 * MS)
+        assert [r.epoch for r in shipped] == [1, 2, 3]
+        # Figure 7 lines 19-21: uninitialized slots take the value of the
+        # nearest initialized slot above.
+        assert all(r.value == 7 for r in shipped)
+        assert all(r.consistent for r in shipped)
+
+    def test_progress_log_filled(self):
+        net, cp, agent, _ = _bench()
+        agent.process_packet(_pkt(1), 0, now_ns=5)
+        net.run(until=1 * MS)
+        assert [(e, u) for (e, u, _t) in cp.progress_log] == [(1, UNIT_A)]
+
+    def test_rollover_handled_via_unwrap(self):
+        net, cp, agent, shipped = _bench(max_sid=7)
+        for epoch in range(1, 12):  # crosses the wrap at 8
+            agent.process_packet(_pkt(epoch % 8), 0, now_ns=net.sim.now + 1)
+            # Let the CP digest each epoch: the no-lapping window (the
+            # observer's out-of-band duty) caps how far the data plane
+            # may run ahead of the control plane's reads.
+            net.run(until=net.sim.now + 1 * MS)
+        assert [r.epoch for r in shipped] == list(range(1, 12))
+
+    def test_lapping_loses_epochs_as_documented(self):
+        # Anti-test: if the data plane races a full wrap ahead of the CP
+        # (violating the observer-enforced window), register reuse makes
+        # old epochs unrecoverable.  This pins the documented failure
+        # mode rather than silently relying on it.
+        net, cp, agent, shipped = _bench(max_sid=7)
+        for epoch in range(1, 12):
+            agent.process_packet(_pkt(epoch % 8), 0, now_ns=epoch)
+        net.run(until=5 * MS)
+        assert len(shipped) < 11
+
+
+class TestChannelState:
+    def test_completion_gated_on_last_seen(self):
+        net, cp, agent, shipped = _bench(channel_state=True)
+        agent.process_packet(_pkt(1), channel_id=0, now_ns=5)
+        net.run(until=1 * MS)
+        # Advance and last-seen move together on a single channel, so the
+        # epoch finalizes immediately.
+        assert [r.epoch for r in shipped] == [1]
+        assert shipped[0].channel_state == 0
+
+    def test_in_flight_credit_included(self):
+        net, cp, agent, shipped = _bench(channel_state=True)
+        agent.process_packet(_pkt(1), 0, 5)
+        agent.process_packet(_pkt(0), 0, 6)   # in-flight for epoch 1
+        agent.process_packet(_pkt(2), 0, 7)
+        net.run(until=1 * MS)
+        by_epoch = {r.epoch: r for r in shipped}
+        assert by_epoch[2].consistent
+        # The credit was folded into epoch... the credit lands in the
+        # current slot at arrival time, which was epoch 1.
+        assert by_epoch[1].channel_state == 1
+
+    def test_skip_marks_intermediate_epochs_inconsistent(self):
+        net, cp, agent, shipped = _bench(channel_state=True)
+        agent.process_packet(_pkt(4), 0, 5)  # jump 0 -> 4
+        net.run(until=1 * MS)
+        by_epoch = {r.epoch: r for r in shipped}
+        assert set(by_epoch) == {1, 2, 3, 4}
+        assert not by_epoch[1].consistent
+        assert not by_epoch[2].consistent
+        assert not by_epoch[3].consistent
+        assert by_epoch[4].consistent  # the landing epoch keeps its state
+
+    def test_multiple_gating_channels_gate_on_minimum(self):
+        net = Network(single_switch(num_hosts=3), NetworkConfig(seed=1))
+        switch = net.switch("sw0")
+        shipped = []
+        cp = SwitchControlPlane(switch, Clock(), IdSpace(255),
+                                channel_state=True,
+                                config=_fast_cp_config(),
+                                ship=shipped.append)
+        agent = SpeedlightUnit(UNIT_A, cp.ids, lambda: 7, channel_state=True,
+                               notify=switch.send_notification)
+        switch.ports[0].ingress.snapshot_agent = agent
+        cp.register_unit(agent, gating_channels=[0, 1])
+        agent.process_packet(_pkt(1), channel_id=0, now_ns=5)
+        net.run(until=1 * MS)
+        assert shipped == []  # channel 1 still at 0
+        agent.process_packet(_pkt(1), channel_id=1, now_ns=10)
+        net.run(until=2 * MS)
+        assert [r.epoch for r in shipped] == [1]
+
+    def test_exclude_channel_unblocks_completion(self):
+        net = Network(single_switch(num_hosts=3), NetworkConfig(seed=1))
+        switch = net.switch("sw0")
+        shipped = []
+        cp = SwitchControlPlane(switch, Clock(), IdSpace(255),
+                                channel_state=True,
+                                config=_fast_cp_config(),
+                                ship=shipped.append)
+        agent = SpeedlightUnit(UNIT_A, cp.ids, lambda: 7, channel_state=True,
+                               notify=switch.send_notification)
+        switch.ports[0].ingress.snapshot_agent = agent
+        cp.register_unit(agent, gating_channels=[0, 1])
+        agent.process_packet(_pkt(1), channel_id=0, now_ns=5)
+        net.run(until=1 * MS)
+        assert shipped == []
+        cp.exclude_channel(UNIT_A, 1)  # operator removes the idle neighbor
+        assert [r.epoch for r in shipped] == [1]
+
+
+class TestDropRecovery:
+    def test_poll_registers_recovers_lost_notifications(self):
+        # Tiny buffer: most notifications drop.
+        net, cp, agent, shipped = _bench(
+            cp_config=_fast_cp_config(buffer_capacity=1,
+                                      notification_service_ns=500 * US))
+        for epoch in range(1, 6):
+            agent.process_packet(_pkt(epoch), 0, now_ns=epoch)
+        net.run(until=10 * MS)
+        assert cp.channel.dropped > 0
+        assert len(shipped) < 5
+        cp.poll_registers()
+        assert {r.epoch for r in shipped} == {1, 2, 3, 4, 5}
+
+    def test_notification_gap_marks_conservatively(self):
+        net, cp, agent, shipped = _bench(channel_state=True)
+        # Simulate a dropped notification by delivering epoch 2's
+        # notification with old values claiming a prior unseen advance.
+        cp.channel.deliver(Notification(unit=UNIT_A, old_sid=1, new_sid=2,
+                                        timestamp_ns=5, channel=0,
+                                        old_last_seen=1, new_last_seen=2))
+        net.run(until=1 * MS)
+        by_epoch = {r.epoch: r for r in shipped}
+        # Epochs 1 and 2 are suspect: the CP missed epoch 1's notification
+        # (and the data-plane state backing it), so both ship inconsistent.
+        assert not by_epoch[1].consistent
+        assert not by_epoch[2].consistent
+
+
+class TestInitiation:
+    def test_initiation_reaches_units_and_ships_records(self):
+        net = Network(single_switch(num_hosts=2), NetworkConfig(seed=1))
+        from repro.core import DeploymentConfig, SpeedlightDeployment
+        deployment = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", channel_state=False))
+        cp = deployment.control_planes["sw0"]
+        cp.schedule_initiation(epoch=1, at_wall_ns=1 * MS)
+        net.run(until=50 * MS)
+        assert cp.local_epoch_complete(1)
+        assert cp.initiations_sent == 1
+
+    def test_initiation_at_local_clock_time(self):
+        net = Network(single_switch(num_hosts=2), NetworkConfig(seed=1))
+        switch = net.switch("sw0")
+        clock = Clock(offset_ns=-2 * MS)  # local clock runs behind
+        cp = SwitchControlPlane(switch, clock, IdSpace(255),
+                                channel_state=False,
+                                config=_fast_cp_config())
+        agent = SpeedlightUnit(UNIT_A, cp.ids, lambda: 0,
+                               notify=switch.send_notification)
+        switch.ports[0].ingress.snapshot_agent = agent
+        switch.ports[0].egress.snapshot_agent = SpeedlightUnit(
+            UnitId("sw0", 0, Direction.EGRESS), cp.ids, lambda: 0)
+        cp.register_unit(agent, [])
+        cp.schedule_initiation(epoch=1, at_wall_ns=5 * MS)
+        net.run(until=4 * MS)
+        assert agent.sid == 0  # local clock hasn't reached 5 ms yet
+        net.run(until=10 * MS)
+        assert agent.sid == 1  # fires at true time 7 ms (5 ms local)
+
+    def test_reinitiation_after_timeout(self):
+        net = Network(single_switch(num_hosts=2), NetworkConfig(seed=1))
+        from repro.core import DeploymentConfig, SpeedlightDeployment
+        from repro.core import ControlPlaneConfig
+        deployment = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", channel_state=False,
+            control_plane=ControlPlaneConfig(
+                reinitiation_timeout_ns=5 * MS, max_reinitiations=2)))
+        cp = deployment.control_planes["sw0"]
+        # Sabotage: disconnect the notification sink so completion is
+        # never observed locally -> retries must fire.
+        net.switch("sw0").notification_sink = lambda n: None
+        cp.schedule_initiation(epoch=1, at_wall_ns=1 * MS)
+        net.run(until=100 * MS)
+        assert cp.reinitiations_sent == 2
+
+    def test_duplicate_registration_rejected(self):
+        net, cp, agent, _ = _bench()
+        with pytest.raises(ValueError):
+            cp.register_unit(agent, [])

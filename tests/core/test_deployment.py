@@ -1,0 +1,170 @@
+"""Tests for deployment wiring."""
+
+import pytest
+
+from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.core.dataplane import SpeedlightUnit
+from repro.core.ideal import IdealUnit
+from repro.sim.engine import MS
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.switch import Direction, EXTERNAL_CHANNEL, UnitId
+from repro.topology import leaf_spine, single_switch
+
+
+def _net(topo=None, seed=1):
+    return Network(topo or leaf_spine(), NetworkConfig(seed=seed))
+
+
+class TestWiring:
+    def test_agents_on_every_connected_unit(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, metric="packet_count")
+        expected = sum(2 * len(sw.connected_ports())
+                       for sw in net.switches.values())
+        assert len(dep.agents) == expected
+        assert all(isinstance(a, SpeedlightUnit) for a in dep.agents.values())
+
+    def test_counters_installed_under_metric_name(self):
+        net = _net()
+        SpeedlightDeployment(net, metric="byte_count")
+        for sw in net.switches.values():
+            for port_index in sw.connected_ports():
+                assert "byte_count" in sw.ports[port_index].ingress.counters
+
+    def test_config_and_kwargs_mutually_exclusive(self):
+        net = _net()
+        with pytest.raises(TypeError):
+            SpeedlightDeployment(net, DeploymentConfig(), metric="byte_count")
+
+    def test_gauge_metric_rejects_channel_state(self):
+        net = _net()
+        with pytest.raises(ValueError, match="gauge"):
+            SpeedlightDeployment(net, metric="queue_depth",
+                                 channel_state=True)
+
+    def test_unknown_in_flight_rule_rejected(self):
+        net = _net()
+        from repro.counters.base import register_counter
+        from repro.counters.basic import PacketCounter
+        try:
+            register_counter("custom_metric", PacketCounter)
+        except ValueError:
+            pass
+        with pytest.raises(ValueError, match="in-flight"):
+            SpeedlightDeployment(net, metric="custom_metric",
+                                 channel_state=True)
+
+    def test_ideal_units_selected(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", ideal_units=True))
+        assert all(isinstance(a, IdealUnit) for a in dep.agents.values())
+        assert dep.ids.max_sid is None
+
+    def test_queue_depth_binds_egress_gauge(self):
+        net = _net(single_switch(num_hosts=2))
+        dep = SpeedlightDeployment(net, metric="queue_depth")
+        sw = net.switch("sw0")
+        ingress = sw.ports[0].ingress.counters.get("queue_depth")
+        assert ingress.read() == 0  # ingress units have no queue
+
+
+class TestGating:
+    def test_no_gating_without_channel_state(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, metric="packet_count",
+                                   channel_state=False)
+        for cp in dep.control_planes.values():
+            for tracker in cp.trackers.values():
+                assert tracker.gating == []
+
+    def test_host_facing_ingress_not_gated(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, metric="packet_count",
+                                   channel_state=True)
+        cp = dep.control_planes["leaf0"]
+        host_port = net.port_toward("leaf0", "server0")
+        tracker = cp.trackers[UnitId("leaf0", host_port, Direction.INGRESS)]
+        assert tracker.gating == []
+
+    def test_switch_facing_ingress_gated_on_external(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, metric="packet_count",
+                                   channel_state=True)
+        cp = dep.control_planes["leaf0"]
+        uplink = net.port_toward("leaf0", "spine0")
+        tracker = cp.trackers[UnitId("leaf0", uplink, Direction.INGRESS)]
+        assert tracker.gating == [EXTERNAL_CHANNEL]
+
+    def test_egress_gating_excludes_infeasible_channels(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, metric="packet_count",
+                                   channel_state=True)
+        cp = dep.control_planes["leaf0"]
+        spine0_port = net.port_toward("leaf0", "spine0")
+        spine1_port = net.port_toward("leaf0", "spine1")
+        tracker = cp.trackers[UnitId("leaf0", spine0_port, Direction.EGRESS)]
+        # Valley channel spine1 -> spine0 can never carry routed traffic.
+        assert spine1_port not in tracker.gating
+        assert 0 in tracker.gating  # server0's ingress can
+
+    def test_gate_host_channels_opt_in(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", channel_state=True,
+            gate_host_channels=True))
+        cp = dep.control_planes["leaf0"]
+        host_port = net.port_toward("leaf0", "server0")
+        tracker = cp.trackers[UnitId("leaf0", host_port, Direction.INGRESS)]
+        assert tracker.gating == [EXTERNAL_CHANNEL]
+
+
+class TestPartialDeployment:
+    def test_only_selected_switches_enabled(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", switches=["leaf0", "leaf1"]))
+        assert set(dep.control_planes) == {"leaf0", "leaf1"}
+        assert all(u.device in ("leaf0", "leaf1") for u in dep.agents)
+        for spine in ("spine0", "spine1"):
+            assert net.switch(spine).snapshot_units() == []
+
+    def test_boundary_stripping_set(self):
+        net = _net()
+        SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", switches=["leaf0", "spine0"]))
+        leaf0 = net.switch("leaf0")
+        to_spine0 = net.port_toward("leaf0", "spine0")
+        to_spine1 = net.port_toward("leaf0", "spine1")
+        assert not leaf0.ports[to_spine0].egress.strip_header_for_peer
+        assert leaf0.ports[to_spine1].egress.strip_header_for_peer
+
+    def test_partial_deployment_end_to_end(self):
+        net = _net()
+        dep = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", switches=["leaf0", "leaf1"]))
+        epoch = dep.take_snapshot()
+        net.run(until=200 * MS)
+        snap = dep.observer.snapshot(epoch)
+        assert snap.complete
+        assert {u.device for u in snap.records} == {"leaf0", "leaf1"}
+
+
+class TestConvenience:
+    def test_notification_stats_aggregates(self):
+        net = _net(single_switch(num_hosts=2))
+        dep = SpeedlightDeployment(net, metric="packet_count")
+        dep.take_snapshot()
+        net.run(until=200 * MS)
+        stats = dep.notification_stats()
+        assert stats["received"] == 4
+        assert stats["processed"] == 4
+        assert stats["dropped"] == 0
+
+    def test_sync_spread_requires_two_timestamps(self):
+        net = _net(single_switch(num_hosts=2))
+        dep = SpeedlightDeployment(net, metric="packet_count")
+        assert dep.sync_spread_ns(1) is None
+        dep.take_snapshot()
+        net.run(until=200 * MS)
+        assert dep.sync_spread_ns(1) >= 0

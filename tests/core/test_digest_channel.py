@@ -1,0 +1,99 @@
+"""Tests for the digest notification transport."""
+
+import random
+
+import pytest
+
+from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
+from repro.core.control_plane import DigestChannel
+from repro.core.notifications import Notification
+from repro.sim.engine import MS, Simulator, US
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.switch import Direction, UnitId
+from repro.topology import single_switch
+
+UNIT = UnitId("sw0", 0, Direction.INGRESS)
+
+
+def _config(**overrides):
+    defaults = dict(digest_batch=4, digest_timeout_ns=200 * US,
+                    digest_service_ns=50 * US, digest_per_record_ns=10 * US,
+                    buffer_capacity=64)
+    defaults.update(overrides)
+    return ControlPlaneConfig(**defaults)
+
+
+def _channel(config=None):
+    sim = Simulator()
+    handled = []
+    channel = DigestChannel(sim, random.Random(1), config or _config(),
+                            handled.append)
+    return sim, channel, handled
+
+
+def _notification(i):
+    return Notification(unit=UNIT, old_sid=i, new_sid=i + 1, timestamp_ns=i)
+
+
+class TestBatching:
+    def test_full_batch_ships_immediately(self):
+        sim, channel, handled = _channel()
+        for i in range(4):
+            channel.deliver(_notification(i))
+        # Shipped without waiting for the 200 us flush timer.
+        sim.run(until=150 * US)
+        assert len(handled) == 4
+        assert channel.digests_shipped == 1
+
+    def test_partial_batch_waits_for_flush_timer(self):
+        sim, channel, handled = _channel()
+        channel.deliver(_notification(0))
+        sim.run(until=100 * US)
+        assert handled == []  # still buffered on the ASIC
+        sim.run(until=400 * US)
+        assert len(handled) == 1
+
+    def test_records_preserve_order_across_digests(self):
+        sim, channel, handled = _channel()
+        for i in range(10):
+            channel.deliver(_notification(i))
+        sim.run()
+        assert [n.old_sid for n in handled] == list(range(10))
+
+    def test_per_digest_cost_amortised(self):
+        # 8 records at batch 4 = 2 wakeups; the serial socket channel
+        # would pay 8 wakeups.
+        sim, channel, handled = _channel()
+        for i in range(8):
+            channel.deliver(_notification(i))
+        sim.run()
+        assert channel.digests_shipped == 2
+        assert channel.processed == 8
+
+    def test_overflow_drops(self):
+        sim, channel, handled = _channel(_config(buffer_capacity=3))
+        for i in range(6):
+            channel.deliver(_notification(i))
+        sim.run()
+        assert channel.dropped == 3
+
+
+class TestTransportSelection:
+    def _deploy(self, transport):
+        net = Network(single_switch(num_hosts=2), NetworkConfig(seed=1))
+        dep = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count",
+            control_plane=ControlPlaneConfig(
+                notification_transport=transport)))
+        return net, dep
+
+    def test_digest_transport_completes_snapshots(self):
+        net, dep = self._deploy("digest")
+        assert isinstance(dep.control_planes["sw0"].channel, DigestChannel)
+        epoch = dep.take_snapshot()
+        net.run(until=300 * MS)
+        assert dep.observer.snapshot(epoch).complete
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            self._deploy("carrier-pigeon")

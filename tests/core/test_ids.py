@@ -1,0 +1,121 @@
+"""Tests for snapshot-ID arithmetic with wraparound."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ids import IdSpace
+
+
+class TestUnbounded:
+    def test_wrap_is_identity(self):
+        ids = IdSpace(None)
+        assert ids.wrap(12345) == 12345
+
+    def test_cmp_is_plain_comparison(self):
+        ids = IdSpace(None)
+        assert ids.cmp(3, 5) == -1
+        assert ids.cmp(5, 5) == 0
+        assert ids.cmp(9, 5) == 1
+
+    def test_unwrap_is_identity(self):
+        ids = IdSpace(None)
+        assert ids.unwrap_onto(7, 1000) == 7
+
+    def test_window_effectively_unbounded(self):
+        assert IdSpace(None).window > 10**18
+
+
+class TestWrapped:
+    def test_min_max_sid(self):
+        with pytest.raises(ValueError):
+            IdSpace(2)
+        IdSpace(3)  # smallest valid
+
+    def test_wrap(self):
+        ids = IdSpace(7)  # size 8
+        assert ids.wrap(0) == 0
+        assert ids.wrap(7) == 7
+        assert ids.wrap(8) == 0
+        assert ids.wrap(19) == 3
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            IdSpace(7).wrap(-1)
+
+    def test_cmp_without_rollover(self):
+        ids = IdSpace(7)
+        assert ids.cmp(2, 1) == 1
+        assert ids.cmp(1, 2) == -1
+        assert ids.cmp(4, 4) == 0
+
+    def test_cmp_across_rollover(self):
+        ids = IdSpace(7)  # window 3
+        # Epoch 8 wraps to 0 and follows epoch 7.
+        assert ids.cmp(0, 7) == 1
+        assert ids.cmp(7, 0) == -1
+        assert ids.cmp(1, 6) == 1  # 9 vs 6
+
+    def test_cmp_out_of_range_rejected(self):
+        ids = IdSpace(7)
+        with pytest.raises(ValueError):
+            ids.cmp(8, 0)
+
+    def test_succ_wraps(self):
+        ids = IdSpace(7)
+        assert ids.succ(6) == 7
+        assert ids.succ(7) == 0
+
+    def test_forward_distance(self):
+        ids = IdSpace(7)
+        assert ids.forward_distance(3, 5) == 2
+        assert ids.forward_distance(6, 1) == 3
+        assert ids.forward_distance(4, 4) == 0
+
+    def test_unwrap_onto_forward(self):
+        ids = IdSpace(7)
+        # Reference epoch 13 (wraps to 5); wrapped 6 -> 14.
+        assert ids.unwrap_onto(6, 13) == 14
+
+    def test_unwrap_onto_backward(self):
+        ids = IdSpace(7)
+        # Reference 13 (5); wrapped 4 -> nearest is 12.
+        assert ids.unwrap_onto(4, 13) == 12
+
+    def test_unwrap_never_negative(self):
+        ids = IdSpace(7)
+        assert ids.unwrap_onto(7, 0) >= 0
+
+
+class TestWrappedProperties:
+    @given(st.integers(min_value=3, max_value=1000),
+           st.integers(min_value=0, max_value=10**6))
+    def test_property_wrap_within_range(self, max_sid, epoch):
+        ids = IdSpace(max_sid)
+        assert 0 <= ids.wrap(epoch) <= max_sid
+
+    @given(st.integers(min_value=3, max_value=255),
+           st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=0, max_value=10**6))
+    def test_property_cmp_matches_truth_within_window(self, max_sid, a, b):
+        ids = IdSpace(max_sid)
+        if abs(a - b) > ids.window:
+            return  # outside the guarantee
+        expected = (a > b) - (a < b)
+        assert ids.cmp(ids.wrap(a), ids.wrap(b)) == expected
+
+    @given(st.integers(min_value=3, max_value=255),
+           st.integers(min_value=0, max_value=10**6),
+           st.integers(min_value=-100, max_value=100))
+    def test_property_unwrap_recovers_epoch_within_window(self, max_sid,
+                                                          reference, delta):
+        ids = IdSpace(max_sid)
+        true_epoch = reference + delta
+        if true_epoch < 0 or abs(delta) > ids.window:
+            return
+        assert ids.unwrap_onto(ids.wrap(true_epoch), reference) == true_epoch
+
+    @given(st.integers(min_value=3, max_value=255),
+           st.integers(min_value=0, max_value=10**6))
+    def test_property_succ_agrees_with_unwrapped_increment(self, max_sid, a):
+        ids = IdSpace(max_sid)
+        assert ids.succ(ids.wrap(a)) == ids.wrap(a + 1)

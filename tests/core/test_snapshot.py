@@ -1,0 +1,99 @@
+"""Tests for global snapshot assembly."""
+
+import pytest
+
+from repro.core.control_plane import UnitSnapshotRecord
+from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
+from repro.sim.switch import Direction, UnitId
+
+
+def _unit(device="sw0", port=0, direction=Direction.INGRESS):
+    return UnitId(device, port, direction)
+
+
+def _record(unit, epoch=1, value=10, channel=None, consistent=True,
+            captured=100):
+    return UnitSnapshotRecord(unit=unit, epoch=epoch, value=value,
+                              channel_state=channel, consistent=consistent,
+                              captured_ns=captured, read_ns=captured + 50)
+
+
+def _snapshot(units):
+    return GlobalSnapshot(epoch=1, requested_wall_ns=0,
+                          expected_units=set(units))
+
+
+class TestAssembly:
+    def test_complete_when_all_expected_reported(self):
+        units = [_unit(port=p) for p in range(3)]
+        snap = _snapshot(units)
+        assert not snap.complete
+        for u in units:
+            assert snap.add_record(_record(u))
+        assert snap.complete
+        assert snap.missing_units == set()
+
+    def test_unexpected_record_rejected(self):
+        snap = _snapshot([_unit()])
+        stray = _record(_unit(device="ghost"))
+        assert snap.add_record(stray) is False
+        assert stray.unit not in snap.records
+
+    def test_consistency_requires_every_record(self):
+        units = [_unit(port=p) for p in range(2)]
+        snap = _snapshot(units)
+        snap.add_record(_record(units[0], consistent=True))
+        snap.add_record(_record(units[1], consistent=False))
+        assert not snap.consistent
+        assert not snap.usable
+
+    def test_exclude_device_removes_expectations_and_records(self):
+        units = [_unit("a"), _unit("b")]
+        snap = _snapshot(units)
+        snap.add_record(_record(units[0]))
+        snap.exclude_device("a")
+        assert units[0] not in snap.records
+        assert snap.expected_units == {units[1]}
+        assert not snap.usable  # an excluded device taints the snapshot
+
+
+class TestAnalysisHelpers:
+    def test_capture_spread(self):
+        units = [_unit(port=p) for p in range(3)]
+        snap = _snapshot(units)
+        for u, t in zip(units, (100, 150, 130)):
+            snap.add_record(_record(u, captured=t))
+        assert snap.capture_spread_ns == 50
+
+    def test_empty_spread_is_zero(self):
+        assert _snapshot([_unit()]).capture_spread_ns == 0
+
+    def test_total_value_with_channel_state(self):
+        units = [_unit(port=p) for p in range(2)]
+        snap = _snapshot(units)
+        snap.add_record(_record(units[0], value=10, channel=2))
+        snap.add_record(_record(units[1], value=5, channel=1))
+        assert snap.total_value() == 18
+        assert snap.total_value(include_channel_state=False) == 15
+
+    def test_value_of_lookup(self):
+        snap = _snapshot([_unit(port=4)])
+        snap.add_record(_record(_unit(port=4), value=77))
+        assert snap.value_of("sw0", 4, Direction.INGRESS) == 77
+        with pytest.raises(KeyError):
+            snap.value_of("sw0", 5, Direction.INGRESS)
+
+    def test_device_records_sorted(self):
+        units = [_unit(port=1, direction=Direction.EGRESS),
+                 _unit(port=0, direction=Direction.INGRESS),
+                 _unit(device="other")]
+        snap = _snapshot(units)
+        for u in units:
+            snap.add_record(_record(u))
+        records = snap.device_records("sw0")
+        assert [(r.unit.port, r.unit.direction) for r in records] == [
+            (0, Direction.INGRESS), (1, Direction.EGRESS)]
+
+    def test_total_value_property_on_record(self):
+        assert _record(_unit(), value=3, channel=4).total_value == 7
+        assert _record(_unit(), value=3, channel=None).total_value == 3

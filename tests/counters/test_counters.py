@@ -1,0 +1,82 @@
+"""Tests for the counter framework and the basic counters."""
+
+import pytest
+
+from repro.counters import (ByteCounter, PacketCounter, QueueDepthCounter,
+                            COUNTER_REGISTRY, make_counter, register_counter)
+from repro.sim.packet import FlowKey, Packet
+
+
+def _pkt(size=1000):
+    return Packet(flow=FlowKey("a", "b", 1, 2), size_bytes=size)
+
+
+class TestRegistry:
+    def test_known_metrics_registered(self):
+        for name in ("packet_count", "byte_count", "ewma_interarrival",
+                     "ewma_packet_rate"):
+            assert name in COUNTER_REGISTRY
+
+    def test_make_counter_instantiates_fresh_objects(self):
+        a = make_counter("packet_count")
+        b = make_counter("packet_count")
+        a.update(_pkt(), 0)
+        assert a.read() == 1
+        assert b.read() == 0
+
+    def test_unknown_metric_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="packet_count"):
+            make_counter("no_such_metric")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_counter("packet_count", PacketCounter)
+
+
+class TestPacketCounter:
+    def test_counts_packets(self):
+        counter = PacketCounter()
+        for _ in range(5):
+            counter.update(_pkt(), 0)
+        assert counter.read() == 5
+
+    def test_reset(self):
+        counter = PacketCounter()
+        counter.update(_pkt(), 0)
+        counter.reset()
+        assert counter.read() == 0
+
+
+class TestByteCounter:
+    def test_counts_bytes(self):
+        counter = ByteCounter()
+        counter.update(_pkt(100), 0)
+        counter.update(_pkt(250), 0)
+        assert counter.read() == 350
+
+    def test_reset(self):
+        counter = ByteCounter()
+        counter.update(_pkt(), 0)
+        counter.reset()
+        assert counter.read() == 0
+
+
+class TestQueueDepthCounter:
+    def test_reads_bound_gauge(self):
+        depth = {"value": 3}
+        counter = QueueDepthCounter(lambda: depth["value"])
+        assert counter.read() == 3
+        depth["value"] = 7
+        assert counter.read() == 7
+
+    def test_update_is_noop(self):
+        counter = QueueDepthCounter(lambda: 1)
+        counter.update(_pkt(), 0)
+        assert counter.read() == 1
+
+    def test_for_egress_unit(self, single_switch_net):
+        egress = single_switch_net.switch("sw0").ports[0].egress
+        pkts = QueueDepthCounter.for_egress_unit(egress)
+        in_bytes = QueueDepthCounter.for_egress_unit(egress, in_bytes=True)
+        assert pkts.read() == 0
+        assert in_bytes.read() == 0

@@ -1,0 +1,142 @@
+"""Tests of the experiment harness (reduced sizes; the benchmarks run
+the full configurations)."""
+
+import pytest
+
+from repro.experiments import (fig9, fig10, fig11, fig12, fig13, motivation,
+                               table1)
+from repro.experiments.ablations import (IdealVsSpeedlightConfig,
+                                         InitiationConfig,
+                                         TransportConfig,
+                                         run_ideal_vs_speedlight,
+                                         run_initiation_strategies,
+                                         run_notification_transports)
+from repro.experiments.harness import TextTable
+from repro.resources import Variant
+from repro.sim.engine import MS
+
+
+class TestHarness:
+    def test_text_table_alignment(self):
+        table = TextTable(["a", "bbbb"])
+        table.add("x", 1.5)
+        table.add("longer", 2)
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "1.50" in out and "longer" in out
+
+    def test_text_table_cell_count_enforced(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add("only-one")
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        result = table1.run()
+        for variant, expected in table1.PAPER_TABLE1.items():
+            report = result.reports[variant]
+            for attr, value in expected.items():
+                assert getattr(report, attr) == pytest.approx(value)
+        assert result.report_14port.sram_kb == pytest.approx(638, abs=1)
+        assert "Table 1" in result.report()
+
+
+class TestFig9:
+    def test_quickened_shape(self):
+        config = fig9.Fig9Config(rounds=12, rate_pps=60_000.0)
+        result = fig9.run(config)
+        # Snapshots synchronize orders of magnitude tighter than polling.
+        assert result.sync_no_cs.median < 50_000          # < 50 us
+        assert result.sync_cs.median < 1_000_000          # < 1 ms
+        assert result.polling.median > 1_000_000          # > 1 ms
+        assert result.sync_no_cs.median <= result.sync_cs.median
+        assert "Figure 9" in result.report()
+
+
+class TestFig10:
+    def test_rate_scales_inversely_with_ports(self):
+        config = fig10.Fig10Config(port_counts=[4, 64], burst=15,
+                                   search_iterations=5)
+        result = fig10.run(config)
+        assert result.max_rate_hz[4] > 8 * result.max_rate_hz[64]
+        assert result.max_rate_hz[64] > 40  # paper: >70 at full search depth
+        assert "Figure 10" in result.report()
+
+
+class TestFig11:
+    def test_sync_grows_slowly_and_stays_bounded(self):
+        config = fig11.Fig11Config(router_counts=[10, 1000, 10000], trials=8)
+        result = fig11.run(config)
+        sync = result.avg_sync_ns
+        assert sync[10] < sync[1000] < sync[10000]
+        assert sync[10000] < 100_000  # the paper's <100 us bound
+        assert "Figure 11" in result.report()
+
+    def test_deterministic_given_seed(self):
+        config = fig11.Fig11Config(router_counts=[100], trials=5)
+        assert fig11.run(config).avg_sync_ns == fig11.run(config).avg_sync_ns
+
+
+class TestFig12:
+    def test_memcache_shapes(self):
+        config = fig12.Fig12Config(rounds=12, workloads=("memcache",))
+        result = fig12.run(config)
+        snap_ecmp = result.median("memcache", "ecmp", "snapshots")
+        snap_flowlet = result.median("memcache", "flowlet", "snapshots")
+        poll_flowlet = result.median("memcache", "flowlet", "polling")
+        assert snap_flowlet < snap_ecmp           # flowlets balance better
+        assert poll_flowlet > snap_flowlet        # polling overestimates
+        assert "memcache" in result.report()
+
+
+class TestFig13:
+    def test_ground_truths(self):
+        result = fig13.run(fig13.Fig13Config(rounds=40))
+        assert result.significant_fraction("snapshots") > \
+            result.significant_fraction("polling")
+        # Master port: at most noise-level correlations under snapshots.
+        assert result.master_significant("snapshots") <= 1
+        assert result.ecmp_pair_status("snapshots").count("positive") >= 1
+        assert "Figure 13" in result.report()
+
+
+class TestMotivation:
+    def test_snapshots_separate_regimes_polling_does_not(self):
+        result = motivation.run(motivation.MotivationConfig.quick())
+        assert result.separation("snapshots") > 5
+        assert result.separation("polling") < 3
+        assert "Figure 1" in result.report()
+
+
+class TestScaling:
+    def test_protocol_scales_with_complete_coverage(self):
+        from repro.experiments import scaling
+        result = scaling.run(scaling.ScalingConfig.quick())
+        for point in result.points.values():
+            assert point.completed == point.expected
+            assert point.sync.max < 100_000
+        assert "fat-trees" in result.report()
+
+
+class TestAblations:
+    def test_ideal_absorbs_skips_speedlight_marks(self):
+        result = run_ideal_vs_speedlight(IdealVsSpeedlightConfig.quick())
+        speed = result.outcomes["speedlight"]
+        ideal = result.outcomes["ideal"]
+        assert ideal["complete"] > 0
+        assert ideal["consistent"] == ideal["complete"]
+        assert speed["consistent"] < speed["complete"]
+        assert "Ablation" in result.report()
+
+    def test_multi_initiator_beats_single(self):
+        result = run_initiation_strategies(InitiationConfig(snapshots=8))
+        assert result.sync_multi.median * 50 < result.sync_single.median
+        assert "initiation" in result.report()
+
+    def test_transport_tradeoff(self):
+        result = run_notification_transports(TransportConfig.quick())
+        assert result.max_rate_hz["digest"] >= result.max_rate_hz["socket"]
+        assert result.completion_ns["digest"] > result.completion_ns["socket"]
+        assert "transport" in result.report()

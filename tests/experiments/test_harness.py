@@ -1,0 +1,47 @@
+"""Tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.analysis.stats import Cdf
+from repro.experiments.harness import TextTable, ascii_cdf, header
+
+
+class TestAsciiCdf:
+    def test_renders_all_curves_and_legend(self):
+        plot = ascii_cdf({"fast": Cdf([1, 2, 3]),
+                          "slow": Cdf([100, 200, 300])})
+        assert "* fast" in plot
+        assert "o slow" in plot
+        assert "1.0 |" in plot and "0.0 |" in plot
+
+    def test_monotone_columns_per_curve(self):
+        plot = ascii_cdf({"c": Cdf(range(1, 100))}, width=40, height=8,
+                         log_x=False)
+        rows = [line[5:] for line in plot.splitlines() if "|" in line]
+        cols = [row.index("*") for row in rows if "*" in row]
+        # CDF read top (1.0) to bottom (0.0): columns must not increase.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_log_scale_spreads_decades(self):
+        plot_log = ascii_cdf({"c": Cdf([1, 10, 100, 1000])}, log_x=True)
+        plot_lin = ascii_cdf({"c": Cdf([1, 10, 100, 1000])}, log_x=False)
+        assert plot_log != plot_lin
+
+    def test_x_scale_applied_to_labels(self):
+        plot = ascii_cdf({"c": Cdf([1000.0, 2000.0])}, x_scale=1e3,
+                         x_label="us")
+        assert "us" in plot
+        assert "2 us" in plot or "2 " in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+
+class TestHeader:
+    def test_header_contains_title_and_bar(self):
+        text = header("My Title", "subtitle here")
+        lines = text.splitlines()
+        assert lines[1] == "My Title"
+        assert lines[2] == "subtitle here"
+        assert set(lines[0]) == {"="}

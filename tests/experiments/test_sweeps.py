@@ -1,0 +1,42 @@
+"""Tests for the sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import (PtpSweepConfig, RateSweepConfig,
+                                      ServiceCostSweepConfig, run_ptp_sweep,
+                                      run_rate_sweep, run_service_cost_sweep)
+
+
+class TestServiceCostSweep:
+    def test_knee_tracks_analytical_model(self):
+        result = run_service_cost_sweep(ServiceCostSweepConfig.quick())
+        for cost, measured in result.max_rate_hz.items():
+            model = result.model_rate_hz(cost)
+            assert 0.7 * model <= measured <= 1.4 * model, cost
+        assert "knee" in result.report()
+
+    def test_rate_falls_with_cost(self):
+        result = run_service_cost_sweep(ServiceCostSweepConfig.quick())
+        costs = sorted(result.max_rate_hz)
+        rates = [result.max_rate_hz[c] for c in costs]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestPtpSweep:
+    def test_sync_degrades_with_clock_quality(self):
+        result = run_ptp_sweep(PtpSweepConfig.quick())
+        sigmas = sorted(result.sync_median_ns)
+        medians = [result.sync_median_ns[s] for s in sigmas]
+        assert medians[0] < medians[-1]
+        # NTP-class clocks forfeit the microsecond guarantee entirely.
+        assert medians[-1] > 20 * medians[0]
+        assert "clock quality" in result.report()
+
+
+class TestRateSweep:
+    def test_cs_sync_tightens_with_rate(self):
+        result = run_rate_sweep(RateSweepConfig.quick())
+        rates = sorted(result.sync_median_ns)
+        assert result.sync_median_ns[rates[-1]] < \
+            result.sync_median_ns[rates[0]]
+        assert "traffic rate" in result.report()

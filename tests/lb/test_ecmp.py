@@ -1,0 +1,65 @@
+"""Tests for ECMP load balancing."""
+
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.lb import EcmpBalancer, flow_hash
+from repro.sim.packet import FlowKey, Packet
+
+
+def _pkt(sport, dport=80, src="a", dst="b"):
+    return Packet(flow=FlowKey(src, dst, sport, dport))
+
+
+class TestFlowHash:
+    def test_deterministic(self):
+        flow = FlowKey("a", "b", 1, 2)
+        assert flow_hash(flow) == flow_hash(FlowKey("a", "b", 1, 2))
+
+    def test_salt_changes_hash(self):
+        flow = FlowKey("a", "b", 1, 2)
+        hashes = {flow_hash(flow, salt) for salt in range(16)}
+        assert len(hashes) > 8
+
+    def test_distinct_flows_usually_differ(self):
+        hashes = {flow_hash(FlowKey("a", "b", sport, 80))
+                  for sport in range(200)}
+        assert len(hashes) == 200
+
+
+class TestEcmpBalancer:
+    def test_same_flow_always_same_member(self):
+        lb = EcmpBalancer()
+        picks = {lb.select([3, 4], _pkt(1234), now_ns=t)
+                 for t in range(0, 10**6, 1000)}
+        assert len(picks) == 1
+
+    def test_flows_spread_over_members(self):
+        lb = EcmpBalancer()
+        counts = Counter(lb.select([0, 1, 2, 3], _pkt(sport), 0)
+                         for sport in range(400))
+        assert set(counts) == {0, 1, 2, 3}
+        assert all(count > 50 for count in counts.values())
+
+    def test_single_candidate(self):
+        assert EcmpBalancer().select([7], _pkt(1), 0) == 7
+
+    def test_decision_counter(self):
+        lb = EcmpBalancer()
+        for sport in range(5):
+            lb.select([0, 1], _pkt(sport), 0)
+        assert lb.decisions == 5
+
+    def test_different_salts_decorrelate_switches(self):
+        lb_a, lb_b = EcmpBalancer(salt=1), EcmpBalancer(salt=2)
+        picks_a = [lb_a.select([0, 1], _pkt(s), 0) for s in range(200)]
+        picks_b = [lb_b.select([0, 1], _pkt(s), 0) for s in range(200)]
+        agreement = sum(a == b for a, b in zip(picks_a, picks_b)) / 200
+        assert 0.3 < agreement < 0.7  # independent coin flips
+
+    @given(st.integers(min_value=0, max_value=65535),
+           st.integers(min_value=2, max_value=16))
+    def test_property_selection_in_candidates(self, sport, n):
+        candidates = list(range(100, 100 + n))
+        assert EcmpBalancer().select(candidates, _pkt(sport), 0) in candidates

@@ -1,0 +1,157 @@
+"""Property-based tests of the snapshot protocol's core invariants.
+
+Rather than fuzzing the full simulator (slow under hypothesis), these
+tests drive the protocol objects directly with randomized but valid
+event sequences and check the invariants the paper's proof sketch rests
+on (§4.2).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.control_plane import UnitSnapshotRecord
+from repro.core.dataplane import SpeedlightUnit
+from repro.core.ideal import IdealUnit
+from repro.core.ids import IdSpace
+from repro.sim.packet import FlowKey, Packet, PacketType, SnapshotHeader
+from repro.sim.switch import Direction, UnitId
+
+UNIT = UnitId("sw0", 0, Direction.INGRESS)
+
+
+def _pkt(sid):
+    pkt = Packet(flow=FlowKey("a", "b", 1, 2))
+    pkt.snapshot = SnapshotHeader(sid=sid)
+    return pkt
+
+
+# A channel script: per-channel, a nondecreasing sequence of carried
+# epochs with bounded skips — exactly what FIFO channels from correct
+# upstream neighbors can emit.
+def _channel_scripts(num_channels=3, max_events=60):
+    return st.lists(
+        st.tuples(st.integers(min_value=0, max_value=num_channels - 1),
+                  st.integers(min_value=0, max_value=2)),
+        min_size=1, max_size=max_events)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_channel_scripts())
+def test_sid_never_decreases(script):
+    """The local snapshot ID is monotone regardless of arrival order."""
+    unit = SpeedlightUnit(UNIT, IdSpace(None), lambda: 0, channel_state=True)
+    per_channel = {}
+    observed = [0]
+    for channel, advance in script:
+        epoch = per_channel.get(channel, 0) + advance
+        per_channel[channel] = epoch
+        unit.process_packet(_pkt(epoch), channel, now_ns=len(observed))
+        assert unit.sid >= observed[-1]
+        observed.append(unit.sid)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_channel_scripts())
+def test_last_seen_monotone_and_bounded_by_sid(script):
+    """Last Seen entries are monotone per channel and never exceed the
+    local ID (a channel cannot have shown us a future epoch without the
+    local ID having adopted it)."""
+    unit = SpeedlightUnit(UNIT, IdSpace(None), lambda: 0, channel_state=True)
+    per_channel = {}
+    last_seen_view = {}
+    now = 0
+    for channel, advance in script:
+        epoch = per_channel.get(channel, 0) + advance
+        per_channel[channel] = epoch
+        now += 1
+        unit.process_packet(_pkt(epoch), channel, now)
+        seen = unit.read_last_seen(channel)
+        assert seen >= last_seen_view.get(channel, 0)
+        assert seen <= unit.sid
+        last_seen_view[channel] = seen
+
+
+@settings(max_examples=80, deadline=None)
+@given(_channel_scripts())
+def test_cut_closure_no_channel_state(script):
+    """The fundamental cut property (the paper's proof): the value
+    captured for epoch i must count exactly the packets processed while
+    the unit's epoch was below i — i.e. no receive of a post-snapshot
+    send can land inside the snapshot."""
+    counter = {"v": 0}
+    unit = SpeedlightUnit(UNIT, IdSpace(None), lambda: counter["v"])
+    per_channel = {}
+    arrivals = []  # unit epoch after processing each data packet
+    now = 0
+    for channel, advance in script:
+        epoch = per_channel.get(channel, 0) + advance
+        per_channel[channel] = epoch
+        now += 1
+        unit.process_packet(_pkt(epoch), channel, now)
+        counter["v"] += 1
+        arrivals.append(unit.sid)
+    for epoch in range(1, unit.sid + 1):
+        slot = unit.read_slot(epoch)
+        if not slot.valid:
+            continue  # skipped epoch: the CP infers it from above
+        expected = sum(1 for a in arrivals[:_first_reach(arrivals, epoch)])
+        assert slot.value == expected
+
+
+def _first_reach(arrivals, epoch):
+    """Index of the packet that first brought the unit to >= epoch."""
+    for i, a in enumerate(arrivals):
+        if a >= epoch:
+            return i
+    return len(arrivals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_channel_scripts(num_channels=2))
+def test_conservation_with_channel_state_matches_ideal_oracle(script):
+    """Differential conservation: for every epoch both protocols hold,
+    Speedlight's value+channel total may differ from the ideal oracle's
+    only on epochs the marking rule would flag (skips) — on single-step
+    sequences they agree exactly (covered elsewhere); here we check the
+    weaker global invariant that Speedlight never *over*-counts."""
+    counter = {"v": 0}
+    speed = SpeedlightUnit(UNIT, IdSpace(None), lambda: counter["v"],
+                           channel_state=True)
+    ideal = IdealUnit(UNIT, lambda: counter["v"], channel_state=True)
+    per_channel = {}
+    now = 0
+    for channel, advance in script:
+        epoch = per_channel.get(channel, 0) + advance
+        per_channel[channel] = epoch
+        now += 1
+        speed.process_packet(_pkt(epoch), channel, now)
+        ideal.process_packet(_pkt(epoch), channel, now)
+        counter["v"] += 1
+    for epoch in range(1, speed.sid + 1):
+        sslot = speed.read_slot(epoch)
+        islot = ideal.snaps.get(epoch)
+        if not sslot.valid or islot is None:
+            continue
+        speed_total = sslot.value + sslot.channel_state
+        ideal_total = islot.value + islot.channel_state
+        assert speed_total <= ideal_total
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                max_size=120))
+def test_wrapped_unit_tracks_unbounded_twin(advances):
+    """A unit on a small wrapped ID space behaves identically to one on
+    an unbounded space, as long as the no-lapping window is respected."""
+    wrapped = SpeedlightUnit(UNIT, IdSpace(7), lambda: 1)
+    unbounded = SpeedlightUnit(UNIT, IdSpace(None), lambda: 1)
+    ids = IdSpace(7)
+    epoch = 0
+    for advance in advances:
+        epoch += advance
+        wrapped.process_packet(_pkt(ids.wrap(epoch)), 0, epoch)
+        unbounded.process_packet(_pkt(epoch), 0, epoch)
+        assert wrapped.sid == ids.wrap(unbounded.sid)
+        # Simulate the control plane consuming (and clearing) finalized
+        # slots promptly, which is what keeps lapping impossible.
+        if advance:
+            wrapped.clear_slot(ids.wrap(epoch - 1)) if epoch >= 1 else None

@@ -1,0 +1,85 @@
+"""Tests pinning the pipeline inventory to the Table 1 compute rows."""
+
+import pytest
+
+from repro.resources import (PIPELINE, REGISTERS, Variant, estimate,
+                             register_bytes, tables_for, totals_for)
+
+
+class TestInventoryMatchesTable1:
+    """The structural inventory must sum to the published counts — the
+    same numbers the calibrated model reports — for every variant."""
+
+    @pytest.mark.parametrize("variant", list(Variant))
+    def test_totals_agree_with_model(self, variant):
+        totals = totals_for(variant)
+        report = estimate(variant, ports=64)
+        assert totals["stateless_alus"] == report.stateless_alus
+        assert totals["stateful_alus"] == report.stateful_alus
+        assert totals["table_ids"] == report.table_ids
+        assert totals["gateways"] == report.gateways
+        assert totals["stages"] == report.stages
+
+
+class TestInventoryStructure:
+    def test_variants_monotonically_add_tables(self):
+        pc = {t.name + t.plane for t in tables_for(Variant.PACKET_COUNT)}
+        wa = {t.name + t.plane for t in tables_for(Variant.WRAP_AROUND)}
+        cs = {t.name + t.plane for t in tables_for(Variant.CHANNEL_STATE)}
+        assert pc < wa < cs
+
+    def test_stage_order_respects_dependencies(self):
+        """The snapshot-ID comparison must see the parsed header, and
+        capture must follow comparison — the sequential dependencies that
+        force 10-12 physical stages (§7.1)."""
+        for variant in Variant:
+            tables = {(t.plane, t.name): t.stage for t in tables_for(variant)}
+            assert tables[("ingress", "parse_snapshot_header")] < \
+                tables[("ingress", "compare_packet_local_id")] < \
+                tables[("ingress", "capture_snapshot_value")]
+            assert tables[("egress", "check_header_present")] < \
+                tables[("egress", "compare_packet_local_id")] < \
+                tables[("egress", "capture_snapshot_value")]
+
+    def test_ingress_precedes_egress_stages(self):
+        for table in PIPELINE:
+            if table.plane == "ingress":
+                assert table.stage <= 4
+            else:
+                assert table.stage >= 5
+
+    def test_channel_state_tables_occupy_the_two_extra_stages(self):
+        extra = [t for t in PIPELINE if t.min_variant is Variant.CHANNEL_STATE]
+        assert {t.stage for t in extra} == {10, 11}
+
+
+class TestRegisterArrays:
+    def test_channel_state_adds_last_seen(self):
+        pc = {r.name for r in REGISTERS if r.included_in(Variant.PACKET_COUNT)}
+        cs = {r.name for r in REGISTERS if r.included_in(Variant.CHANNEL_STATE)}
+        assert "last_seen" in cs - pc
+        assert "snapshot_channel_state" in cs - pc
+
+    def test_register_bytes_grow_with_ports_and_variant(self):
+        assert register_bytes(Variant.PACKET_COUNT, 64) > \
+            register_bytes(Variant.PACKET_COUNT, 14)
+        assert register_bytes(Variant.CHANNEL_STATE, 64) > \
+            register_bytes(Variant.WRAP_AROUND, 64)
+
+    def test_register_footprint_consistent_with_calibrated_slope(self):
+        """The register inventory should explain the per-port SRAM slope
+        of the calibrated model to within a factor of ~2 (match-action
+        overheads account for the rest)."""
+        for variant in Variant:
+            raw_slope_kb = (register_bytes(variant, 64)
+                            - register_bytes(variant, 14)) / 50 / 1024
+            model_slope_kb = (estimate(variant, 64).sram_kb
+                              - estimate(variant, 14).sram_kb) / 50
+            assert 0.5 <= raw_slope_kb / model_slope_kb <= 2.0, variant
+
+    def test_per_slot_arrays_dominate(self):
+        """Snapshot value storage is the big consumer, as §7.1 implies
+        ('larger register arrays ... to store the per-port statistics')."""
+        value_bytes = next(r for r in REGISTERS if r.name == "snapshot_value")
+        total = register_bytes(Variant.PACKET_COUNT, 64)
+        assert value_bytes.bytes_for(64, 256) > 0.5 * total

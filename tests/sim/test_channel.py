@@ -1,0 +1,134 @@
+"""Tests for links and loss models."""
+
+import random
+
+import pytest
+
+from repro.sim.channel import BernoulliLoss, Link, NoLoss, ScriptedLoss
+from repro.sim.engine import Simulator
+from repro.sim.packet import FlowKey, Packet
+
+
+class FakeEndpoint:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    @property
+    def endpoint_name(self):
+        return self.name
+
+    def receive_from_link(self, packet, link):
+        self.received.append(packet)
+
+
+def _pkt(seq=0):
+    return Packet(flow=FlowKey("a", "b", 1, 2), seq=seq, size_bytes=1000)
+
+
+def _wired_link(sim, **kwargs):
+    link = Link(sim, **kwargs)
+    a, b = FakeEndpoint("a"), FakeEndpoint("b")
+    link.attach(a)
+    link.attach(b)
+    return link, a, b
+
+
+class TestLink:
+    def test_transmit_delivers_after_propagation(self):
+        sim = Simulator()
+        link, a, b = _wired_link(sim, propagation_ns=250)
+        link.transmit(a, _pkt())
+        sim.run()
+        assert len(b.received) == 1
+        assert sim.now == 250
+
+    def test_duplex_both_directions(self):
+        sim = Simulator()
+        link, a, b = _wired_link(sim)
+        link.transmit(a, _pkt(1))
+        link.transmit(b, _pkt(2))
+        sim.run()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+
+    def test_fifo_order_preserved(self):
+        sim = Simulator()
+        link, a, b = _wired_link(sim, propagation_ns=100)
+        for seq in range(10):
+            link.transmit(a, _pkt(seq))
+        sim.run()
+        assert [p.seq for p in b.received] == list(range(10))
+
+    def test_third_endpoint_rejected(self):
+        sim = Simulator()
+        link, _a, _b = _wired_link(sim)
+        with pytest.raises(RuntimeError):
+            link.attach(FakeEndpoint("c"))
+
+    def test_peer_of_unattached_raises(self):
+        sim = Simulator()
+        link, _a, _b = _wired_link(sim)
+        with pytest.raises(ValueError):
+            link.peer_of(FakeEndpoint("stranger"))
+
+    def test_serialization_time(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=10_000_000_000)  # 10 Gbps
+        # 1250 bytes = 10000 bits at 10 Gbps -> 1000 ns
+        assert link.serialization_ns(1250) == 1000
+
+    def test_invalid_parameters(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link(sim, propagation_ns=-1)
+
+    def test_delivery_counter(self):
+        sim = Simulator()
+        link, a, _b = _wired_link(sim)
+        link.transmit(a, _pkt())
+        sim.run()
+        assert link.packets_delivered == 1
+
+
+class TestLossModels:
+    def test_no_loss_never_drops(self):
+        model = NoLoss()
+        assert not any(model.should_drop(_pkt()) for _ in range(100))
+
+    def test_bernoulli_certain_drop(self):
+        model = BernoulliLoss(1.0, random.Random(1))
+        assert model.should_drop(_pkt())
+        assert model.dropped == 1
+
+    def test_bernoulli_rate_roughly_honored(self):
+        model = BernoulliLoss(0.3, random.Random(1))
+        drops = sum(model.should_drop(_pkt()) for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_bernoulli_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5, random.Random(1))
+
+    def test_scripted_loss_by_uid(self):
+        victim = _pkt()
+        survivor = _pkt()
+        model = ScriptedLoss(drop_uids={victim.uid})
+        assert model.should_drop(victim)
+        assert not model.should_drop(survivor)
+        assert model.dropped == [victim]
+
+    def test_scripted_loss_by_predicate(self):
+        model = ScriptedLoss(predicate=lambda p: p.seq == 3)
+        assert not model.should_drop(_pkt(seq=1))
+        assert model.should_drop(_pkt(seq=3))
+
+    def test_lossy_link_drops_and_counts(self):
+        sim = Simulator()
+        link, a, b = _wired_link(sim, loss=BernoulliLoss(1.0, random.Random(1)))
+        assert link.transmit(a, _pkt()) is False
+        sim.run()
+        assert b.received == []
+        assert link.packets_dropped == 1

@@ -1,0 +1,167 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import MS, NS, S, Simulator, US
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_scheduling_order(self, sim):
+        order = []
+        for tag in "abcde":
+            sim.schedule(100, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_schedule_from_within_callback(self, sim):
+        order = []
+
+        def first():
+            order.append(("first", sim.now))
+            sim.schedule(5, second)
+
+        def second():
+            order.append(("second", sim.now))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert order == [("first", 10), ("second", 15)]
+
+    def test_zero_delay_runs_after_current_event(self, sim):
+        order = []
+
+        def outer():
+            sim.schedule(0, order.append, "inner")
+            order.append("outer")
+
+        sim.schedule(1, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_args_passed_through(self, sim):
+        seen = []
+        sim.schedule(1, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(10, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self, sim):
+        keep = sim.schedule(10, lambda: None)
+        drop = sim.schedule(20, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+
+class TestRunLimits:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(10, fired.append, "early")
+        sim.schedule(100, fired.append, "late")
+        sim.run(until=50)
+        assert fired == ["early"]
+        assert sim.now == 50  # clock advances to the bound
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_inclusive(self, sim):
+        fired = []
+        sim.schedule(50, fired.append, "on-time")
+        sim.run(until=50)
+        assert fired == ["on-time"]
+
+    def test_max_events(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(i + 1, fired.append, i)
+        assert sim.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+
+    def test_step(self, sim):
+        fired = []
+        sim.schedule(1, fired.append, "a")
+        sim.schedule(2, fired.append, "b")
+        assert sim.step() is True
+        assert fired == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_run_not_reentrant(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1, reenter)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_events_run_counter(self, sim):
+        for i in range(4):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_run == 4
+
+    def test_peek_time_skips_cancelled(self, sim):
+        first = sim.schedule(5, lambda: None)
+        sim.schedule(9, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 9
+
+
+class TestTimeConstants:
+    def test_unit_relationships(self):
+        assert US == 1_000 * NS
+        assert MS == 1_000 * US
+        assert S == 1_000 * MS
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1,
+                max_size=50))
+def test_property_events_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    times = []
+    for d in delays:
+        sim.schedule(d, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)

@@ -1,0 +1,90 @@
+"""Tests for end hosts."""
+
+import pytest
+
+from repro.sim.engine import MS, Simulator, US
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.packet import FlowKey, Packet, SnapshotHeader
+from repro.topology import single_switch
+
+
+def _net():
+    return Network(single_switch(num_hosts=2), NetworkConfig(seed=5))
+
+
+class TestSending:
+    def test_send_flow_delivers_all_packets(self):
+        net = _net()
+        flow = net.host("server0").send_flow("server1", 20, sport=1, dport=2)
+        net.run(until=2 * MS)
+        record = net.host("server1").received[flow]
+        assert record.packets == 20
+        assert record.bytes == 20 * 1500
+
+    def test_send_flow_respects_gap(self):
+        net = _net()
+        flow = net.host("server0").send_flow("server1", 5, sport=1, dport=2,
+                                             gap_ns=100 * US)
+        net.run(until=2 * MS)
+        record = net.host("server1").received[flow]
+        span = record.last_arrival_ns - record.first_arrival_ns
+        assert span >= 4 * 100 * US
+
+    def test_send_flow_start_delay(self):
+        net = _net()
+        net.host("server0").send_flow("server1", 1, sport=1, dport=2,
+                                      start_delay_ns=1 * MS)
+        net.run(until=500 * US)
+        assert net.host("server1").packets_received == 0
+        net.run(until=3 * MS)
+        assert net.host("server1").packets_received == 1
+
+    def test_unconnected_host_cannot_send(self):
+        sim = Simulator()
+        from repro.sim.host import Host
+        host = Host(sim, "lonely")
+        with pytest.raises(RuntimeError):
+            host.send_packet(Packet(flow=FlowKey("lonely", "x", 1, 2)))
+
+    def test_nic_paces_at_line_rate(self):
+        net = _net()
+        # 100 x 1500B at 25 Gbps = 48 us of serialization minimum.
+        net.host("server0").send_flow("server1", 100, sport=1, dport=2)
+        net.run(until=10 * US)
+        assert net.host("server1").packets_received < 100
+        net.run(until=5 * MS)
+        assert net.host("server1").packets_received == 100
+
+
+class TestReceiving:
+    def test_on_receive_callback(self):
+        net = _net()
+        got = []
+        net.host("server1").on_receive = got.append
+        net.host("server0").send_flow("server1", 3, sport=1, dport=2)
+        net.run(until=1 * MS)
+        assert len(got) == 3
+
+    def test_stray_snapshot_header_stripped_defensively(self):
+        net = _net()
+        host = net.host("server1")
+        pkt = Packet(flow=FlowKey("server0", "server1", 1, 2))
+        pkt.snapshot = SnapshotHeader(sid=3)
+        host.receive_from_link(pkt, host.link)
+        assert pkt.snapshot is None
+        assert host.packets_received == 1
+
+    def test_flow_throughput(self):
+        net = _net()
+        flow = net.host("server0").send_flow("server1", 50, sport=1, dport=2,
+                                             gap_ns=1 * US)
+        net.run(until=5 * MS)
+        bps = net.host("server1").flow_throughput_bps(flow)
+        assert bps > 0
+        # 1500B per ~1us is ~12 Gbps; allow broad bounds.
+        assert 1e9 < bps < 25e9
+
+    def test_throughput_of_unknown_flow_is_zero(self):
+        net = _net()
+        ghost = FlowKey("server0", "server1", 9, 9)
+        assert net.host("server1").flow_throughput_bps(ghost) == 0.0

@@ -1,0 +1,63 @@
+"""Tests for the management plane."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator, US
+from repro.sim.mgmt import ManagementPlane
+
+
+def _mgmt(base=50 * US, jitter=20 * US):
+    sim = Simulator()
+    return sim, ManagementPlane(sim, random.Random(3), base, jitter)
+
+
+class TestSend:
+    def test_delivery_within_latency_bounds(self):
+        sim, mgmt = _mgmt()
+        seen = []
+        mgmt.send(lambda: seen.append(sim.now))
+        sim.run()
+        assert len(seen) == 1
+        assert 50 * US <= seen[0] <= 70 * US
+
+    def test_no_jitter_is_deterministic(self):
+        sim, mgmt = _mgmt(jitter=0)
+        seen = []
+        mgmt.send(lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [50 * US]
+
+    def test_messages_counted(self):
+        sim, mgmt = _mgmt()
+        for _ in range(3):
+            mgmt.send(lambda: None)
+        assert mgmt.messages_sent == 3
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ManagementPlane(sim, random.Random(1), base_latency_ns=-1)
+
+
+class TestRequest:
+    def test_round_trip(self):
+        sim, mgmt = _mgmt(jitter=0)
+        replies = []
+        mgmt.request(lambda x: x * 2, replies.append, 21)
+        sim.run()
+        assert replies == [42]
+        assert sim.now == 100 * US  # two one-way latencies
+
+    def test_handler_runs_at_remote_time(self):
+        sim, mgmt = _mgmt(jitter=0)
+        handler_times = []
+
+        def handler():
+            handler_times.append(sim.now)
+            return None
+
+        mgmt.request(handler, lambda _result: None)
+        sim.run()
+        assert handler_times == [50 * US]

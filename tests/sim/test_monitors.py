@@ -1,0 +1,86 @@
+"""Tests for the in-simulation monitoring utilities."""
+
+import pytest
+
+from repro.sim.engine import MS, Simulator, US
+from repro.sim.monitors import LinkLoadMonitor, PeriodicSampler
+from repro.sim.network import Network, NetworkConfig
+from repro.topology import single_switch
+
+
+class TestPeriodicSampler:
+    def test_samples_at_period(self):
+        sim = Simulator()
+        clockwork = PeriodicSampler(sim, lambda: sim.now, period_ns=10 * US)
+        clockwork.start()
+        sim.run(until=100 * US)
+        times = [s.time_ns for s in clockwork.samples]
+        assert times == list(range(10 * US, 101 * US, 10 * US))
+
+    def test_stop_ns_bounds_sampling(self):
+        sim = Simulator()
+        sampler = PeriodicSampler(sim, lambda: 1.0, period_ns=10 * US)
+        sampler.start(stop_ns=50 * US)
+        sim.run(until=1 * MS)
+        assert len(sampler.samples) == 5
+
+    def test_stop_method(self):
+        sim = Simulator()
+        sampler = PeriodicSampler(sim, lambda: 1.0, period_ns=10 * US)
+        sampler.start()
+        sim.run(until=30 * US)
+        sampler.stop()
+        sim.run(until=100 * US)
+        assert len(sampler.samples) == 3
+
+    def test_statistics(self):
+        sim = Simulator()
+        values = iter([1.0, 5.0, 3.0, 100.0])
+        sampler = PeriodicSampler(sim, lambda: next(values), period_ns=10 * US)
+        sampler.start(stop_ns=40 * US)
+        sim.run(until=1 * MS)
+        assert sampler.max() == 100.0
+        assert sampler.mean() == pytest.approx(27.25)
+        assert sampler.value_at(25 * US) == 5.0
+
+    def test_value_before_first_sample_raises(self):
+        sim = Simulator()
+        sampler = PeriodicSampler(sim, lambda: 1.0, period_ns=10 * US)
+        sampler.start()
+        sim.run(until=15 * US)
+        with pytest.raises(ValueError):
+            sampler.value_at(5 * US)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicSampler(Simulator(), lambda: 0.0, period_ns=0)
+
+    def test_empty_statistics_raise(self):
+        sampler = PeriodicSampler(Simulator(), lambda: 0.0)
+        with pytest.raises(ValueError):
+            sampler.max()
+
+
+class TestLinkLoadMonitor:
+    def test_utilization_tracks_offered_load(self):
+        net = Network(single_switch(num_hosts=2), NetworkConfig(seed=1))
+        out_port = net.port_toward("sw0", "server1")
+        egress = net.switch("sw0").ports[out_port].egress
+        monitor = LinkLoadMonitor(net.sim, egress, bandwidth_bps=25 * 10**9,
+                                  window_ns=100 * US)
+        monitor.start()
+        # Line-rate burst for ~0.5 ms, then silence.
+        net.host("server0").send_flow("server1", 800, sport=1, dport=2,
+                                      size_bytes=1500)
+        net.run(until=2 * MS)
+        assert monitor.peak() > 0.8     # saturated during the burst
+        assert monitor.mean() < 0.5     # mostly idle overall
+
+    def test_idle_link_reads_zero(self):
+        net = Network(single_switch(num_hosts=2), NetworkConfig(seed=1))
+        egress = net.switch("sw0").ports[0].egress
+        monitor = LinkLoadMonitor(net.sim, egress, bandwidth_bps=25 * 10**9)
+        monitor.start(stop_ns=1 * MS)
+        net.run(until=2 * MS)
+        assert monitor.peak() == 0.0
+        assert monitor.mean() == 0.0

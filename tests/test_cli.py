@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "Speedlight" in capsys.readouterr().out
+
+    def test_experiments_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig9", "fig10", "fig11", "fig12", "fig13",
+                     "ablation-ideal", "ablation-initiation"):
+            assert name in out
+
+    def test_metrics_lists_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "packet_count" in out
+        assert "queue_depth" in out
+        assert "gauge" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "770" in out  # the channel-state SRAM figure
+
+    def test_run_fig11_quick(self, capsys):
+        assert main(["run", "fig11", "--quick"]) == 0
+        assert "Figure 11" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "total packets" in out
+        assert "consistent" in out

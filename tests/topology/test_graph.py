@@ -1,0 +1,123 @@
+"""Tests for the declarative topology description."""
+
+import pytest
+
+from repro.topology.graph import LinkSpec, NodeKind, Topology
+
+
+def _two_switch():
+    topo = Topology("t")
+    topo.add_switch("s0")
+    topo.add_switch("s1")
+    topo.add_host("h0")
+    topo.add_host("h1")
+    topo.add_link("s0", "s1")
+    topo.add_link("s0", "h0")
+    topo.add_link("s1", "h1")
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_switch("x")
+        with pytest.raises(ValueError):
+            topo.add_host("x")
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = Topology()
+        topo.add_switch("s0")
+        with pytest.raises(ValueError):
+            topo.add_link("s0", "ghost")
+
+    def test_host_to_host_link_rejected(self):
+        topo = Topology()
+        topo.add_host("h0")
+        topo.add_host("h1")
+        with pytest.raises(ValueError):
+            topo.add_link("h0", "h1")
+
+    def test_duplicate_link_rejected(self):
+        topo = _two_switch()
+        with pytest.raises(ValueError):
+            topo.add_link("s0", "s1")
+
+    def test_linkspec_other(self):
+        spec = LinkSpec("a", "b")
+        assert spec.other("a") == "b"
+        assert spec.other("b") == "a"
+        with pytest.raises(ValueError):
+            spec.other("c")
+
+
+class TestQueries:
+    def test_kinds_and_listings(self):
+        topo = _two_switch()
+        assert topo.switches == ["s0", "s1"]
+        assert topo.hosts == ["h0", "h1"]
+        assert topo.kind("s0") is NodeKind.SWITCH
+        assert topo.kind("h0") is NodeKind.HOST
+
+    def test_neighbors_and_degree(self):
+        topo = _two_switch()
+        assert topo.neighbors("s0") == ["h0", "s1"]
+        assert topo.degree("s0") == 2
+
+    def test_link_between(self):
+        topo = _two_switch()
+        assert topo.link_between("s0", "s1") is not None
+        assert topo.link_between("s0", "h1") is None
+
+    def test_connectivity(self):
+        topo = _two_switch()
+        assert topo.is_connected()
+        topo.add_switch("island")
+        assert not topo.is_connected()
+
+
+class TestEcmpNextHops:
+    def test_single_path(self):
+        topo = _two_switch()
+        assert topo.ecmp_next_hops("s0", "h1") == ["s1"]
+        assert topo.ecmp_next_hops("s0", "h0") == ["h0"]
+
+    def test_multipath(self):
+        topo = Topology()
+        for name in ("l0", "l1", "sp0", "sp1"):
+            topo.add_switch(name)
+        topo.add_host("h0")
+        topo.add_host("h1")
+        for leaf in ("l0", "l1"):
+            for spine in ("sp0", "sp1"):
+                topo.add_link(leaf, spine)
+        topo.add_link("l0", "h0")
+        topo.add_link("l1", "h1")
+        assert topo.ecmp_next_hops("l0", "h1") == ["sp0", "sp1"]
+
+    def test_hosts_never_transit(self):
+        # h0 attached to both switches would be a shorter "path"; hosts
+        # must not be considered as next hops toward other hosts.
+        topo = Topology()
+        topo.add_switch("s0")
+        topo.add_switch("s1")
+        topo.add_host("h0")
+        topo.add_host("h1")
+        topo.add_link("s0", "s1")
+        topo.add_link("s0", "h0")
+        topo.add_link("s1", "h0")  # dual-homed host
+        topo.add_link("s1", "h1")
+        assert topo.ecmp_next_hops("s0", "h1") == ["s1"]
+
+    def test_unreachable_destination(self):
+        topo = _two_switch()
+        topo.add_switch("island")
+        topo.add_host("island_h")
+        topo.add_link("island", "island_h")
+        assert topo.ecmp_next_hops("s0", "island_h") == []
+
+    def test_argument_validation(self):
+        topo = _two_switch()
+        with pytest.raises(ValueError):
+            topo.ecmp_next_hops("h0", "h1")  # source must be a switch
+        with pytest.raises(ValueError):
+            topo.ecmp_next_hops("s0", "s1")  # dst must be a host
