@@ -1,8 +1,11 @@
 # Convenience targets for the Speedlight reproduction.
 
 PYTHON ?= python
+# Worker processes for the trial runner (make figures JOBS=4).
+JOBS ?= 1
 
-.PHONY: install test bench experiments examples quick-experiments clean
+.PHONY: install test lint bench figures experiments examples \
+        quick-experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,29 +13,22 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+lint:
+	ruff check src tests benchmarks examples
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Regenerate every table/figure at full configuration.
-experiments:
-	$(PYTHON) -m repro run motivation
-	$(PYTHON) -m repro run table1
-	$(PYTHON) -m repro run fig9
-	$(PYTHON) -m repro run fig10
-	$(PYTHON) -m repro run fig11
-	$(PYTHON) -m repro run fig12
-	$(PYTHON) -m repro run fig13
-	$(PYTHON) -m repro run ablation-ideal
-	$(PYTHON) -m repro run ablation-initiation
-	$(PYTHON) -m repro run ablation-transport
-	$(PYTHON) -m repro run scaling
+# Regenerate every table/figure through the shared trial runner: one
+# combined batch (parallel across experiments with JOBS>1), cached under
+# .repro-cache so a re-run recomputes only what changed.
+figures:
+	$(PYTHON) -m repro experiments --jobs $(JOBS)
+
+experiments: figures
 
 quick-experiments:
-	for exp in motivation table1 fig9 fig10 fig11 fig12 fig13 \
-	           ablation-ideal ablation-initiation ablation-transport \
-	           scaling; do \
-	    $(PYTHON) -m repro run $$exp --quick || exit 1; \
-	done
+	$(PYTHON) -m repro experiments --quick --jobs $(JOBS)
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -44,5 +40,5 @@ examples:
 	$(PYTHON) examples/loss_localization.py
 
 clean:
-	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis .repro-cache src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

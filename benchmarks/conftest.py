@@ -6,11 +6,18 @@ rows/series the paper reports.  Run with::
 
     pytest benchmarks/ --benchmark-only
 
+Trials execute through the shared trial runner; set ``REPRO_JOBS=4`` to
+fan each experiment's trials across worker processes (results are
+bit-identical to serial — wall-clock changes, assertions don't), and
+``REPRO_CACHE_DIR=/tmp/repro-cache`` to reuse results across runs.
+
 Reports print at the end of the session so they survive pytest's output
 capture.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -24,6 +31,21 @@ def report_sink():
         _REPORTS.append(text)
 
     return sink
+
+
+@pytest.fixture
+def trial_runner():
+    """A TrialRunner configured from REPRO_JOBS / REPRO_CACHE_DIR.
+
+    Defaults to serial and uncached, so benchmark timings measure the
+    experiment itself unless the environment opts in.
+    """
+    from repro.runtime import TrialCache, TrialRunner
+
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    cache = TrialCache(cache_dir) if cache_dir else None
+    return TrialRunner(jobs=jobs, cache=cache)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

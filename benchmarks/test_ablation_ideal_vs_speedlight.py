@@ -10,10 +10,10 @@ from repro.experiments.ablations import (IdealVsSpeedlightConfig,
                                          run_ideal_vs_speedlight)
 
 
-def test_ablation_ideal_vs_speedlight(benchmark, report_sink):
+def test_ablation_ideal_vs_speedlight(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(
         run_ideal_vs_speedlight, args=(IdealVsSpeedlightConfig(),),
-        rounds=1, iterations=1)
+        kwargs={"runner": trial_runner}, rounds=1, iterations=1)
     report_sink(result.report())
     speed = result.outcomes["speedlight"]
     ideal = result.outcomes["ideal"]

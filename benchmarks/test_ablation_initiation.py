@@ -10,10 +10,10 @@ from repro.experiments.ablations import (InitiationConfig,
                                          run_initiation_strategies)
 
 
-def test_ablation_initiation_strategy(benchmark, report_sink):
+def test_ablation_initiation_strategy(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(
         run_initiation_strategies, args=(InitiationConfig(),),
-        rounds=1, iterations=1)
+        kwargs={"runner": trial_runner}, rounds=1, iterations=1)
     report_sink(result.report())
     assert result.sync_multi.median < 50_000            # us-scale
     assert result.sync_single.median > 1_000_000        # ms-scale

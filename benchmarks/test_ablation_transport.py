@@ -13,9 +13,10 @@ from repro.experiments.ablations import (TransportConfig,
                                          run_notification_transports)
 
 
-def test_ablation_notification_transport(benchmark, report_sink):
+def test_ablation_notification_transport(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(run_notification_transports,
                                 args=(TransportConfig(),),
+                                kwargs={"runner": trial_runner},
                                 rounds=1, iterations=1)
     report_sink(result.report())
     # Digests sustain at least as high a bulk rate...

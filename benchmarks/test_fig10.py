@@ -7,10 +7,11 @@ Paper targets: rate falls inversely with port count; >70 Hz sustained at
 from repro.experiments import fig10
 
 
-def test_fig10(benchmark, report_sink):
+def test_fig10(benchmark, report_sink, trial_runner):
     config = fig10.Fig10Config(port_counts=[4, 8, 16, 32, 64], burst=25,
                                search_iterations=8)
-    result = benchmark.pedantic(fig10.run, args=(config,), rounds=1,
+    result = benchmark.pedantic(fig10.run, args=(config,),
+                                kwargs={"runner": trial_runner}, rounds=1,
                                 iterations=1)
     report_sink(result.report())
     rates = result.max_rate_hz

@@ -8,8 +8,9 @@ effect over bounded jitter distributions) and stays under 100 us even at
 from repro.experiments import fig11
 
 
-def test_fig11(benchmark, report_sink):
+def test_fig11(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(fig11.run, args=(fig11.Fig11Config(),),
+                                kwargs={"runner": trial_runner},
                                 rounds=1, iterations=1)
     report_sink(result.report())
     sync = result.avg_sync_ns

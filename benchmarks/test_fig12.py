@@ -12,8 +12,9 @@ traffic rates; see EXPERIMENTS.md):
 from repro.experiments import fig12
 
 
-def test_fig12(benchmark, report_sink):
+def test_fig12(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(fig12.run, args=(fig12.Fig12Config.quick(),),
+                                kwargs={"runner": trial_runner},
                                 rounds=1, iterations=1)
     report_sink(result.report())
 

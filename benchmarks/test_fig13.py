@@ -9,8 +9,9 @@ ECMP next-hop uplink pairs correlate positively under snapshots.
 from repro.experiments import fig13
 
 
-def test_fig13(benchmark, report_sink):
+def test_fig13(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(fig13.run, args=(fig13.Fig13Config(),),
+                                kwargs={"runner": trial_runner},
                                 rounds=1, iterations=1)
     report_sink(result.report())
     # Snapshots recover more significant pairs than polling.

@@ -11,8 +11,9 @@ polling is the reproduction target.
 from repro.experiments import fig9
 
 
-def test_fig9(benchmark, report_sink):
+def test_fig9(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(fig9.run, args=(fig9.Fig9Config.quick(),),
+                                kwargs={"runner": trial_runner},
                                 rounds=1, iterations=1)
     report_sink(result.report())
     assert result.sync_no_cs.median < 30_000           # ~us scale

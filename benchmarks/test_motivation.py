@@ -9,9 +9,10 @@ magnitude; polling must not be able to tell them apart (gap ratio ~1).
 from repro.experiments import motivation
 
 
-def test_motivation(benchmark, report_sink):
+def test_motivation(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(motivation.run,
                                 args=(motivation.MotivationConfig(),),
+                                kwargs={"runner": trial_runner},
                                 rounds=1, iterations=1)
     report_sink(result.report())
     # Loads really are identical across regimes (within 10%).

@@ -4,8 +4,9 @@ companion to Figure 11's Monte-Carlo)."""
 from repro.experiments import scaling
 
 
-def test_protocol_scaling(benchmark, report_sink):
+def test_protocol_scaling(benchmark, report_sink, trial_runner):
     result = benchmark.pedantic(scaling.run, args=(scaling.ScalingConfig(),),
+                                kwargs={"runner": trial_runner},
                                 rounds=1, iterations=1)
     report_sink(result.report())
     arities = sorted(result.points)

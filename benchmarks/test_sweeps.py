@@ -11,14 +11,15 @@ from repro.experiments.sweeps import (PtpSweepConfig, RateSweepConfig,
                                       run_rate_sweep, run_service_cost_sweep)
 
 
-def _run_all():
-    return (run_service_cost_sweep(ServiceCostSweepConfig()),
-            run_ptp_sweep(PtpSweepConfig()),
-            run_rate_sweep(RateSweepConfig()))
+def _run_all(runner):
+    return (run_service_cost_sweep(ServiceCostSweepConfig(), runner=runner),
+            run_ptp_sweep(PtpSweepConfig(), runner=runner),
+            run_rate_sweep(RateSweepConfig(), runner=runner))
 
 
-def test_calibration_sweeps(benchmark, report_sink):
-    service, ptp, rate = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+def test_calibration_sweeps(benchmark, report_sink, trial_runner):
+    service, ptp, rate = benchmark.pedantic(_run_all, args=(trial_runner,),
+                                            rounds=1, iterations=1)
     report_sink("\n\n".join([service.report(), ptp.report(), rate.report()]))
     # The measured Figure 10 knee stays within 40% of the analytical
     # 1/(2 * ports * cost) model over an 8x cost range.

@@ -1,11 +1,11 @@
 """Benchmark: regenerate Table 1 (data-plane resource usage)."""
 
 from repro.experiments import table1
-from repro.resources import Variant
 
 
-def test_table1(benchmark, report_sink):
-    result = benchmark(table1.run, table1.Table1Config())
+def test_table1(benchmark, report_sink, trial_runner):
+    result = benchmark(table1.run, table1.Table1Config(),
+                       runner=trial_runner)
     report_sink(result.report())
     # The model must land exactly on the paper's published table.
     for variant, expected in table1.PAPER_TABLE1.items():

@@ -32,7 +32,7 @@ the wrapped on-wire IDs by tracking each unit's monotone epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.core.ids import IdSpace
 from repro.core.snapshot import GlobalSnapshot

@@ -23,8 +23,8 @@ only hold on legal cuts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.snapshot import GlobalSnapshot
 from repro.sim.network import Network

@@ -1,18 +1,21 @@
-"""Snapshot export and campaign time-series assembly.
+"""Snapshot export, campaign time-series assembly, and trial-row tables.
 
 Turns :class:`~repro.core.snapshot.GlobalSnapshot` objects into plain
-rows/dicts (for JSON/CSV export or ad-hoc analysis) and assembles
+rows/dicts (for JSON/CSV export or ad-hoc analysis), assembles
 campaigns into per-unit time series — the input shape for the
-correlation and balance analyses.
+correlation and balance analyses — and renders
+:class:`~repro.runtime.result.TrialResult` batches as flat rows for the
+CLI's suite summary.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.snapshot import GlobalSnapshot
+from repro.runtime.result import TrialResult
 from repro.sim.switch import Direction, UnitId
 
 
@@ -106,3 +109,32 @@ class CampaignSeries:
             epochs=self.epochs[1:],
             series={u: [b - a for a, b in zip(vals, vals[1:])]
                     for u, vals in self.series.items()})
+
+
+# ----------------------------------------------------------------------
+# Trial-result rows (the CLI's suite summary)
+# ----------------------------------------------------------------------
+
+def trial_rows(results: Sequence[TrialResult]) -> List[Dict[str, object]]:
+    """One flat dict per trial, suitable for JSON/CSV export."""
+    return [{
+        "label": r.label or r.kind,
+        "kind": r.kind,
+        "seed": r.seed,
+        "fingerprint": r.fingerprint,
+        "params": dict(r.params),
+    } for r in results]
+
+
+def render_trial_rows(results: Sequence[TrialResult]) -> str:
+    """A fixed-width table of executed trials (label, kind, id)."""
+    rows = trial_rows(results)
+    if not rows:
+        return "(no trials)"
+    label_w = max(len(str(row["label"])) for row in rows)
+    kind_w = max(len(str(row["kind"])) for row in rows)
+    lines = [f"{'trial':<{label_w}}  {'kind':<{kind_w}}  id"]
+    for row in rows:
+        lines.append(f"{row['label']:<{label_w}}  {row['kind']:<{kind_w}}  "
+                     f"{str(row['fingerprint'])[:12]}")
+    return "\n".join(lines)

@@ -2,87 +2,125 @@
 
 Commands:
 
-``experiments``
-    List the available paper experiments.
-``run <name> [--quick]``
+``experiments [--list] [--only a,b] [--quick] [--jobs N] [--no-cache]``
+    Run the full experiment suite through the shared trial runner —
+    every experiment's trial specs are submitted as **one** batch, so
+    ``--jobs 4`` parallelises across experiments, not just within one.
+    ``--list`` prints the available experiments instead of running.
+``run <name> [--quick] [--jobs N] [--no-cache] [--cache-dir DIR]``
     Run one experiment (``table1``, ``fig9`` … ``fig13``,
-    ``ablation-ideal``, ``ablation-initiation``) and print its report.
+    ``ablation-ideal``, ``sweep-ptp`` …) and print its report.
 ``metrics``
     List the snapshot-capable metrics and whether they support channel
     state.
 ``demo``
     A 30-second tour: build the testbed, take snapshots, print results.
+
+Caching: results are keyed by (spec fingerprint, code version) under
+``--cache-dir`` (default ``.repro-cache``), so a re-run recomputes only
+trials whose spec or code changed.  ``--no-cache`` disables reads and
+writes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.deployment import GAUGE_METRICS
 
 
-def _experiment_registry() -> Dict[str, Tuple[Callable, Callable]]:
-    """name -> (run(config) -> result, config factory)."""
-    from repro.experiments import (fig9, fig10, fig11, fig12, fig13,
-                                   motivation, scaling, sweeps, table1)
-    from repro.experiments import ablations
+def _make_runner(args: argparse.Namespace):
+    """Build the TrialRunner the flags describe (progress on stderr)."""
+    from repro.runtime import TrialCache, TrialRunner
 
-    return {
-        "motivation": (motivation.run, motivation.MotivationConfig),
-        "table1": (table1.run, table1.Table1Config),
-        "fig9": (fig9.run, fig9.Fig9Config),
-        "fig10": (fig10.run, fig10.Fig10Config),
-        "fig11": (fig11.run, fig11.Fig11Config),
-        "fig12": (fig12.run, fig12.Fig12Config),
-        "fig13": (fig13.run, fig13.Fig13Config),
-        "ablation-ideal": (ablations.run_ideal_vs_speedlight,
-                           ablations.IdealVsSpeedlightConfig),
-        "ablation-initiation": (ablations.run_initiation_strategies,
-                                ablations.InitiationConfig),
-        "ablation-transport": (ablations.run_notification_transports,
-                               ablations.TransportConfig),
-        "sweep-service-cost": (sweeps.run_service_cost_sweep,
-                               sweeps.ServiceCostSweepConfig),
-        "sweep-ptp": (sweeps.run_ptp_sweep, sweeps.PtpSweepConfig),
-        "sweep-rate": (sweeps.run_rate_sweep, sweeps.RateSweepConfig),
-        "scaling": (scaling.run, scaling.ScalingConfig),
-    }
+    if args.no_cache:
+        cache = None
+    else:
+        try:
+            cache = TrialCache(args.cache_dir)
+        except OSError as exc:
+            print(f"cannot use cache dir {args.cache_dir!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    return TrialRunner(jobs=args.jobs, cache=cache,
+                       progress=lambda msg: print(f"  [{msg}]",
+                                                  file=sys.stderr))
 
 
-def cmd_experiments(_args: argparse.Namespace) -> int:
-    descriptions = {
-        "motivation": "Figure 1: balanced vs. alternating queues",
-        "table1": "data-plane resource usage on the Tofino",
-        "fig9": "synchronization CDFs: snapshots vs. polling",
-        "fig10": "max sustained snapshot rate vs. ports/router",
-        "fig11": "average synchronization vs. network size",
-        "fig12": "load-balance stddev: ECMP/flowlet x snapshot/poll",
-        "fig13": "port correlations under GraphX",
-        "ablation-ideal": "idealised vs. hardware-constrained data plane",
-        "ablation-initiation": "multi- vs. single-initiator",
-        "ablation-transport": "raw-socket vs. digest notifications",
-        "sweep-service-cost": "Fig 10 knee vs. per-notification CPU cost",
-        "sweep-ptp": "snapshot sync vs. clock quality (PTP->NTP)",
-        "sweep-rate": "channel-state sync vs. traffic rate",
-        "scaling": "full protocol on growing fat-trees",
-    }
-    for name in _experiment_registry():
-        print(f"  {name:<21} {descriptions[name]}")
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.runtime import DEFAULT_CACHE_DIR
+
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced configuration (CI-sized)")
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"result cache root (default: {DEFAULT_CACHE_DIR})")
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import registry
+
+    reg = registry()
+    if args.list:
+        for name, exp in reg.items():
+            print(f"  {name:<21} {exp.description}")
+        return 0
+
+    names = list(reg)
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in names if n not in reg]
+        if unknown:
+            print(f"unknown experiment(s) {', '.join(unknown)}; run "
+                  "`python -m repro experiments --list`", file=sys.stderr)
+            return 2
+
+    # One combined batch across all selected experiments: the runner
+    # sees every trial at once, so --jobs fans out across experiments.
+    runner = _make_runner(args)
+    configs = {name: reg[name].config(quick=args.quick) for name in names}
+    batches = {name: reg[name].specs(configs[name]) for name in names}
+    flat = [spec for name in names for spec in batches[name]]
+    results = runner.run_batch(flat)
+
+    cursor = 0
+    reports = []
+    for name in names:
+        count = len(batches[name])
+        chunk = results[cursor:cursor + count]
+        cursor += count
+        reports.append(reg[name].assemble(configs[name], chunk).report())
+    print("\n\n".join(reports))
+    print(f"\n[{runner.last_stats.summary()}]", file=sys.stderr)
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    registry = _experiment_registry()
-    if args.name not in registry:
+    from repro.experiments import registry
+
+    reg = registry()
+    if args.name not in reg:
         print(f"unknown experiment {args.name!r}; run "
-              "`python -m repro experiments` for the list", file=sys.stderr)
+              "`python -m repro experiments --list`", file=sys.stderr)
         return 2
-    run, config_cls = registry[args.name]
-    config = config_cls.quick() if args.quick else config_cls()
-    result = run(config)
+    exp = reg[args.name]
+    runner = _make_runner(args)
+    result = exp.run(exp.config(quick=args.quick), runner=runner)
     print(result.report())
+    print(f"\n[{runner.last_stats.summary()}]", file=sys.stderr)
     return 0
 
 
@@ -102,7 +140,7 @@ def cmd_metrics(_args: argparse.Namespace) -> int:
 
 def cmd_demo(_args: argparse.Namespace) -> int:
     from repro.core import DeploymentConfig, SpeedlightDeployment
-    from repro.sim.engine import MS, S
+    from repro.sim.engine import MS
     from repro.sim.network import Network, NetworkConfig
     from repro.topology import leaf_spine
     from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
@@ -132,19 +170,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="Synchronized Network Snapshots (Speedlight) reproduction")
     sub = parser.add_subparsers(dest="command")
 
-    sub.add_parser("experiments", help="list available experiments")
+    exp_parser = sub.add_parser(
+        "experiments",
+        help="run the full experiment suite (or --list to enumerate)")
+    exp_parser.add_argument("--list", action="store_true",
+                            help="list available experiments and exit")
+    exp_parser.add_argument("--only", metavar="A,B",
+                            help="comma-separated subset to run")
+    _add_runner_flags(exp_parser)
 
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("name")
-    run_parser.add_argument("--quick", action="store_true",
-                            help="reduced configuration (CI-sized)")
+    _add_runner_flags(run_parser)
 
     sub.add_parser("metrics", help="list snapshot-capable metrics")
     sub.add_parser("demo", help="a 30-second end-to-end tour")
     return parser
 
 
-def main(argv: Optional[list] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {

@@ -17,7 +17,7 @@ already schedules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.observer import SnapshotObserver

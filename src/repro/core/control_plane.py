@@ -47,7 +47,7 @@ from __future__ import annotations
 import math
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.core.dataplane import SpeedlightUnit
@@ -56,8 +56,7 @@ from repro.core.notifications import Notification
 from repro.sim.clock import Clock
 from repro.sim.engine import Simulator, US, MS
 from repro.sim.packet import Packet, PacketType, SnapshotHeader, FlowKey, make_initiation_packet
-from repro.sim.switch import (BROADCAST_DST, CPU_CHANNEL, Direction, Switch,
-                              UnitId)
+from repro.sim.switch import BROADCAST_DST, Switch, UnitId
 
 
 @dataclass

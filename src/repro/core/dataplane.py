@@ -29,8 +29,8 @@ snapshot).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.core.ids import IdSpace
 from repro.core.notifications import Notification

@@ -30,7 +30,7 @@ unit gates on every connected ingress port of its switch except its own
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from repro.core.control_plane import (ControlPlaneConfig, SwitchControlPlane,
                                       UnitSnapshotRecord)
@@ -42,8 +42,7 @@ from repro.counters import (FibVersionCounter, QueueDepthCounter,
                             QueueHighWatermark, make_counter)
 from repro.sim.network import Network
 from repro.sim.packet import Packet
-from repro.sim.switch import (CPU_CHANNEL, Direction, EXTERNAL_CHANNEL,
-                              Switch, UnitId)
+from repro.sim.switch import Direction, Switch, UnitId
 from repro.topology.graph import NodeKind
 
 #: Metrics that are gauges: channel state (in-flight accumulation) has

@@ -24,7 +24,7 @@ Responsibilities implemented here (§6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.control_plane import SwitchControlPlane, UnitSnapshotRecord

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.core.control_plane import UnitSnapshotRecord
 from repro.sim.switch import Direction, UnitId

@@ -5,8 +5,12 @@ Every module exposes the same shape:
 * a ``Config`` dataclass with a ``quick()`` classmethod (reduced sizes
   for CI/benchmarks) — the default constructor matches the paper's
   parameters as closely as simulation cost allows;
-* ``run(config) -> Result`` — executes the experiment and returns a
-  structured result;
+* ``specs(config) -> List[TrialSpec]`` — the experiment as a batch of
+  independent, picklable trial specs (see :mod:`repro.runtime`);
+* ``assemble(config, results) -> Result`` — folds the per-trial rows
+  back into a structured result;
+* ``run(config, runner=None) -> Result`` — convenience wrapper:
+  ``assemble(config, runner.run_batch(specs(config)))``;
 * ``Result.report() -> str`` — the rows/series the paper reports,
   formatted for the terminal.
 
@@ -14,6 +18,10 @@ Run any experiment directly::
 
     python -m repro.experiments.fig9
     python -m repro.experiments.table1
+
+or the whole suite through the shared trial runner (parallel, cached)::
+
+    python -m repro experiments --jobs 4
 
 Index (see DESIGN.md for the full mapping):
 
@@ -28,6 +36,91 @@ ablations   ideal-vs-speedlight data plane; multi- vs single-initiator
 ==========  =============================================================
 """
 
-from repro.experiments import harness
+from __future__ import annotations
 
-__all__ = ["harness"]
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments import harness
+from repro.runtime import TrialResult, TrialRunner, TrialSpec
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A uniform handle on one paper experiment for the CLI/tools.
+
+    ``specs``/``assemble`` expose the trial decomposition so callers can
+    batch *several* experiments through one :class:`TrialRunner` (the
+    CLI submits the whole suite as a single batch for maximum
+    parallelism); ``run`` is the one-experiment convenience path.
+    """
+
+    name: str
+    description: str
+    config_cls: type
+    specs: Callable[[object], List[TrialSpec]]
+    assemble: Callable[[object, Sequence[TrialResult]], object]
+
+    def config(self, quick: bool = False) -> object:
+        return self.config_cls.quick() if quick else self.config_cls()
+
+    def run(self, config: object, runner: TrialRunner = None) -> object:
+        runner = runner or TrialRunner()
+        return self.assemble(config, runner.run_batch(self.specs(config)))
+
+
+def registry() -> Dict[str, Experiment]:
+    """All paper experiments, in presentation order.
+
+    Imports lazily so ``import repro.experiments`` (and light CLI
+    commands like ``metrics``) stay cheap.
+    """
+    from repro.experiments import (ablations, fig9, fig10, fig11, fig12,
+                                   fig13, motivation, scaling, sweeps,
+                                   table1)
+
+    entries = [
+        Experiment("motivation", "Figure 1: balanced vs. alternating queues",
+                   motivation.MotivationConfig, motivation.specs,
+                   motivation.assemble),
+        Experiment("table1", "data-plane resource usage on the Tofino",
+                   table1.Table1Config, table1.specs, table1.assemble),
+        Experiment("fig9", "synchronization CDFs: snapshots vs. polling",
+                   fig9.Fig9Config, fig9.specs, fig9.assemble),
+        Experiment("fig10", "max sustained snapshot rate vs. ports/router",
+                   fig10.Fig10Config, fig10.specs, fig10.assemble),
+        Experiment("fig11", "average synchronization vs. network size",
+                   fig11.Fig11Config, fig11.specs, fig11.assemble),
+        Experiment("fig12", "load-balance stddev: ECMP/flowlet x "
+                   "snapshot/poll", fig12.Fig12Config, fig12.specs,
+                   fig12.assemble),
+        Experiment("fig13", "port correlations under GraphX",
+                   fig13.Fig13Config, fig13.specs, fig13.assemble),
+        Experiment("ablation-ideal",
+                   "idealised vs. hardware-constrained data plane",
+                   ablations.IdealVsSpeedlightConfig, ablations.ideal_specs,
+                   ablations.ideal_assemble),
+        Experiment("ablation-initiation", "multi- vs. single-initiator",
+                   ablations.InitiationConfig, ablations.initiation_specs,
+                   ablations.initiation_assemble),
+        Experiment("ablation-transport",
+                   "raw-socket vs. digest notifications",
+                   ablations.TransportConfig, ablations.transport_specs,
+                   ablations.transport_assemble),
+        Experiment("sweep-service-cost",
+                   "Fig 10 knee vs. per-notification CPU cost",
+                   sweeps.ServiceCostSweepConfig, sweeps.service_cost_specs,
+                   sweeps.service_cost_assemble),
+        Experiment("sweep-ptp", "snapshot sync vs. clock quality (PTP->NTP)",
+                   sweeps.PtpSweepConfig, sweeps.ptp_specs,
+                   sweeps.ptp_assemble),
+        Experiment("sweep-rate", "channel-state sync vs. traffic rate",
+                   sweeps.RateSweepConfig, sweeps.rate_specs,
+                   sweeps.rate_assemble),
+        Experiment("scaling", "full protocol on growing fat-trees",
+                   scaling.ScalingConfig, scaling.specs, scaling.assemble),
+    ]
+    return {e.name: e for e in entries}
+
+
+__all__ = ["Experiment", "harness", "registry"]

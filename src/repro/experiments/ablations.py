@@ -21,17 +21,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import Cdf
 from repro.core import (ControlPlaneConfig, DeploymentConfig, ObserverConfig,
                         SpeedlightDeployment)
+from repro.experiments.campaigns import start_poisson
 from repro.experiments.harness import TextTable, header
-from repro.sim.engine import MS, S
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
+from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
-from repro.topology import leaf_spine
-from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
+from repro.topology import leaf_spine, single_switch
 
 
 # ----------------------------------------------------------------------
@@ -84,10 +85,8 @@ def _run_starved(config: IdealVsSpeedlightConfig, ideal: bool) -> Dict[str, int]
     network = Network(leaf_spine(hosts_per_leaf=1),
                       NetworkConfig(seed=config.seed))
     duration = 30 * MS + config.snapshots * config.interval_ns + 300 * MS
-    workload = PoissonWorkload(network, PoissonConfig(
-        seed=config.seed + 1, rate_pps=config.rate_pps, stop_ns=duration,
-        sport_churn=True))
-    workload.start()
+    start_poisson(network, seed=config.seed + 1, rate_pps=config.rate_pps,
+                  stop_ns=duration)
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count", channel_state=True, ideal_units=ideal,
         max_sid=None if ideal else 4095,
@@ -114,12 +113,41 @@ def _run_starved(config: IdealVsSpeedlightConfig, ideal: bool) -> Dict[str, int]
     return {"complete": complete, "consistent": consistent}
 
 
+def ideal_specs(config: IdealVsSpeedlightConfig) -> List[TrialSpec]:
+    """One spec per data-plane kind (speedlight, ideal)."""
+    return [TrialSpec(kind="ablation_ideal",
+                      params=dict(kind=kind, snapshots=config.snapshots,
+                                  interval_ns=config.interval_ns,
+                                  rate_pps=config.rate_pps,
+                                  starved_switch=config.starved_switch,
+                                  starvation_period=config.starvation_period),
+                      seed=config.seed, label=f"ablation-ideal/{kind}")
+            for kind in ("speedlight", "ideal")]
+
+
+@trial("ablation_ideal")
+def run_ideal_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = IdealVsSpeedlightConfig(
+        seed=spec.seed, snapshots=p["snapshots"],
+        interval_ns=p["interval_ns"], rate_pps=p["rate_pps"],
+        starved_switch=p["starved_switch"],
+        starvation_period=p["starvation_period"])
+    return make_result(spec, _run_starved(config, ideal=p["kind"] == "ideal"))
+
+
+def ideal_assemble(config: IdealVsSpeedlightConfig,
+                   results: Sequence[TrialResult]) -> IdealVsSpeedlightResult:
+    return IdealVsSpeedlightResult(
+        config=config,
+        outcomes={r.params["kind"]: dict(r.data) for r in results})
+
+
 def run_ideal_vs_speedlight(
-        config: IdealVsSpeedlightConfig = IdealVsSpeedlightConfig()
-) -> IdealVsSpeedlightResult:
-    return IdealVsSpeedlightResult(config=config, outcomes={
-        "speedlight": _run_starved(config, ideal=False),
-        "ideal": _run_starved(config, ideal=True)})
+        config: IdealVsSpeedlightConfig = IdealVsSpeedlightConfig(),
+        runner: Optional[TrialRunner] = None) -> IdealVsSpeedlightResult:
+    runner = runner or TrialRunner()
+    return ideal_assemble(config, runner.run_batch(ideal_specs(config)))
 
 
 # ----------------------------------------------------------------------
@@ -159,14 +187,13 @@ class InitiationResult:
             "multi-initiator design."])
 
 
-def _sync_cdf(config: InitiationConfig, initiators: Optional[List[str]]) -> Cdf:
+def _sync_samples(config: InitiationConfig,
+                  initiators: Optional[List[str]]) -> List[float]:
     network = Network(leaf_spine(hosts_per_leaf=1),
                       NetworkConfig(seed=config.seed))
     duration = 30 * MS + config.snapshots * config.interval_ns + 200 * MS
-    workload = PoissonWorkload(network, PoissonConfig(
-        seed=config.seed + 1, rate_pps=config.rate_pps, stop_ns=duration,
-        sport_churn=True))
-    workload.start()
+    start_poisson(network, seed=config.seed + 1, rate_pps=config.rate_pps,
+                  stop_ns=duration)
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count", channel_state=False, max_sid=4095))
     epochs = [deployment.observer.take_snapshot(
@@ -174,15 +201,44 @@ def _sync_cdf(config: InitiationConfig, initiators: Optional[List[str]]) -> Cdf:
         initiators=initiators) for i in range(config.snapshots)]
     network.run(until=duration)
     spreads = [deployment.sync_spread_ns(e) for e in epochs]
-    return Cdf([s for s in spreads if s is not None])
+    return [float(s) for s in spreads if s is not None]
+
+
+def initiation_specs(config: InitiationConfig) -> List[TrialSpec]:
+    """One spec per initiation strategy."""
+    return [TrialSpec(kind="ablation_initiation",
+                      params=dict(strategy=strategy,
+                                  snapshots=config.snapshots,
+                                  interval_ns=config.interval_ns,
+                                  rate_pps=config.rate_pps),
+                      seed=config.seed, label=f"ablation-initiation/{strategy}")
+            for strategy in ("multi", "single")]
+
+
+@trial("ablation_initiation")
+def run_initiation_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = InitiationConfig(seed=spec.seed, snapshots=p["snapshots"],
+                              interval_ns=p["interval_ns"],
+                              rate_pps=p["rate_pps"])
+    initiators = None if p["strategy"] == "multi" else ["spine0"]
+    return make_result(spec, {"samples": _sync_samples(config, initiators)})
+
+
+def initiation_assemble(config: InitiationConfig,
+                        results: Sequence[TrialResult]) -> InitiationResult:
+    samples = {r.params["strategy"]: r.data["samples"] for r in results}
+    return InitiationResult(config=config,
+                            sync_multi=Cdf(samples["multi"]),
+                            sync_single=Cdf(samples["single"]))
 
 
 def run_initiation_strategies(
-        config: InitiationConfig = InitiationConfig()) -> InitiationResult:
-    return InitiationResult(
-        config=config,
-        sync_multi=_sync_cdf(config, initiators=None),
-        sync_single=_sync_cdf(config, initiators=["spine0"]))
+        config: InitiationConfig = InitiationConfig(),
+        runner: Optional[TrialRunner] = None) -> InitiationResult:
+    runner = runner or TrialRunner()
+    return initiation_assemble(config,
+                               runner.run_batch(initiation_specs(config)))
 
 
 # ----------------------------------------------------------------------
@@ -234,43 +290,17 @@ def _transport_cp_config(transport: str) -> ControlPlaneConfig:
 
 
 def _transport_max_rate(config: TransportConfig, transport: str) -> float:
+    # Reuse Fig 10's knee search with the transport's control-plane
+    # configuration swapped in (no monkeypatching: _max_rate takes it).
     from repro.experiments.fig10 import Fig10Config, _max_rate
-    import repro.experiments.fig10 as fig10_module
 
-    # Reuse Fig 10's knee search with the transport swapped in.
-    original = fig10_module._sustained
-
-    def sustained(ports: int, rate_hz: float, f10cfg) -> bool:
-        network = Network(_single(config), NetworkConfig(seed=config.seed))
-        deployment = SpeedlightDeployment(network, DeploymentConfig(
-            metric="packet_count", channel_state=False, max_sid=None,
-            control_plane=_transport_cp_config(transport),
-            observer=ObserverConfig(retry_timeout_ns=10 * S)))
-        interval_ns = int(1e9 / rate_hz)
-        deployment.schedule_campaign(f10cfg.burst, interval_ns)
-        network.run(until=10 * MS + f10cfg.burst * interval_ns + 200 * MS)
-        stats = deployment.notification_stats()
-        if stats["dropped"] > 0 or stats["backlog"] > 0:
-            return False
-        cp = next(iter(deployment.control_planes.values()))
-        return cp.channel.max_backlog <= 2.5 * 2 * config.ports
-
-    fig10_module._sustained = sustained
-    try:
-        rate = _max_rate(config.ports,
-                         Fig10Config(burst=25, search_iterations=7))
-    finally:
-        fig10_module._sustained = original
-    return rate
-
-
-def _single(config: TransportConfig):
-    from repro.topology import single_switch
-    return single_switch(num_hosts=config.ports)
+    return _max_rate(config.ports,
+                     Fig10Config(seed=config.seed, burst=25,
+                                 search_iterations=7),
+                     control_plane=_transport_cp_config(transport))
 
 
 def _transport_completion(config: TransportConfig, transport: str) -> float:
-    from repro.topology import single_switch
     # Sparse regime: a small switch emits a handful of notifications per
     # snapshot, so batching transports sit on the flush timer.
     network = Network(single_switch(num_hosts=4),
@@ -296,14 +326,48 @@ def _transport_completion(config: TransportConfig, transport: str) -> float:
     return float(latencies[len(latencies) // 2])
 
 
+def transport_specs(config: TransportConfig) -> List[TrialSpec]:
+    """One spec per (transport, measurement) — four-way parallel."""
+    return [TrialSpec(kind="ablation_transport",
+                      params=dict(transport=transport, measure=measure,
+                                  ports=config.ports,
+                                  snapshots=config.snapshots,
+                                  interval_ns=config.interval_ns),
+                      seed=config.seed,
+                      label=f"ablation-transport/{transport}/{measure}")
+            for transport in ("socket", "digest")
+            for measure in ("rate", "completion")]
+
+
+@trial("ablation_transport")
+def run_transport_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = TransportConfig(seed=spec.seed, ports=p["ports"],
+                             snapshots=p["snapshots"],
+                             interval_ns=p["interval_ns"])
+    measure = (_transport_max_rate if p["measure"] == "rate"
+               else _transport_completion)
+    return make_result(spec, {"value": measure(config, p["transport"])})
+
+
+def transport_assemble(config: TransportConfig,
+                       results: Sequence[TrialResult]) -> TransportResult:
+    max_rate_hz: Dict[str, float] = {}
+    completion_ns: Dict[str, float] = {}
+    for r in results:
+        bucket = (max_rate_hz if r.params["measure"] == "rate"
+                  else completion_ns)
+        bucket[r.params["transport"]] = r.data["value"]
+    return TransportResult(config=config, max_rate_hz=max_rate_hz,
+                           completion_ns=completion_ns)
+
+
 def run_notification_transports(
-        config: TransportConfig = TransportConfig()) -> TransportResult:
-    return TransportResult(
-        config=config,
-        max_rate_hz={t: _transport_max_rate(config, t)
-                     for t in ("socket", "digest")},
-        completion_ns={t: _transport_completion(config, t)
-                       for t in ("socket", "digest")})
+        config: TransportConfig = TransportConfig(),
+        runner: Optional[TrialRunner] = None) -> TransportResult:
+    runner = runner or TrialRunner()
+    return transport_assemble(config,
+                              runner.run_batch(transport_specs(config)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -7,30 +7,69 @@ module provides that, with matched parameters so the two collection
 methods are compared apples-to-apples (same topology seed, same workload
 seed, same cadence — only the measurement mechanism differs, exactly as
 in §8.3/§8.4).
+
+It also hosts the spec-construction helpers shared by every trial
+function that runs a Poisson-driven snapshot campaign on the testbed
+(Figure 9, the ablations, the sensitivity sweeps): network construction,
+traffic start, and the campaign time window.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
 from repro.lb import EcmpBalancer, FlowletBalancer
 from repro.polling import PollTarget, PollingConfig, PollingObserver
+from repro.sim.clock import PTPConfig
 from repro.sim.engine import MS, US
 from repro.sim.network import Network, NetworkConfig
-from repro.sim.switch import Direction, UnitId
+from repro.sim.switch import Direction
 from repro.topology import leaf_spine
 from repro.workloads import (GraphXPageRankWorkload, HadoopTerasortWorkload,
                              MemcacheWorkload, Workload)
 from repro.workloads.graphx import GraphXConfig
 from repro.workloads.hadoop import HadoopConfig
 from repro.workloads.memcache import MemcacheConfig
+from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
 
 #: Target = (switch, port, direction); a measurement round maps each
 #: target to the metric value observed for it.
 Target = Tuple[str, int, Direction]
 Round = Dict[Target, int]
+
+
+# ----------------------------------------------------------------------
+# Spec-construction helpers shared across the trial functions
+# ----------------------------------------------------------------------
+
+def poisson_network(seed: int, hosts_per_leaf: int = 1,
+                    ptp: Optional[PTPConfig] = None) -> Network:
+    """The leaf-spine testbed used by the synchronization experiments."""
+    config = (NetworkConfig(seed=seed) if ptp is None
+              else NetworkConfig(seed=seed, ptp_config=ptp))
+    return Network(leaf_spine(hosts_per_leaf=hosts_per_leaf), config)
+
+
+def start_poisson(network: Network, *, seed: int, rate_pps: float,
+                  stop_ns: int, sport_churn: bool = True) -> PoissonWorkload:
+    """Dense all-pairs Poisson traffic (connection-churned so every
+    gating channel stays hot — see fig9's module docstring)."""
+    workload = PoissonWorkload(network, PoissonConfig(
+        seed=seed, rate_pps=rate_pps, stop_ns=stop_ns,
+        sport_churn=sport_churn))
+    workload.start()
+    return workload
+
+
+def campaign_window(rounds: int, interval_ns: int, *,
+                    lead_ns: int = 10 * MS,
+                    settle_ns: int = 100 * MS) -> int:
+    """Simulation duration covering a measurement campaign: lead-in,
+    the campaign itself, and a drain/settle window for retries,
+    shipping, and observer assembly."""
+    return lead_ns + rounds * interval_ns + settle_ns
 
 
 def make_balancer_factory(kind: str,

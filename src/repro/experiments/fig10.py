@@ -12,17 +12,21 @@ inversely with port count — >70 Hz at 64 ports, >1 kHz at 4.
 The search runs a fixed-length snapshot burst at a candidate rate and
 declares it *sustained* when the notification channel neither dropped
 anything nor accumulated a growing backlog; a binary search then finds
-the knee.
+the knee.  Each port count's full knee search is one trial spec (the
+search is adaptive, so it cannot split further without changing the
+result).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
-from repro.core import ControlPlaneConfig, DeploymentConfig, ObserverConfig, SpeedlightDeployment
+from repro.core import (ControlPlaneConfig, DeploymentConfig, ObserverConfig,
+                        SpeedlightDeployment)
 from repro.experiments.harness import TextTable, header
-from repro.sim.engine import MS, S, US
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
+from repro.sim.engine import MS, S
 from repro.sim.network import Network, NetworkConfig
 from repro.topology import single_switch
 
@@ -61,16 +65,63 @@ class Fig10Result:
             table.render()])
 
 
-def _sustained(ports: int, rate_hz: float, config: Fig10Config) -> bool:
+# ----------------------------------------------------------------------
+# Trial decomposition
+# ----------------------------------------------------------------------
+
+def specs(config: Fig10Config) -> List[TrialSpec]:
+    """One spec per port count (one full knee search each)."""
+    return [TrialSpec(kind="fig10",
+                      params=dict(ports=ports, burst=config.burst,
+                                  search_iterations=config.search_iterations,
+                                  rate_floor_hz=config.rate_floor_hz,
+                                  rate_ceiling_hz=config.rate_ceiling_hz),
+                      seed=config.seed, label=f"fig10/{ports}p")
+            for ports in config.port_counts]
+
+
+@trial("fig10")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = Fig10Config(seed=spec.seed, port_counts=[p["ports"]],
+                         burst=p["burst"],
+                         search_iterations=p["search_iterations"],
+                         rate_floor_hz=p["rate_floor_hz"],
+                         rate_ceiling_hz=p["rate_ceiling_hz"])
+    return make_result(spec, {"max_rate_hz": _max_rate(p["ports"], config)})
+
+
+def assemble(config: Fig10Config,
+             results: Sequence[TrialResult]) -> Fig10Result:
+    return Fig10Result(config=config,
+                       max_rate_hz={r.params["ports"]: r.data["max_rate_hz"]
+                                    for r in results})
+
+
+def run(config: Fig10Config = Fig10Config(),
+        runner: Optional[TrialRunner] = None) -> Fig10Result:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
+
+
+# ----------------------------------------------------------------------
+# Knee search (also reused by the service-cost and transport sweeps,
+# which substitute their own control-plane configuration)
+# ----------------------------------------------------------------------
+
+def _sustained(ports: int, rate_hz: float, config: Fig10Config,
+               control_plane: Optional[ControlPlaneConfig] = None) -> bool:
     """Run one burst at ``rate_hz``; True if the notification channel
     kept up (no drops, backlog drained)."""
     network = Network(single_switch(num_hosts=ports),
                       NetworkConfig(seed=config.seed))
+    if control_plane is None:
+        control_plane = ControlPlaneConfig(
+            reinitiation_timeout_ns=0,  # retries would double the load
+            probe_delay_ns=0)
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count", channel_state=False, max_sid=None,
-        control_plane=ControlPlaneConfig(
-            reinitiation_timeout_ns=0,  # retries would double the load
-            probe_delay_ns=0),
+        control_plane=control_plane,
         observer=ObserverConfig(retry_timeout_ns=10 * S)))
     interval_ns = int(1e9 / rate_hz)
     deployment.schedule_campaign(config.burst, interval_ns)
@@ -89,25 +140,20 @@ def _sustained(ports: int, rate_hz: float, config: Fig10Config) -> bool:
     return cp.channel.max_backlog <= 2.5 * per_snapshot
 
 
-def _max_rate(ports: int, config: Fig10Config) -> float:
+def _max_rate(ports: int, config: Fig10Config,
+              control_plane: Optional[ControlPlaneConfig] = None) -> float:
     lo, hi = config.rate_floor_hz, config.rate_ceiling_hz
-    if not _sustained(ports, lo, config):
+    if not _sustained(ports, lo, config, control_plane):
         return 0.0
-    if _sustained(ports, hi, config):
+    if _sustained(ports, hi, config, control_plane):
         return hi
     for _ in range(config.search_iterations):
         mid = (lo * hi) ** 0.5  # geometric: the plot is log-log
-        if _sustained(ports, mid, config):
+        if _sustained(ports, mid, config, control_plane):
             lo = mid
         else:
             hi = mid
     return lo
-
-
-def run(config: Fig10Config = Fig10Config()) -> Fig10Result:
-    rates = {ports: _max_rate(ports, config)
-             for ports in config.port_counts}
-    return Fig10Result(config=config, max_rate_hz=rates)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

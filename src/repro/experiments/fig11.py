@@ -23,16 +23,23 @@ execution; the figure reports the average over trials.  The curve grows
 with N (extreme-value effect over bounded distributions) and saturates
 under 100 µs — "this effect is asymptotic and still stays under typical
 RTTs".
+
+Each network size is an independent trial spec with a seed derived
+deterministically from ``(seed, N)``, so the Monte-Carlo parallelises
+without reordering any random stream.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.control_plane import ControlPlaneConfig
 from repro.experiments.harness import TextTable, header
+from repro.runtime import (TrialResult, TrialRunner, TrialSpec, derive_seed,
+                           make_result, trial)
 from repro.sim.clock import PTPConfig
 
 
@@ -70,6 +77,51 @@ class Fig11Result:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Trial decomposition
+# ----------------------------------------------------------------------
+
+def specs(config: Fig11Config) -> List[TrialSpec]:
+    """One spec per network size."""
+    return [TrialSpec(kind="fig11",
+                      params=dict(routers=n, trials=config.trials,
+                                  ports_per_router=config.ports_per_router,
+                                  ptp=asdict(config.ptp),
+                                  cp=asdict(config.cp)),
+                      seed=config.seed, label=f"fig11/{n}r")
+            for n in config.router_counts]
+
+
+@trial("fig11")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = Fig11Config(seed=spec.seed, router_counts=[p["routers"]],
+                         ports_per_router=p["ports_per_router"],
+                         trials=p["trials"], ptp=PTPConfig(**p["ptp"]),
+                         cp=ControlPlaneConfig(**p["cp"]))
+    rng = random.Random(derive_seed(spec.seed, "fig11", p["routers"]))
+    total = sum(_trial_sync_ns(rng, config, p["routers"])
+                for _ in range(config.trials))
+    return make_result(spec, {"avg_sync_ns": total / config.trials})
+
+
+def assemble(config: Fig11Config,
+             results: Sequence[TrialResult]) -> Fig11Result:
+    return Fig11Result(config=config,
+                       avg_sync_ns={r.params["routers"]: r.data["avg_sync_ns"]
+                                    for r in results})
+
+
+def run(config: Fig11Config = Fig11Config(),
+        runner: Optional[TrialRunner] = None) -> Fig11Result:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo sampling
+# ----------------------------------------------------------------------
+
 def _sample_clock_error(rng: random.Random, ptp: PTPConfig) -> int:
     """One signed PTP residual (same model as PTPService.sample_residual)."""
     if rng.random() < ptp.tail_probability:
@@ -81,7 +133,6 @@ def _sample_clock_error(rng: random.Random, ptp: PTPConfig) -> int:
 
 
 def _sample_wakeup(rng: random.Random, cp: ControlPlaneConfig) -> int:
-    import math
     if rng.random() < cp.wakeup_tail_probability:
         value = rng.uniform(cp.wakeup_tail_max_ns / 3, cp.wakeup_tail_max_ns)
     else:
@@ -108,16 +159,6 @@ def _trial_sync_ns(rng: random.Random, config: Fig11Config,
         earliest = lo if earliest is None else min(earliest, lo)
         latest = hi if latest is None else max(latest, hi)
     return latest - earliest
-
-
-def run(config: Fig11Config = Fig11Config()) -> Fig11Result:
-    rng = random.Random(config.seed)
-    averages: Dict[int, float] = {}
-    for n in config.router_counts:
-        total = sum(_trial_sync_ns(rng, config, n)
-                    for _ in range(config.trials))
-        averages[n] = total / config.trials
-    return Fig11Result(config=config, avg_sync_ns=averages)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -16,12 +16,15 @@ Reproduction targets (shapes, not absolute values — see EXPERIMENTS.md):
 * **memcache** — very evenly distributed, "polling consistently
   overestimates the imbalance"; stddevs are µs-scale vs. Hadoop/GraphX's
   ms-scale.
+
+Every (workload, balancer, method) combination is an independent
+campaign, hence an independent trial spec — up to twelve-way parallel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import Cdf, balance_stddevs
 from repro.experiments.campaigns import (CampaignSpec, polling_campaign,
@@ -29,6 +32,7 @@ from repro.experiments.campaigns import (CampaignSpec, polling_campaign,
                                          snapshot_campaign,
                                          uplink_egress_targets)
 from repro.experiments.harness import TextTable, ascii_cdf, header
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.engine import MS
 
 WORKLOADS = ("hadoop", "graphx", "memcache")
@@ -79,24 +83,54 @@ class Fig12Result:
         return self.cdfs[(workload, balancer, method)].median
 
 
-def run(config: Fig12Config = Fig12Config()) -> Fig12Result:
-    cdfs: Dict[Tuple[str, str, str], Cdf] = {}
+# ----------------------------------------------------------------------
+# Trial decomposition
+# ----------------------------------------------------------------------
+
+def specs(config: Fig12Config) -> List[TrialSpec]:
+    """One spec per (workload, balancer, method) campaign."""
+    out = []
     for workload in config.workloads:
         for balancer in BALANCERS:
-            spec = CampaignSpec(workload=workload, balancer=balancer,
-                                metric="ewma_interarrival",
-                                rounds=config.rounds,
-                                interval_ns=config.interval_ns,
-                                seed=config.seed)
-            for method, campaign in (("snapshots", snapshot_campaign),
-                                     ("polling", polling_campaign)):
-                rounds = campaign(spec, uplink_egress_targets)
-                stddevs = balance_stddevs(rounds_to_balance_input(rounds))
-                if not stddevs:
-                    raise RuntimeError(
-                        f"no complete rounds for {workload}/{balancer}/{method}")
-                cdfs[(workload, balancer, method)] = Cdf(stddevs)
+            for method in METHODS:
+                params = dict(workload=workload, balancer=balancer,
+                              method=method, rounds=config.rounds,
+                              interval_ns=config.interval_ns)
+                out.append(TrialSpec(
+                    kind="fig12", params=params, seed=config.seed,
+                    label=f"fig12/{workload}/{balancer}/{method}"))
+    return out
+
+
+@trial("fig12")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    campaign_spec = CampaignSpec(workload=p["workload"],
+                                 balancer=p["balancer"],
+                                 metric="ewma_interarrival",
+                                 rounds=p["rounds"],
+                                 interval_ns=p["interval_ns"],
+                                 seed=spec.seed)
+    campaign = (snapshot_campaign if p["method"] == "snapshots"
+                else polling_campaign)
+    rounds = campaign(campaign_spec, uplink_egress_targets)
+    stddevs = balance_stddevs(rounds_to_balance_input(rounds))
+    if not stddevs:
+        raise RuntimeError(f"no complete rounds for {spec.describe()}")
+    return make_result(spec, {"stddevs": stddevs})
+
+
+def assemble(config: Fig12Config,
+             results: Sequence[TrialResult]) -> Fig12Result:
+    cdfs = {(r.params["workload"], r.params["balancer"], r.params["method"]):
+            Cdf(r.data["stddevs"]) for r in results}
     return Fig12Result(config=config, cdfs=cdfs)
+
+
+def run(config: Fig12Config = Fig12Config(),
+        runner: Optional[TrialRunner] = None) -> Fig12Result:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -12,12 +12,16 @@ statistically significant ones (p < 0.1).  Ground truths to recover:
 3. snapshots find substantially more significant pairs than polling
    (the paper: 43% more), and polling misses or even inverts the ECMP
    next-hop correlations.
+
+The two collection campaigns (snapshots, polling) are independent trial
+specs; each returns its per-port time series, and the correlation
+matrices are computed at assembly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import (CorrelationResult, significant_fraction,
                                   spearman_matrix)
@@ -25,9 +29,8 @@ from repro.experiments.campaigns import (CampaignSpec, Round,
                                          all_egress_targets,
                                          polling_campaign, snapshot_campaign)
 from repro.experiments.harness import TextTable, header
-from repro.sim.engine import MS
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.network import Network, NetworkConfig
-from repro.sim.switch import Direction
 from repro.topology import leaf_spine
 
 
@@ -115,6 +118,55 @@ class Fig13Result:
             "(paper: +43%)"])
 
 
+# ----------------------------------------------------------------------
+# Trial decomposition
+# ----------------------------------------------------------------------
+
+def _campaign_spec(config: Fig13Config) -> CampaignSpec:
+    return CampaignSpec(workload="graphx", balancer="ecmp",
+                        metric="ewma_packet_rate", rounds=config.rounds,
+                        interval_ns=config.interval_ns, seed=config.seed,
+                        poll_parallel_switches=False)
+
+
+def specs(config: Fig13Config) -> List[TrialSpec]:
+    """One spec per collection method."""
+    return [TrialSpec(kind="fig13",
+                      params=dict(method=method, rounds=config.rounds,
+                                  interval_ns=config.interval_ns),
+                      seed=config.seed, label=f"fig13/{method}")
+            for method in ("snapshots", "polling")]
+
+
+@trial("fig13")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = Fig13Config(seed=spec.seed, rounds=p["rounds"],
+                         interval_ns=p["interval_ns"])
+    campaign = (snapshot_campaign if p["method"] == "snapshots"
+                else polling_campaign)
+    rounds = campaign(_campaign_spec(config), all_egress_targets)
+    return make_result(spec, {"series": _series_from_rounds(rounds)})
+
+
+def assemble(config: Fig13Config,
+             results: Sequence[TrialResult]) -> Fig13Result:
+    series = {r.params["method"]: r.data["series"] for r in results}
+    master_port, uplink_pairs = _context(config)
+    return Fig13Result(
+        config=config,
+        snapshots=spearman_matrix(series["snapshots"]),
+        polling=spearman_matrix(series["polling"]),
+        master_port=master_port,
+        uplink_pairs=uplink_pairs)
+
+
+def run(config: Fig13Config = Fig13Config(),
+        runner: Optional[TrialRunner] = None) -> Fig13Result:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
+
+
 def _series_from_rounds(rounds: List[Round]) -> Dict[str, List[float]]:
     series: Dict[str, List[float]] = {}
     for round_ in rounds:
@@ -146,22 +198,6 @@ def _context(config: Fig13Config) -> Tuple[str, List[Tuple[str, str]]]:
             for j in range(i + 1, len(uplinks)):
                 pairs.append((f"{leaf}:{uplinks[i]}", f"{leaf}:{uplinks[j]}"))
     return f"{master_leaf}:{master_port}", pairs
-
-
-def run(config: Fig13Config = Fig13Config()) -> Fig13Result:
-    spec = CampaignSpec(workload="graphx", balancer="ecmp",
-                        metric="ewma_packet_rate", rounds=config.rounds,
-                        interval_ns=config.interval_ns, seed=config.seed,
-                        poll_parallel_switches=False)
-    snap_rounds = snapshot_campaign(spec, all_egress_targets)
-    poll_rounds = polling_campaign(spec, all_egress_targets)
-    master_port, uplink_pairs = _context(config)
-    return Fig13Result(
-        config=config,
-        snapshots=spearman_matrix(_series_from_rounds(snap_rounds)),
-        polling=spearman_matrix(_series_from_rounds(poll_rounds)),
-        master_port=master_port,
-        uplink_pairs=uplink_pairs)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

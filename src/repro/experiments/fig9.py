@@ -17,23 +17,30 @@ first new-epoch packet crosses it), so the default configuration uses a
 compact leaf-spine (one host per leaf) with dense, connection-churned
 Poisson traffic to keep every gating channel hot — the shape (CS tail >
 no-CS tail ≪ polling) is the reproduction target; see EXPERIMENTS.md.
+
+Each series is one :class:`~repro.runtime.TrialSpec`; the three run
+independently (and in parallel under ``--jobs``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.analysis.stats import Cdf
 from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
+from repro.experiments.campaigns import (campaign_window, poisson_network,
+                                         start_poisson)
 from repro.experiments.harness import (TextTable, ascii_cdf, drain_campaign,
                                        header)
 from repro.polling import PollTarget, PollingConfig, PollingObserver
-from repro.sim.engine import MS, S, US
-from repro.sim.network import Network, NetworkConfig
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
+from repro.sim.engine import MS, US
 from repro.sim.switch import Direction
-from repro.topology import leaf_spine
-from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
+
+#: Spec series names, with the seed offsets the original serial
+#: implementation used (kept so results stay comparable across PRs).
+SERIES = (("switch_state", 0), ("channel_state", 10), ("polling", 20))
 
 
 @dataclass
@@ -85,29 +92,64 @@ class Fig9Result:
             table.render(), "", plot])
 
 
-def _build_network(config: Fig9Config, seed_offset: int) -> Network:
-    topo = leaf_spine(hosts_per_leaf=config.hosts_per_leaf)
-    return Network(topo, NetworkConfig(seed=config.seed + seed_offset))
+# ----------------------------------------------------------------------
+# Trial decomposition
+# ----------------------------------------------------------------------
+
+def specs(config: Fig9Config) -> List[TrialSpec]:
+    """One spec per series (the three CDFs are independent trials)."""
+    out = []
+    for series, offset in SERIES:
+        params = dict(series=series, seed_offset=offset,
+                      rounds=config.rounds, interval_ns=config.interval_ns,
+                      rate_pps=config.rate_pps,
+                      hosts_per_leaf=config.hosts_per_leaf,
+                      poll_read_ns=config.poll_read_ns)
+        out.append(TrialSpec(kind="fig9", params=params, seed=config.seed,
+                             label=f"fig9/{series}"))
+    return out
 
 
-def _start_traffic(network: Network, config: Fig9Config,
-                   duration_ns: int) -> PoissonWorkload:
-    wl = PoissonWorkload(network, PoissonConfig(
-        seed=config.seed + 1, rate_pps=config.rate_pps,
-        stop_ns=duration_ns, sport_churn=True))
-    wl.start()
-    return wl
+@trial("fig9")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = Fig9Config(seed=spec.seed, rounds=p["rounds"],
+                        interval_ns=p["interval_ns"], rate_pps=p["rate_pps"],
+                        hosts_per_leaf=p["hosts_per_leaf"],
+                        poll_read_ns=p["poll_read_ns"])
+    if p["series"] == "polling":
+        samples = _polling_series(config, p["seed_offset"])
+    else:
+        samples = _snapshot_series(
+            config, channel_state=(p["series"] == "channel_state"),
+            seed_offset=p["seed_offset"])
+    return make_result(spec, {"samples": samples})
 
 
-def _campaign_duration(config: Fig9Config) -> int:
-    return 10 * MS + config.rounds * config.interval_ns + 100 * MS
+def assemble(config: Fig9Config,
+             results: Sequence[TrialResult]) -> Fig9Result:
+    cdfs = {r.params["series"]: Cdf(r.data["samples"]) for r in results}
+    return Fig9Result(config=config, sync_no_cs=cdfs["switch_state"],
+                      sync_cs=cdfs["channel_state"], polling=cdfs["polling"])
 
+
+def run(config: Fig9Config = Fig9Config(),
+        runner: Optional[TrialRunner] = None) -> Fig9Result:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
+
+
+# ----------------------------------------------------------------------
+# Series execution (pure functions of the reconstructed config)
+# ----------------------------------------------------------------------
 
 def _snapshot_series(config: Fig9Config, channel_state: bool,
-                     seed_offset: int) -> Cdf:
-    network = _build_network(config, seed_offset)
-    duration = _campaign_duration(config)
-    _start_traffic(network, config, duration)
+                     seed_offset: int) -> List[int]:
+    network = poisson_network(config.seed + seed_offset,
+                              hosts_per_leaf=config.hosts_per_leaf)
+    duration = campaign_window(config.rounds, config.interval_ns)
+    start_poisson(network, seed=config.seed + 1, rate_pps=config.rate_pps,
+                  stop_ns=duration)
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count", channel_state=channel_state, max_sid=4095,
         control_plane=ControlPlaneConfig(probe_delay_ns=0)))
@@ -117,17 +159,19 @@ def _snapshot_series(config: Fig9Config, channel_state: bool,
     samples = [s for s in spreads if s is not None]
     if not samples:
         raise RuntimeError("no snapshot produced notifications")
-    return Cdf(samples)
+    return samples
 
 
-def _polling_series(config: Fig9Config, seed_offset: int) -> Cdf:
-    network = _build_network(config, seed_offset)
-    duration = _campaign_duration(config)
-    _start_traffic(network, config, duration)
+def _polling_series(config: Fig9Config, seed_offset: int) -> List[int]:
+    network = poisson_network(config.seed + seed_offset,
+                              hosts_per_leaf=config.hosts_per_leaf)
+    duration = campaign_window(config.rounds, config.interval_ns)
+    start_poisson(network, seed=config.seed + 1, rate_pps=config.rate_pps,
+                  stop_ns=duration)
     # Polling needs the counters in place; deploy Speedlight's counters
     # but take no snapshots (the polling framework reads the same
     # registers a snapshot would).
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
+    SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count", channel_state=False))
     targets = [PollTarget(sw, port, direction, "packet_count")
                for sw in sorted(network.switches)
@@ -140,15 +184,7 @@ def _polling_series(config: Fig9Config, seed_offset: int) -> Cdf:
     rounds = poller.complete_rounds
     if not rounds:
         raise RuntimeError("no polling round completed")
-    return Cdf([r.spread_ns for r in rounds])
-
-
-def run(config: Fig9Config = Fig9Config()) -> Fig9Result:
-    return Fig9Result(
-        config=config,
-        sync_no_cs=_snapshot_series(config, channel_state=False, seed_offset=0),
-        sync_cs=_snapshot_series(config, channel_state=True, seed_offset=10),
-        polling=_polling_series(config, seed_offset=20))
+    return [r.spread_ns for r in rounds]
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -4,8 +4,7 @@ campaign helpers."""
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis.stats import Cdf
 from repro.core.deployment import SpeedlightDeployment
@@ -57,8 +56,19 @@ def ascii_cdf(curves: Dict[str, Cdf], width: int = 64, height: int = 12,
     glyphs = "*o+x#@"
     lo = min(cdf.min for cdf in curves.values()) / x_scale
     hi = max(cdf.max for cdf in curves.values()) / x_scale
-    lo = max(lo, 1e-12)
-    hi = max(hi, lo * 1.0001)
+    if log_x:
+        lo = max(lo, 1e-12)
+        hi = max(hi, lo)
+    if hi <= lo:
+        # Degenerate range (single sample, or zero spread across every
+        # curve): widen symmetrically around the value so the curve
+        # renders mid-plot instead of collapsing onto the left axis
+        # under a sliver of an x-range that reads as real spread.
+        if log_x:
+            lo, hi = lo / 2, hi * 2
+        else:
+            pad = max(abs(lo) / 2, 0.5)
+            lo, hi = lo - pad, hi + pad
     if log_x:
         lo_t, hi_t = math.log10(lo), math.log10(hi)
         def to_col(value: float) -> int:

@@ -26,15 +26,16 @@ gap for both — the motivating failure, quantified.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
 from repro.experiments.harness import TextTable, header
 from repro.polling import PollTarget, PollingConfig, PollingObserver
-from repro.sim.engine import MS, S, US
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
+from repro.sim.engine import MS, US
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.switch import Direction
 from repro.topology import single_switch
@@ -185,16 +186,57 @@ def _measure(config: MotivationConfig, alternating: bool,
     return float(np.mean(gaps)), float(np.mean(totals))
 
 
-def run(config: MotivationConfig = MotivationConfig()) -> MotivationResult:
-    mean_gap: Dict[Tuple[str, str], float] = {}
-    mean_total: Dict[Tuple[str, str], float] = {}
+# ----------------------------------------------------------------------
+# Trial decomposition
+# ----------------------------------------------------------------------
+
+def specs(config: MotivationConfig) -> List[TrialSpec]:
+    """One spec per (regime, method) measurement."""
+    out = []
     for regime in REGIMES:
         for method in METHODS:
-            gap, total = _measure(config, regime == "alternating", method)
-            mean_gap[(regime, method)] = gap
-            mean_total[(regime, method)] = total
+            params = dict(regime=regime, method=method,
+                          rounds=config.rounds,
+                          interval_ns=config.interval_ns,
+                          phase_ns=config.phase_ns,
+                          host_bw_bps=config.host_bw_bps,
+                          burst_gap_ns=config.burst_gap_ns,
+                          poll_read_ns=config.poll_read_ns)
+            out.append(TrialSpec(kind="motivation", params=params,
+                                 seed=config.seed,
+                                 label=f"motivation/{regime}/{method}"))
+    return out
+
+
+@trial("motivation")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = MotivationConfig(seed=spec.seed, rounds=p["rounds"],
+                              interval_ns=p["interval_ns"],
+                              phase_ns=p["phase_ns"],
+                              host_bw_bps=p["host_bw_bps"],
+                              burst_gap_ns=p["burst_gap_ns"],
+                              poll_read_ns=p["poll_read_ns"])
+    gap, total = _measure(config, p["regime"] == "alternating", p["method"])
+    return make_result(spec, {"mean_gap": gap, "mean_total": total})
+
+
+def assemble(config: MotivationConfig,
+             results: Sequence[TrialResult]) -> MotivationResult:
+    mean_gap: Dict[Tuple[str, str], float] = {}
+    mean_total: Dict[Tuple[str, str], float] = {}
+    for r in results:
+        key = (r.params["regime"], r.params["method"])
+        mean_gap[key] = r.data["mean_gap"]
+        mean_total[key] = r.data["mean_total"]
     return MotivationResult(config=config, mean_gap=mean_gap,
                             mean_total=mean_total)
+
+
+def run(config: MotivationConfig = MotivationConfig(),
+        runner: Optional[TrialRunner] = None) -> MotivationResult:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -21,14 +21,15 @@ claims ("control planes are responsible for their own switch").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import Cdf
 from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
 from repro.experiments.harness import TextTable, header
-from repro.sim.engine import MS, S
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
+from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
-from repro.topology import fat_tree, leaf_spine
+from repro.topology import fat_tree
 
 
 @dataclass
@@ -83,6 +84,56 @@ class ScalingResult:
             "for their own switch')."])
 
 
+# ----------------------------------------------------------------------
+# Trial decomposition
+# ----------------------------------------------------------------------
+
+def specs(config: ScalingConfig) -> List[TrialSpec]:
+    """One spec per fat-tree arity."""
+    return [TrialSpec(kind="scaling",
+                      params=dict(arity=arity, snapshots=config.snapshots,
+                                  interval_ns=config.interval_ns),
+                      seed=config.seed, label=f"scaling/k{arity}")
+            for arity in config.arities]
+
+
+@trial("scaling")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    config = ScalingConfig(seed=spec.seed, arities=[p["arity"]],
+                           snapshots=p["snapshots"],
+                           interval_ns=p["interval_ns"])
+    point = _measure(config, p["arity"])
+    return make_result(spec, {
+        "switches": point.switches,
+        "units": point.units,
+        "sync_samples": [float(s) for s in point.sync.samples],
+        "completion_latency_ns": point.completion_latency_ns,
+        "completed": point.completed,
+        "expected": point.expected,
+        "notifications_per_switch": point.notifications_per_switch,
+    })
+
+
+def assemble(config: ScalingConfig,
+             results: Sequence[TrialResult]) -> ScalingResult:
+    points = {}
+    for r in results:
+        points[r.params["arity"]] = ScalingPoint(
+            switches=r.data["switches"], units=r.data["units"],
+            sync=Cdf(r.data["sync_samples"]),
+            completion_latency_ns=r.data["completion_latency_ns"],
+            completed=r.data["completed"], expected=r.data["expected"],
+            notifications_per_switch=r.data["notifications_per_switch"])
+    return ScalingResult(config=config, points=points)
+
+
+def run(config: ScalingConfig = ScalingConfig(),
+        runner: Optional[TrialRunner] = None) -> ScalingResult:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
+
+
 def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
     network = Network(fat_tree(k=arity), NetworkConfig(seed=config.seed))
     deployment = SpeedlightDeployment(network, DeploymentConfig(
@@ -110,12 +161,6 @@ def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
                                if latencies else float("nan")),
         completed=len(finish), expected=len(epochs),
         notifications_per_switch=stats["processed"] / num_switches)
-
-
-def run(config: ScalingConfig = ScalingConfig()) -> ScalingResult:
-    return ScalingResult(config=config,
-                         points={k: _measure(config, k)
-                                 for k in config.arities})
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -16,21 +16,22 @@ for different hardware can see exactly how the headline results move:
   rate: the CS tail tracks per-channel packet interarrival (the
   documented deviation of our Figure 9 CS series from the paper's
   line-rate testbed).
+
+Each sweep point is an independent trial spec, so the sweeps batch and
+cache like every figure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.stats import Cdf
-from repro.core import ControlPlaneConfig, DeploymentConfig, ObserverConfig, SpeedlightDeployment
+from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
+from repro.experiments.campaigns import poisson_network, start_poisson
 from repro.experiments.harness import TextTable, header
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.clock import PTPConfig
-from repro.sim.engine import MS, S, US
-from repro.sim.network import Network, NetworkConfig
-from repro.topology import leaf_spine, single_switch
-from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
+from repro.sim.engine import MS, US
 
 
 # ----------------------------------------------------------------------
@@ -73,44 +74,48 @@ class ServiceCostSweepResult:
             table.render()])
 
 
-def run_service_cost_sweep(
-        config: ServiceCostSweepConfig = ServiceCostSweepConfig()
-) -> ServiceCostSweepResult:
+def service_cost_specs(config: ServiceCostSweepConfig) -> List[TrialSpec]:
+    """One spec per service cost (one full knee search each)."""
+    return [TrialSpec(kind="sweep_service_cost",
+                      params=dict(cost_ns=cost, ports=config.ports,
+                                  burst=config.burst,
+                                  search_iterations=config.search_iterations),
+                      seed=config.seed,
+                      label=f"sweep-service-cost/{cost // 1000}us")
+            for cost in config.service_costs_ns]
+
+
+@trial("sweep_service_cost")
+def run_service_cost_trial(spec: TrialSpec) -> TrialResult:
     from repro.experiments.fig10 import Fig10Config, _max_rate
-    import repro.experiments.fig10 as fig10_module
 
-    results: Dict[int, float] = {}
-    original = fig10_module._sustained
-    for cost in config.service_costs_ns:
-        def sustained(ports: int, rate_hz: float, f10cfg,
-                      _cost=cost) -> bool:
-            network = Network(single_switch(num_hosts=ports),
-                              NetworkConfig(seed=config.seed))
-            deployment = SpeedlightDeployment(network, DeploymentConfig(
-                metric="packet_count", channel_state=False, max_sid=None,
-                control_plane=ControlPlaneConfig(
-                    notification_service_ns=_cost,
-                    reinitiation_timeout_ns=0, probe_delay_ns=0),
-                observer=ObserverConfig(retry_timeout_ns=10 * S)))
-            interval_ns = int(1e9 / rate_hz)
-            deployment.schedule_campaign(f10cfg.burst, interval_ns)
-            network.run(until=10 * MS + f10cfg.burst * interval_ns
-                        + 200 * MS)
-            stats = deployment.notification_stats()
-            if stats["dropped"] > 0 or stats["backlog"] > 0:
-                return False
-            cp = next(iter(deployment.control_planes.values()))
-            return cp.channel.max_backlog <= 2.5 * 2 * ports
+    p = spec.params
+    rate = _max_rate(
+        p["ports"],
+        Fig10Config(seed=spec.seed, burst=p["burst"],
+                    search_iterations=p["search_iterations"]),
+        control_plane=ControlPlaneConfig(
+            notification_service_ns=p["cost_ns"],
+            reinitiation_timeout_ns=0,  # retries would double the load
+            probe_delay_ns=0))
+    return make_result(spec, {"max_rate_hz": rate})
 
-        fig10_module._sustained = sustained
-        try:
-            results[cost] = _max_rate(
-                config.ports, Fig10Config(
-                    burst=config.burst,
-                    search_iterations=config.search_iterations))
-        finally:
-            fig10_module._sustained = original
-    return ServiceCostSweepResult(config=config, max_rate_hz=results)
+
+def service_cost_assemble(
+        config: ServiceCostSweepConfig,
+        results: Sequence[TrialResult]) -> ServiceCostSweepResult:
+    return ServiceCostSweepResult(
+        config=config,
+        max_rate_hz={r.params["cost_ns"]: r.data["max_rate_hz"]
+                     for r in results})
+
+
+def run_service_cost_sweep(
+        config: ServiceCostSweepConfig = ServiceCostSweepConfig(),
+        runner: Optional[TrialRunner] = None) -> ServiceCostSweepResult:
+    runner = runner or TrialRunner()
+    return service_cost_assemble(config,
+                                 runner.run_batch(service_cost_specs(config)))
 
 
 # ----------------------------------------------------------------------
@@ -149,22 +154,43 @@ class PtpSweepResult:
             "the microsecond guarantee, as the paper argues."])
 
 
-def run_ptp_sweep(config: PtpSweepConfig = PtpSweepConfig()) -> PtpSweepResult:
-    results: Dict[int, float] = {}
-    for sigma in config.residual_sigmas_ns:
-        ptp = PTPConfig(residual_sigma_ns=sigma, residual_max_ns=6 * sigma)
-        network = Network(leaf_spine(hosts_per_leaf=1),
-                          NetworkConfig(seed=config.seed, ptp_config=ptp))
-        deployment = SpeedlightDeployment(network, DeploymentConfig(
-            metric="packet_count"))
-        epochs = deployment.schedule_campaign(config.rounds,
-                                              config.interval_ns)
-        network.run(until=20 * MS + config.rounds * config.interval_ns
-                    + 200 * MS)
-        spreads = sorted(s for s in (deployment.sync_spread_ns(e)
-                                     for e in epochs) if s is not None)
-        results[sigma] = float(spreads[len(spreads) // 2])
-    return PtpSweepResult(config=config, sync_median_ns=results)
+def ptp_specs(config: PtpSweepConfig) -> List[TrialSpec]:
+    """One spec per clock-residual sigma."""
+    return [TrialSpec(kind="sweep_ptp",
+                      params=dict(sigma_ns=sigma, rounds=config.rounds,
+                                  interval_ns=config.interval_ns),
+                      seed=config.seed, label=f"sweep-ptp/{sigma}ns")
+            for sigma in config.residual_sigmas_ns]
+
+
+@trial("sweep_ptp")
+def run_ptp_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    sigma = p["sigma_ns"]
+    ptp = PTPConfig(residual_sigma_ns=sigma, residual_max_ns=6 * sigma)
+    network = poisson_network(seed=spec.seed, ptp=ptp)
+    deployment = SpeedlightDeployment(network, DeploymentConfig(
+        metric="packet_count"))
+    epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])
+    network.run(until=20 * MS + p["rounds"] * p["interval_ns"] + 200 * MS)
+    spreads = sorted(s for s in (deployment.sync_spread_ns(e)
+                                 for e in epochs) if s is not None)
+    return make_result(
+        spec, {"sync_median_ns": float(spreads[len(spreads) // 2])})
+
+
+def ptp_assemble(config: PtpSweepConfig,
+                 results: Sequence[TrialResult]) -> PtpSweepResult:
+    return PtpSweepResult(
+        config=config,
+        sync_median_ns={r.params["sigma_ns"]: r.data["sync_median_ns"]
+                        for r in results})
+
+
+def run_ptp_sweep(config: PtpSweepConfig = PtpSweepConfig(),
+                  runner: Optional[TrialRunner] = None) -> PtpSweepResult:
+    runner = runner or TrialRunner()
+    return ptp_assemble(config, runner.run_batch(ptp_specs(config)))
 
 
 # ----------------------------------------------------------------------
@@ -201,26 +227,46 @@ class RateSweepResult:
             table.render()])
 
 
-def run_rate_sweep(config: RateSweepConfig = RateSweepConfig()) -> RateSweepResult:
-    results: Dict[float, float] = {}
-    for rate in config.rates_pps:
-        network = Network(leaf_spine(hosts_per_leaf=1),
-                          NetworkConfig(seed=config.seed))
-        duration = 20 * MS + config.rounds * config.interval_ns + 200 * MS
-        workload = PoissonWorkload(network, PoissonConfig(
-            seed=config.seed + 1, rate_pps=rate, stop_ns=duration,
-            sport_churn=True))
-        workload.start()
-        deployment = SpeedlightDeployment(network, DeploymentConfig(
-            metric="packet_count", channel_state=True, max_sid=4095,
-            control_plane=ControlPlaneConfig(probe_delay_ns=0)))
-        epochs = deployment.schedule_campaign(config.rounds,
-                                              config.interval_ns)
-        network.run(until=duration)
-        spreads = sorted(s for s in (deployment.sync_spread_ns(e)
-                                     for e in epochs) if s is not None)
-        results[rate] = float(spreads[len(spreads) // 2])
-    return RateSweepResult(config=config, sync_median_ns=results)
+def rate_specs(config: RateSweepConfig) -> List[TrialSpec]:
+    """One spec per traffic rate."""
+    return [TrialSpec(kind="sweep_rate",
+                      params=dict(rate_pps=rate, rounds=config.rounds,
+                                  interval_ns=config.interval_ns),
+                      seed=config.seed,
+                      label=f"sweep-rate/{rate / 1e3:.0f}kpps")
+            for rate in config.rates_pps]
+
+
+@trial("sweep_rate")
+def run_rate_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    network = poisson_network(seed=spec.seed)
+    duration = 20 * MS + p["rounds"] * p["interval_ns"] + 200 * MS
+    start_poisson(network, seed=spec.seed + 1, rate_pps=p["rate_pps"],
+                  stop_ns=duration)
+    deployment = SpeedlightDeployment(network, DeploymentConfig(
+        metric="packet_count", channel_state=True, max_sid=4095,
+        control_plane=ControlPlaneConfig(probe_delay_ns=0)))
+    epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])
+    network.run(until=duration)
+    spreads = sorted(s for s in (deployment.sync_spread_ns(e)
+                                 for e in epochs) if s is not None)
+    return make_result(
+        spec, {"sync_median_ns": float(spreads[len(spreads) // 2])})
+
+
+def rate_assemble(config: RateSweepConfig,
+                  results: Sequence[TrialResult]) -> RateSweepResult:
+    return RateSweepResult(
+        config=config,
+        sync_median_ns={r.params["rate_pps"]: r.data["sync_median_ns"]
+                        for r in results})
+
+
+def run_rate_sweep(config: RateSweepConfig = RateSweepConfig(),
+                   runner: Optional[TrialRunner] = None) -> RateSweepResult:
+    runner = runner or TrialRunner()
+    return rate_assemble(config, runner.run_batch(rate_specs(config)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

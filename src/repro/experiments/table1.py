@@ -8,11 +8,12 @@ than 25% of any dedicated resource" utilization claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.harness import TextTable, header
 from repro.resources import TOFINO_1, ResourceReport, Variant, estimate
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 
 #: The published Table 1 numbers (64-port configuration), used by the
 #: report to show paper-vs-model side by side and by the test suite to
@@ -82,10 +83,51 @@ class Table1Result:
         return "\n".join(lines)
 
 
-def run(config: Table1Config = Table1Config()) -> Table1Result:
-    reports = {v: estimate(v, config.ports) for v in Variant}
-    return Table1Result(reports=reports,
-                        report_14port=estimate(Variant.CHANNEL_STATE, 14))
+# ----------------------------------------------------------------------
+# Trial decomposition (a single cheap trial, kept uniform with the rest
+# of the suite so Table 1 caches and batches like every figure)
+# ----------------------------------------------------------------------
+
+def _report_to_data(report: ResourceReport) -> Dict[str, object]:
+    doc = asdict(report)
+    doc["variant"] = report.variant.value
+    return doc
+
+
+def _report_from_data(doc: Dict[str, object]) -> ResourceReport:
+    doc = dict(doc)
+    doc["variant"] = Variant(doc["variant"])
+    return ResourceReport(**doc)
+
+
+def specs(config: Table1Config) -> List[TrialSpec]:
+    return [TrialSpec(kind="table1", params=dict(ports=config.ports),
+                      seed=0, label="table1")]
+
+
+@trial("table1")
+def run_trial(spec: TrialSpec) -> TrialResult:
+    ports = spec.params["ports"]
+    return make_result(spec, {
+        "reports": {v.value: _report_to_data(estimate(v, ports))
+                    for v in Variant},
+        "report_14port": _report_to_data(estimate(Variant.CHANNEL_STATE, 14)),
+    })
+
+
+def assemble(config: Table1Config,
+             results: Sequence[TrialResult]) -> Table1Result:
+    (result,) = results
+    return Table1Result(
+        reports={Variant(name): _report_from_data(doc)
+                 for name, doc in result.data["reports"].items()},
+        report_14port=_report_from_data(result.data["report_14port"]))
+
+
+def run(config: Table1Config = Table1Config(),
+        runner: Optional[TrialRunner] = None) -> Table1Result:
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

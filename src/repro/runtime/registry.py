@@ -1,0 +1,73 @@
+"""Registry mapping spec kinds to trial functions.
+
+A *trial function* is a pure function ``fn(spec: TrialSpec) ->
+TrialResult``: it builds its own network/workload/deployment from the
+spec alone and returns a JSON-able result row.  Experiment modules
+register theirs at import time with the :func:`trial` decorator::
+
+    @trial("fig9")
+    def run_trial(spec: TrialSpec) -> TrialResult:
+        ...
+
+Worker processes resolve kinds through :func:`resolve`, which lazily
+imports the experiment modules, so a freshly spawned interpreter can
+execute any spec that the parent enqueued.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List
+
+from repro.runtime.result import TrialResult
+from repro.runtime.spec import TrialSpec
+
+TrialFn = Callable[[TrialSpec], TrialResult]
+
+_REGISTRY: Dict[str, TrialFn] = {}
+
+#: Modules that register trial kinds as an import side effect.  Kept as
+#: import paths (not imports) so ``repro.runtime`` stays import-light
+#: and cycle-free; workers import on first resolve.
+_TRIAL_MODULES = (
+    "repro.experiments.motivation",
+    "repro.experiments.table1",
+    "repro.experiments.fig9",
+    "repro.experiments.fig10",
+    "repro.experiments.fig11",
+    "repro.experiments.fig12",
+    "repro.experiments.fig13",
+    "repro.experiments.ablations",
+    "repro.experiments.sweeps",
+    "repro.experiments.scaling",
+)
+
+
+def trial(kind: str) -> Callable[[TrialFn], TrialFn]:
+    """Register ``fn`` as the executor for specs of ``kind``."""
+    def decorate(fn: TrialFn) -> TrialFn:
+        existing = _REGISTRY.get(kind)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"trial kind {kind!r} already registered "
+                             f"by {existing.__module__}.{existing.__name__}")
+        _REGISTRY[kind] = fn
+        return fn
+    return decorate
+
+
+def resolve(kind: str) -> TrialFn:
+    """Look up the trial function for ``kind``, importing the standard
+    experiment modules on a miss (fresh worker processes start empty)."""
+    fn = _REGISTRY.get(kind)
+    if fn is None:
+        for module in _TRIAL_MODULES:
+            importlib.import_module(module)
+        fn = _REGISTRY.get(kind)
+    if fn is None:
+        raise KeyError(f"no trial function registered for kind {kind!r}; "
+                       f"known kinds: {sorted(_REGISTRY)}")
+    return fn
+
+
+def registered_kinds() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,62 @@
+"""JSON-serializable trial results.
+
+A :class:`TrialResult` is the complete output of one trial: the spec
+identity (kind, params, seed, fingerprint) plus a ``data`` payload of
+plain JSON types.  Experiments assemble their figure/table results from
+batches of these rows, which is what makes results cacheable and
+transportable across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.runtime.spec import canonical, canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.runtime.spec import TrialSpec
+
+
+@dataclass
+class TrialResult:
+    """One trial's output row.
+
+    ``to_json`` is byte-stable: the same spec executed anywhere (serial,
+    parallel, from cache) serialises to the identical string, which the
+    determinism tests assert directly.
+    """
+
+    kind: str
+    fingerprint: str
+    seed: int
+    label: str
+    params: Mapping[str, Any]
+    data: Mapping[str, Any]
+
+    def to_json(self) -> str:
+        return canonical_json({
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "seed": self.seed,
+            "label": self.label,
+            "params": self.params,
+            "data": self.data,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrialResult":
+        doc = json.loads(text)
+        return cls(kind=doc["kind"], fingerprint=doc["fingerprint"],
+                   seed=doc["seed"], label=doc.get("label", ""),
+                   params=doc["params"], data=doc["data"])
+
+
+def make_result(spec: "TrialSpec", data: Mapping[str, Any]) -> TrialResult:
+    """Wrap a trial function's payload into a result row tied to its
+    spec.  ``data`` is canonicalised (numpy scalars to int/float, tuples
+    to lists) so the row always survives a JSON round trip."""
+    return TrialResult(kind=spec.kind, fingerprint=spec.fingerprint(),
+                       seed=spec.seed, label=spec.label,
+                       params=spec.params, data=canonical(data))

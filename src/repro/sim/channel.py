@@ -21,7 +21,7 @@ and :class:`ScriptedLoss` lets tests drop specific packets.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Protocol, Set, Tuple
+from typing import Callable, List, Optional, Protocol, Set
 
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet

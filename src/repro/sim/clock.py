@@ -22,10 +22,10 @@ scheduling an action "at local time L" lands at a well-defined true time.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.sim.engine import Simulator, US, MS, S
+from repro.sim.engine import Simulator, S
 
 
 class Clock:

@@ -19,6 +19,7 @@ it.  Design points that matter for reproducing the paper:
 from __future__ import annotations
 
 import heapq
+import numbers
 from typing import Any, Callable, List, Optional
 
 #: One nanosecond, the base time unit.
@@ -29,6 +30,27 @@ US = 1_000
 MS = 1_000_000
 #: Nanoseconds per second.
 S = 1_000_000_000
+
+
+def exact_ns(value: Any, what: str = "time") -> int:
+    """Coerce ``value`` to an exact integer nanosecond count.
+
+    Integral floats (e.g. ``2e6`` from config arithmetic) are accepted
+    and converted exactly; non-integral values raise instead of being
+    silently truncated — truncation would let float drift reorder
+    events that FIFO/tie-break reasoning assumes are distinct instants.
+    """
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        as_int = int(value)
+        if as_int == value:
+            return as_int
+        raise ValueError(
+            f"{what}={value!r} is not an integral nanosecond count; round "
+            "explicitly at the call site if sub-ns precision is intended")
+    raise TypeError(f"{what} must be an integer nanosecond count, "
+                    f"got {type(value).__name__}")
 
 
 class Event:
@@ -86,20 +108,24 @@ class Simulator:
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now.
 
-        ``delay`` must be non-negative.  Returns the :class:`Event`, which
-        can be cancelled.
+        ``delay`` must be a non-negative exact integer (integral floats
+        are accepted; fractional ones raise).  Returns the
+        :class:`Event`, which can be cancelled.
         """
+        delay = exact_ns(delay, "delay")
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + int(delay), fn, *args)
+        return self.schedule_at(self.now + delay, fn, *args)
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``
+        (an exact integer; fractional times raise)."""
+        time = exact_ns(time, "time")
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        event = Event(int(time), self._seq, fn, args)
+        event = Event(time, self._seq, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event

@@ -17,9 +17,8 @@ pops the header before the packet reaches the host link.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.channel import Link

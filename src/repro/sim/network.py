@@ -16,12 +16,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.sim.engine import Simulator, US, MS, S
-from repro.sim.clock import Clock, PTPConfig, PTPService
+from repro.sim.engine import Simulator, US
+from repro.sim.clock import PTPConfig, PTPService
 from repro.sim.channel import Link, LossModel
 from repro.sim.host import Host
 from repro.sim.mgmt import ManagementPlane
-from repro.sim.switch import Port, Switch, SwitchConfig, TraceEvent
+from repro.sim.switch import Switch, SwitchConfig, TraceEvent
 from repro.topology.graph import NodeKind, Topology
 
 

@@ -26,12 +26,12 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Protocol
 
 from repro.sim.engine import Simulator, US
 from repro.sim.channel import Link
-from repro.sim.packet import Packet, PacketType, SnapshotHeader
+from repro.sim.packet import Packet, PacketType
 
 #: Channel ID an ingress unit uses for its single external upstream
 #: neighbor (§5.1: "for ingress processing units, there is only one

@@ -30,9 +30,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.sim.engine import MS, Simulator, US
+from repro.sim.engine import MS, Simulator
 from repro.sim.network import Network
 from repro.sim.packet import FlowKey, Packet
 

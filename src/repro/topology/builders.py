@@ -7,7 +7,6 @@ The defaults of :func:`leaf_spine` reproduce the paper's testbed
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.topology.graph import Topology
 

@@ -16,10 +16,9 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.sim.engine import MS, S, Simulator
-from repro.sim.host import Host
+from repro.sim.engine import S, Simulator
 from repro.sim.network import Network
 from repro.sim.packet import FlowKey, Packet
 

@@ -7,7 +7,7 @@ same primitives with application-specific structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.sim.engine import MS, US

@@ -6,7 +6,7 @@ import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig
-from repro.topology import leaf_spine, linear, single_switch
+from repro.topology import leaf_spine, single_switch
 
 
 @pytest.fixture

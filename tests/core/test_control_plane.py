@@ -5,14 +5,14 @@ import random
 import pytest
 
 from repro.core.control_plane import (ControlPlaneConfig, NotificationChannel,
-                                      SwitchControlPlane, UnitSnapshotRecord)
+                                      SwitchControlPlane)
 from repro.core.dataplane import SpeedlightUnit
 from repro.core.ids import IdSpace
 from repro.core.notifications import Notification
 from repro.sim.clock import Clock
 from repro.sim.engine import MS, Simulator, US
 from repro.sim.network import Network, NetworkConfig
-from repro.sim.packet import FlowKey, Packet, PacketType, SnapshotHeader
+from repro.sim.packet import FlowKey, Packet, SnapshotHeader
 from repro.sim.switch import Direction, UnitId
 from repro.topology import single_switch
 

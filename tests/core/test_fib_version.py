@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.core import SpeedlightDeployment
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.switch import Direction

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core import (ControlPlaneConfig, DeploymentConfig, ObserverConfig,
-                        SpeedlightDeployment, SnapshotStatus)
+from repro.core import (DeploymentConfig, ObserverConfig, SpeedlightDeployment,
+                        SnapshotStatus)
 from repro.core.control_plane import UnitSnapshotRecord
 from repro.sim.engine import MS, S
 from repro.sim.network import Network, NetworkConfig

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.control_plane import UnitSnapshotRecord
-from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
+from repro.core.snapshot import GlobalSnapshot
 from repro.sim.switch import Direction, UnitId
 
 

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.counters import ActiveFlowEstimator, QueueHighWatermark
-from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.core import SpeedlightDeployment
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.packet import FlowKey, Packet

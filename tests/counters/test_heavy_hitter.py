@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.core import SpeedlightDeployment
 from repro.counters import CountMinSketch, HeavyHitterCounter
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig

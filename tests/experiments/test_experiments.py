@@ -12,8 +12,6 @@ from repro.experiments.ablations import (IdealVsSpeedlightConfig,
                                          run_initiation_strategies,
                                          run_notification_transports)
 from repro.experiments.harness import TextTable
-from repro.resources import Variant
-from repro.sim.engine import MS
 
 
 class TestHarness:

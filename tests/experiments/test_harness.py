@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.stats import Cdf
-from repro.experiments.harness import TextTable, ascii_cdf, header
+from repro.experiments.harness import ascii_cdf, header
 
 
 class TestAsciiCdf:
@@ -32,6 +32,30 @@ class TestAsciiCdf:
                          x_label="us")
         assert "us" in plot
         assert "2 us" in plot or "2 " in plot
+
+    def test_single_sample_curve_renders(self):
+        # Regression: a zero-spread Cdf used to collapse the x-range to
+        # a point, putting every mark in one column (or dividing by a
+        # denormal range under log scale).
+        plot = ascii_cdf({"c": Cdf([5.0])})
+        assert "* c" in plot  # legend renders
+        assert "*" in plot.splitlines()[0] or \
+            any("*" in line for line in plot.splitlines())
+
+    def test_zero_spread_curve_renders(self):
+        for log_x in (False, True):
+            plot = ascii_cdf({"c": Cdf([7, 7, 7, 7])}, log_x=log_x)
+            assert plot  # renders without ZeroDivisionError
+
+    def test_zero_value_single_sample_linear(self):
+        # lo == hi == 0: the widened range must still bracket the value.
+        plot = ascii_cdf({"c": Cdf([0.0])}, log_x=False)
+        assert plot
+
+    def test_degenerate_curve_alongside_normal_one(self):
+        plot = ascii_cdf({"flat": Cdf([3, 3, 3]),
+                          "spread": Cdf([1, 2, 3, 4, 5])})
+        assert "flat" in plot and "spread" in plot
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

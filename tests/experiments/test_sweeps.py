@@ -1,6 +1,5 @@
 """Tests for the sensitivity sweeps."""
 
-import pytest
 
 from repro.experiments.sweeps import (PtpSweepConfig, RateSweepConfig,
                                       ServiceCostSweepConfig, run_ptp_sweep,

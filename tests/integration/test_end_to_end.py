@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import ConsistencyChecker
 from repro.core import (ControlPlaneConfig, DeploymentConfig,
-                        SpeedlightDeployment, SnapshotStatus)
+                        SpeedlightDeployment)
 from repro.sim.channel import BernoulliLoss
 from repro.sim.engine import MS, S
 from repro.sim.network import Network, NetworkConfig

@@ -1,6 +1,5 @@
 """Long-running and fault-injection integration scenarios."""
 
-import pytest
 
 from repro.analysis import CampaignSeries, ConsistencyChecker
 from repro.core import (ControlPlaneConfig, DeploymentConfig, ObserverConfig,

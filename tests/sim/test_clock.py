@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.sim.clock import Clock, PTPConfig, PTPService
-from repro.sim.engine import S, Simulator, US
+from repro.sim.engine import S, Simulator
 
 
 class TestClock:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis import ConsistencyChecker
 from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
-from repro.sim.engine import MS, S, US, Simulator
+from repro.sim.engine import MS, US, Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.packet import FlowKey, Packet
 from repro.sim.switch import SwitchConfig, _EgressQueue

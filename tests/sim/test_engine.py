@@ -58,6 +58,41 @@ class TestScheduling:
         with pytest.raises(ValueError):
             sim.schedule(-1, lambda: None)
 
+    def test_integral_float_delay_rounds_exactly(self, sim):
+        # 2.0 is an exact nanosecond count: accepted, never truncated.
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2]
+
+    def test_fractional_delay_rejected(self, sim):
+        # Silent truncation (int(2.7) == 2) used to reorder events; a
+        # fractional nanosecond is now a hard error.
+        with pytest.raises(ValueError, match="integral nanosecond"):
+            sim.schedule(2.7, lambda: None)
+
+    def test_fractional_schedule_at_rejected(self, sim):
+        with pytest.raises(ValueError, match="integral nanosecond"):
+            sim.schedule_at(10.5, lambda: None)
+
+    def test_integral_float_schedule_at_exact(self, sim):
+        seen = []
+        sim.schedule_at(1e9, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1_000_000_000]
+
+    def test_huge_integral_float_roundtrips_exactly(self, sim):
+        # 2**53 is representable; 2**53 + 1 is not (would silently land
+        # on a neighbouring nanosecond under truncation).
+        seen = []
+        sim.schedule_at(float(2 ** 53), lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2 ** 53]
+
+    def test_non_numeric_delay_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.schedule("10", lambda: None)
+
     def test_schedule_at_in_past_rejected(self, sim):
         sim.schedule(10, lambda: None)
         sim.run()

@@ -5,8 +5,7 @@ import pytest
 from repro.lb import FlowletBalancer
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
-from repro.sim.switch import Direction
-from repro.topology import fat_tree, leaf_spine, linear
+from repro.topology import fat_tree, leaf_spine
 from repro.topology.graph import NodeKind
 
 

@@ -3,12 +3,12 @@
 import pytest
 
 from repro.counters import PacketCounter
-from repro.sim.engine import MS, Simulator, US
+from repro.sim.engine import MS, US
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.packet import (FlowKey, Packet, PacketType, SnapshotHeader,
                               make_initiation_packet)
 from repro.sim.switch import (BROADCAST_DST, CPU_CHANNEL, Direction,
-                              EXTERNAL_CHANNEL, SwitchConfig, UnitId)
+                              EXTERNAL_CHANNEL, UnitId)
 from repro.topology import linear, single_switch
 
 

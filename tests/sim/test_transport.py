@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import ConsistencyChecker
 from repro.core import DeploymentConfig, SpeedlightDeployment
 from repro.sim.channel import BernoulliLoss, ScriptedLoss
-from repro.sim.engine import MS, S, US
+from repro.sim.engine import MS, S
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.transport import ReliableFlow
 from repro.topology import leaf_spine, single_switch

@@ -1,8 +1,6 @@
 """Tests for the command-line interface."""
 
-import pytest
-
-from repro.cli import build_parser, main
+from repro.cli import main
 
 
 class TestParser:
@@ -10,11 +8,13 @@ class TestParser:
         assert main([]) == 0
         assert "Speedlight" in capsys.readouterr().out
 
-    def test_experiments_lists_all(self, capsys):
-        assert main(["experiments"]) == 0
+    def test_experiments_list_names_all(self, capsys):
+        assert main(["experiments", "--list"]) == 0
         out = capsys.readouterr().out
         for name in ("table1", "fig9", "fig10", "fig11", "fig12", "fig13",
-                     "ablation-ideal", "ablation-initiation"):
+                     "ablation-ideal", "ablation-initiation",
+                     "ablation-transport", "sweep-service-cost", "sweep-ptp",
+                     "sweep-rate", "scaling", "motivation"):
             assert name in out
 
     def test_metrics_lists_registry(self, capsys):
@@ -25,20 +25,45 @@ class TestParser:
         assert "gauge" in out
 
     def test_unknown_experiment_fails_cleanly(self, capsys):
-        assert main(["run", "fig99"]) == 2
+        assert main(["run", "fig99", "--no-cache"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_only_subset_fails_cleanly(self, capsys):
+        assert main(["experiments", "--only", "fig99", "--no-cache"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
 
 class TestRun:
     def test_run_table1(self, capsys):
-        assert main(["run", "table1"]) == 0
+        assert main(["run", "table1", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "770" in out  # the channel-state SRAM figure
 
     def test_run_fig11_quick(self, capsys):
-        assert main(["run", "fig11", "--quick"]) == 0
+        assert main(["run", "fig11", "--quick", "--no-cache"]) == 0
         assert "Figure 11" in capsys.readouterr().out
+
+    def test_run_caches_results(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table1", "--cache-dir", cache_dir]) == 0
+        assert "1 executed, 0 from cache" in capsys.readouterr().err
+        assert main(["run", "table1", "--cache-dir", cache_dir]) == 0
+        assert "0 executed, 1 from cache" in capsys.readouterr().err
+
+    def test_experiments_subset_combined_batch(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["experiments", "--only", "table1,fig11", "--quick",
+                     "--cache-dir", cache_dir]) == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "Figure 11" in captured.out
+        # One combined batch: 1 table1 trial + 4 quick fig11 trials.
+        assert "5 trials: 5 executed" in captured.err
+        # Second run: everything cached, nothing re-executed.
+        assert main(["experiments", "--only", "table1,fig11", "--quick",
+                     "--cache-dir", cache_dir]) == 0
+        assert "0 executed, 5 from cache" in capsys.readouterr().err
 
 
 class TestDemo:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import MS, S, US
+from repro.sim.engine import MS, US
 from repro.sim.network import Network, NetworkConfig
 from repro.topology import leaf_spine
 from repro.workloads import (GraphXPageRankWorkload, HadoopTerasortWorkload,
