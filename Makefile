@@ -3,9 +3,13 @@
 PYTHON ?= python
 # Worker processes for the trial runner (make figures JOBS=4).
 JOBS ?= 1
+# Entry label recorded by `make bench` in BENCH_core.json.
+BENCH_LABEL ?= adhoc
+# Experiment profiled by `make profile` (any name from `experiments --list`).
+PROFILE_EXP ?= fig10
 
-.PHONY: install test lint bench figures experiments examples \
-        quick-experiments clean
+.PHONY: install test lint bench bench-smoke bench-experiments profile \
+        figures experiments examples quick-experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,8 +20,34 @@ test:
 lint:
 	ruff check src tests benchmarks examples
 
+# Hot-path micro-suite (docs/PERF.md): records a labelled entry in
+# BENCH_core.json and fails on >25% normalized event-loop regression
+# against the committed post-optimization baseline.
 bench:
+	$(PYTHON) -m repro.perf.bench --label $(BENCH_LABEL) \
+	    --out BENCH_core.json --check-against BENCH_core.json \
+	    --baseline-label post-optimization --max-regression 0.25
+
+# CI-sized variant: quick iteration counts, no history rewrite.
+bench-smoke:
+	$(PYTHON) -m repro.perf.bench --quick --label ci-smoke \
+	    --out bench-smoke.json --check-against BENCH_core.json \
+	    --baseline-label post-optimization --max-regression 0.25
+
+# The full experiment regeneration benchmarks (pytest-benchmark).
+bench-experiments:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# cProfile one experiment end-to-end: one .prof per trial under
+# profiles/, then print the hottest functions of each.
+profile:
+	rm -rf profiles && mkdir -p profiles
+	$(PYTHON) -m repro run $(PROFILE_EXP) --quick --no-cache \
+	    --profile profiles
+	@for f in profiles/*.prof; do \
+	    echo "== $$f"; \
+	    $(PYTHON) -m repro.perf.profiles $$f --limit 15; \
+	done
 
 # Regenerate every table/figure through the shared trial runner: one
 # combined batch (parallel across experiments with JOBS>1), cached under
@@ -40,5 +70,6 @@ examples:
 	$(PYTHON) examples/loss_localization.py
 
 clean:
-	rm -rf .pytest_cache .hypothesis .repro-cache src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis .repro-cache src/repro.egg-info \
+	       profiles bench-smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,43 @@
+"""Micro-benchmarks of the discrete-event core's hot paths.
+
+The pytest-benchmark twin of :mod:`repro.perf.bench` — same four
+workloads, but with statistical rounds for local A/B work::
+
+    pytest benchmarks/perf/ --benchmark-only
+
+(`make bench` runs the standalone suite instead, which writes
+``BENCH_core.json``; this file is for interactive comparisons via
+``--benchmark-compare``.)
+"""
+
+from repro.perf import bench
+
+
+def test_event_loop(benchmark):
+    result = benchmark.pedantic(bench.bench_event_loop,
+                                kwargs={"events": 150_000},
+                                rounds=3, iterations=1)
+    assert result["events"] == 150_000
+
+
+def test_timer_churn(benchmark):
+    result = benchmark.pedantic(bench.bench_timer_churn,
+                                kwargs={"timers": 60_000},
+                                rounds=3, iterations=1)
+    # 1 in 4 timers survives cancellation and fires.
+    assert result["events"] == 15_000
+
+
+def test_snapshot_round(benchmark):
+    result = benchmark.pedantic(bench.bench_snapshot_round,
+                                kwargs={"snapshots": 2},
+                                rounds=2, iterations=1)
+    assert result["events"] > 10_000
+
+
+def test_fig10_knee(benchmark):
+    result = benchmark.pedantic(
+        bench.bench_fig10_knee,
+        kwargs={"ports": 8, "burst": 15, "search_iterations": 5},
+        rounds=2, iterations=1)
+    assert result["max_rate_hz"] > 0

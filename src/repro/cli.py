@@ -44,7 +44,11 @@ def _make_runner(args: argparse.Namespace):
             print(f"cannot use cache dir {args.cache_dir!r}: {exc}",
                   file=sys.stderr)
             raise SystemExit(2)
+    if args.profile and args.jobs > 1:
+        print("[--profile forces serial execution; ignoring --jobs]",
+              file=sys.stderr)
     return TrialRunner(jobs=args.jobs, cache=cache,
+                       profile_dir=args.profile,
                        progress=lambda msg: print(f"  [{msg}]",
                                                   file=sys.stderr))
 
@@ -68,6 +72,10 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         metavar="DIR",
                         help=f"result cache root (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--profile", metavar="DIR", default=None,
+                        help="dump one cProfile .prof file per trial into "
+                             "DIR (forces serial, bypasses the cache; "
+                             "inspect with python -m repro.perf.profiles)")
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -104,7 +112,19 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         cursor += count
         reports.append(reg[name].assemble(configs[name], chunk).report())
     print("\n\n".join(reports))
-    print(f"\n[{runner.last_stats.summary()}]", file=sys.stderr)
+    stats = runner.last_stats
+    print(f"\n[{stats.summary()}]", file=sys.stderr)
+    if stats.trial_seconds:
+        # Per-experiment wall-clock (executed trials only; cache hits
+        # cost nothing and are not attributed).
+        print("[per-experiment wall-clock]", file=sys.stderr)
+        for name in names:
+            timed = [stats.trial_seconds[s.describe()]
+                     for s in batches[name]
+                     if s.describe() in stats.trial_seconds]
+            if timed:
+                print(f"  {name:<21} {sum(timed):>8.2f}s "
+                      f"({len(timed)} trials)", file=sys.stderr)
     return 0
 
 

@@ -37,6 +37,9 @@ from repro.core.notifications import Notification
 from repro.sim.packet import Packet, PacketType
 from repro.sim.switch import UnitId
 
+#: Cached enum member for identity checks on the per-packet path.
+_DATA = PacketType.DATA
+
 
 @dataclass
 class SnapshotSlot:
@@ -70,6 +73,7 @@ class SpeedlightUnit:
                  in_flight_value_fn: Optional[Callable[[Packet], int]] = None) -> None:
         self.unit_id = unit_id
         self.ids = id_space
+        self._cmp = id_space.cmp  # bound once; called 1-2x per packet
         self.value_fn = value_fn
         self.channel_state = channel_state
         self.notify = notify
@@ -102,28 +106,33 @@ class SpeedlightUnit:
         header = packet.snapshot
         assert header is not None, "snapshot unit fed a headerless packet"
         old_sid = self._sid
-        cmp = self.ids.cmp(header.sid, self._sid)
-
-        if cmp > 0:
-            # New snapshot: save local state into the packet's slot.  The
-            # hardware cannot loop over skipped intermediate slots.
-            self._capture(header.sid, now_ns)
-            self._sid = header.sid
-        elif cmp < 0 and self.channel_state and header.packet_type is PacketType.DATA:
-            # In-flight packet: one register op credits the current slot.
-            # (Initiations are "never considered an in-flight packet", §6.)
-            slot = self._slot(self._sid)
-            slot.channel_state += self.in_flight_value_fn(packet)
+        header_sid = header.sid
+        # The common case — the packet carries the current epoch — skips
+        # the circular comparison entirely (cmp == 0 iff the IDs are
+        # equal, and ``_sid`` is always in range).
+        if header_sid != old_sid:
+            if self._cmp(header_sid, old_sid) > 0:
+                # New snapshot: save local state into the packet's slot.
+                # The hardware cannot loop over skipped intermediate
+                # slots.
+                self._capture(header_sid, now_ns)
+                self._sid = header_sid
+            elif self.channel_state and header.packet_type is _DATA:
+                # In-flight packet: one register op credits the current
+                # slot.  (Initiations are "never considered an in-flight
+                # packet", §6.)
+                slot = self._slot(old_sid)
+                slot.channel_state += self.in_flight_value_fn(packet)
 
         old_ls: Optional[int] = None
         new_ls: Optional[int] = None
         ls_changed = False
         if self.channel_state:
             old_ls = self.last_seen.get(channel_id, 0)
-            new_ls = header.sid
+            new_ls = header_sid
             # Last Seen tracks the most recent epoch observed on the
             # channel; it never moves backwards.
-            if self.ids.cmp(new_ls, old_ls) > 0:
+            if new_ls != old_ls and self._cmp(new_ls, old_ls) > 0:
                 self.last_seen[channel_id] = new_ls
                 ls_changed = True
             else:

@@ -38,6 +38,10 @@ class IdSpace:
         if max_sid is not None and max_sid < 3:
             raise ValueError("max_sid must be >= 3 (window would be empty)")
         self.max_sid = max_sid
+        # Precomputed mirrors of the ``size``/``window`` properties:
+        # ``cmp`` runs once per packet per snapshot unit.
+        self._size = None if max_sid is None else max_sid + 1
+        self._window = 2**62 if max_sid is None else max_sid // 2
 
     @property
     def size(self) -> Optional[int]:
@@ -67,14 +71,16 @@ class IdSpace:
         Returns -1, 0 or 1 as ``a`` is before, equal to, or after ``b``.
         Correct when the true epochs differ by at most :attr:`window`.
         """
-        if self.max_sid is None:
+        max_sid = self.max_sid
+        if max_sid is None:
             return (a > b) - (a < b)
-        self._check(a)
-        self._check(b)
+        if not (0 <= a <= max_sid and 0 <= b <= max_sid):
+            self._check(a)
+            self._check(b)
         if a == b:
             return 0
-        delta = (a - b) % self.size
-        return 1 if delta <= self.window else -1
+        delta = (a - b) % self._size
+        return 1 if delta <= self._window else -1
 
     def forward_distance(self, a: int, b: int) -> int:
         """How many increments take wrapped ``a`` to wrapped ``b``."""

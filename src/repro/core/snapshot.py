@@ -62,7 +62,11 @@ class GlobalSnapshot:
 
     @property
     def complete(self) -> bool:
-        return not self.missing_units
+        # ``records`` only ever holds expected units (``add_record``
+        # rejects others, ``exclude_device`` filters both), so a length
+        # check avoids rebuilding a UnitId set per arriving record — a
+        # top-ten hotspot in notification-heavy trials.
+        return len(self.records) >= len(self.expected_units)
 
     @property
     def consistent(self) -> bool:

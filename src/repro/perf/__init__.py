@@ -1,0 +1,23 @@
+"""Performance tooling: the hot-path micro-benchmark suite and
+profiling helpers that lock in the discrete-event core's speed.
+
+* :mod:`repro.perf.bench` — the micro-suite behind ``make bench`` and
+  the CI ``bench-smoke`` job; writes/checks ``BENCH_core.json``.
+* :mod:`repro.perf.profiles` — thin cProfile wrappers used by the CLI
+  ``--profile`` flag and ``make profile``.
+
+Submodules are imported lazily (both double as ``python -m`` entry
+points; an eager import here would shadow their ``-m`` execution).
+
+See ``docs/PERF.md`` for the methodology and the recorded numbers.
+"""
+
+import importlib
+
+__all__ = ["bench", "profiles"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        return importlib.import_module(f"repro.perf.{name}")
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

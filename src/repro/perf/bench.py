@@ -1,0 +1,370 @@
+"""Hot-path micro-benchmark suite for the discrete-event core.
+
+Times the three layers the optimization targets, from innermost out:
+
+* ``event_loop`` — the engine alone: self-rescheduling tickers through
+  ``schedule``/``schedule_fast``, no network model.  Measures raw
+  events/second of the heap + dispatch loop.
+* ``timer_churn`` — schedule-then-cancel at a 75% cancellation rate:
+  the cancellation side table and amortised heap compaction.
+* ``snapshot_round`` — a 4-switch leaf-spine carrying Poisson traffic
+  through a short synchronized-snapshot campaign: the full packet path
+  (queues, links, snapshot headers, notifications).
+* ``fig10_knee`` — one Figure 10 max-rate knee search end-to-end
+  through the trial runtime: the shape of a real experiment trial.
+
+Scores are normalized by a fixed pure-Python calibration loop so the
+regression gate survives machine changes: ``score = events_per_sec /
+calibration_ops_per_sec`` is (to first order) machine-independent,
+while raw ``seconds`` are recorded for human eyes.  ``BENCH_core.json``
+keeps a history of labelled entries; CI re-runs the quick suite and
+fails when the ``event_loop`` score regresses by more than the
+configured fraction against the committed baseline entry.
+
+Usage::
+
+    python -m repro.perf.bench                         # run, print table
+    python -m repro.perf.bench --out BENCH_core.json --label mybranch
+    python -m repro.perf.bench --quick \
+        --check-against BENCH_core.json --max-regression 0.25
+
+See ``docs/PERF.md`` for methodology and recorded numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.engine import MS, Simulator
+
+SCHEMA_VERSION = 1
+DEFAULT_BENCH_FILE = "BENCH_core.json"
+#: The benchmark whose normalized score gates CI regressions.
+GATE_BENCH = "event_loop"
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+
+def calibrate(loops: int = 2_000_000) -> float:
+    """Ops/second of a fixed pure-Python integer loop.
+
+    Everything the suite measures is pure-Python bytecode dispatch, so
+    dividing a benchmark's events/second by this rate yields a score
+    that tracks *code* changes, not *machine* changes.
+    """
+    started = time.perf_counter()
+    acc = 0
+    for i in range(loops):
+        acc += i & 7
+    seconds = time.perf_counter() - started
+    assert acc >= 0  # keep the loop un-eliminable
+    return loops / seconds
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+def bench_event_loop(events: int = 400_000, tickers: int = 32) -> Dict[str, Any]:
+    """Raw engine throughput: ``tickers`` self-rescheduling callbacks."""
+    sim = Simulator()
+
+    def tick(period: int) -> None:
+        sim.schedule_fast(period, tick, period)
+
+    def slow_tick(period: int) -> None:
+        sim.schedule(period, slow_tick, period)
+
+    # Mixed population: mostly fast-path, a few through the validated
+    # public path, with co-prime-ish periods so heap order keeps churning.
+    for i in range(tickers):
+        fn = slow_tick if i % 4 == 0 else tick
+        sim.schedule(i + 1, fn, 97 + 13 * i)
+
+    started = time.perf_counter()
+    executed = sim.run(max_events=events)
+    seconds = time.perf_counter() - started
+    return {"seconds": seconds, "events": executed,
+            "events_per_sec": executed / seconds}
+
+
+def bench_timer_churn(timers: int = 150_000, cancel_mod: int = 4) -> Dict[str, Any]:
+    """Cancellation-heavy load: 3 of every 4 timers are cancelled."""
+    sim = Simulator()
+
+    def expire() -> None:
+        pass
+
+    started = time.perf_counter()
+    for i in range(timers):
+        handle = sim.schedule(1_000 + i % 977, expire)
+        if i % cancel_mod:
+            handle.cancel()
+    executed = sim.run()
+    seconds = time.perf_counter() - started
+    return {"seconds": seconds, "events": executed,
+            "events_per_sec": executed / seconds,
+            "timers": timers, "compactions": sim.compactions}
+
+
+def bench_snapshot_round(snapshots: int = 4, rate_pps: float = 40_000.0) -> Dict[str, Any]:
+    """A 4-switch leaf-spine snapshot campaign over Poisson traffic."""
+    from repro.core import DeploymentConfig, SpeedlightDeployment
+    from repro.sim.network import Network, NetworkConfig
+    from repro.topology import leaf_spine
+    from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
+
+    interval = 5 * MS
+    horizon = (snapshots + 2) * interval
+    network = Network(leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2),
+                      NetworkConfig(seed=11))
+    PoissonWorkload(network, PoissonConfig(rate_pps=rate_pps,
+                                           stop_ns=snapshots * interval,
+                                           sport_churn=True)).start()
+    deployment = SpeedlightDeployment(
+        network, DeploymentConfig(metric="packet_count", channel_state=True))
+    deployment.schedule_campaign(count=snapshots, interval_ns=interval)
+
+    started = time.perf_counter()
+    network.run(until=horizon)
+    seconds = time.perf_counter() - started
+    events = network.sim.events_run
+    return {"seconds": seconds, "events": events,
+            "events_per_sec": events / seconds, "snapshots": snapshots}
+
+
+def bench_fig10_knee(ports: int = 16, burst: int = 25,
+                     search_iterations: int = 7) -> Dict[str, Any]:
+    """One Figure 10 knee search through the trial runtime."""
+    from repro.experiments import fig10
+    from repro.runtime.runner import execute_spec
+
+    config = fig10.Fig10Config(port_counts=[ports], burst=burst,
+                               search_iterations=search_iterations)
+    spec = fig10.specs(config)[0]
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    seconds = time.perf_counter() - started
+    return {"seconds": seconds, "ports": ports,
+            "max_rate_hz": result.data["max_rate_hz"]}
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+
+@dataclass
+class BenchResult:
+    """One labelled run of the suite (one entry of ``BENCH_core.json``)."""
+
+    label: str
+    quick: bool
+    calibration_ops_per_sec: float
+    results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    timestamp: str = ""
+    python: str = ""
+    machine: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"label": self.label, "timestamp": self.timestamp,
+                "python": self.python, "machine": self.machine,
+                "quick": self.quick,
+                "calibration_ops_per_sec": round(
+                    self.calibration_ops_per_sec, 1),
+                "results": self.results}
+
+    def score(self, name: str = GATE_BENCH) -> Optional[float]:
+        entry = self.results.get(name)
+        return None if entry is None else entry.get("score")
+
+    def table(self) -> str:
+        lines = [f"{'benchmark':<16} {'seconds':>9} {'events/s':>12} "
+                 f"{'score':>8}  notes"]
+        for name, r in self.results.items():
+            eps = r.get("events_per_sec")
+            score = r.get("score")
+            notes = ", ".join(f"{k}={v}" for k, v in r.items()
+                              if k not in ("seconds", "events",
+                                           "events_per_sec", "score"))
+            lines.append(
+                f"{name:<16} {r['seconds']:>9.3f} "
+                f"{(f'{eps:,.0f}' if eps else '-'):>12} "
+                f"{(f'{score:.4f}' if score is not None else '-'):>8}  "
+                f"{notes}")
+        lines.append(f"calibration: "
+                     f"{self.calibration_ops_per_sec / 1e6:.1f} Mops/s")
+        return "\n".join(lines)
+
+
+def _best_of(fn, repeat: int) -> Dict[str, Any]:
+    """Best (minimum-seconds) of ``repeat`` runs — the standard defence
+    against scheduler noise for micro-benchmarks."""
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(repeat):
+        run = fn()
+        if best is None or run["seconds"] < best["seconds"]:
+            best = run
+    return best
+
+
+def run_suite(label: str = "adhoc", quick: bool = False,
+              repeat: int = 3,
+              progress=None) -> BenchResult:
+    """Run every benchmark; returns the labelled :class:`BenchResult`."""
+    note = progress or (lambda msg: None)
+    repeat = max(1, repeat)
+
+    note("calibrating")
+    calibration = max(calibrate() for _ in range(2))
+
+    if quick:
+        plans = [
+            ("event_loop", lambda: bench_event_loop(events=150_000)),
+            ("timer_churn", lambda: bench_timer_churn(timers=60_000)),
+            ("snapshot_round", lambda: bench_snapshot_round(snapshots=2)),
+            ("fig10_knee", lambda: bench_fig10_knee(
+                ports=8, burst=15, search_iterations=5)),
+        ]
+    else:
+        plans = [
+            ("event_loop", bench_event_loop),
+            ("timer_churn", bench_timer_churn),
+            ("snapshot_round", bench_snapshot_round),
+            ("fig10_knee", bench_fig10_knee),
+        ]
+
+    result = BenchResult(
+        label=label, quick=quick, calibration_ops_per_sec=calibration,
+        timestamp=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        python=f"{platform.python_implementation()} "
+               f"{platform.python_version()}",
+        machine=platform.machine())
+
+    for name, fn in plans:
+        note(f"running {name}")
+        r = _best_of(fn, repeat)
+        r["seconds"] = round(r["seconds"], 4)
+        if "events_per_sec" in r:
+            r["events_per_sec"] = round(r["events_per_sec"], 1)
+            # Machine-normalized throughput; the regression gate's unit.
+            r["score"] = round(r["events_per_sec"] / calibration, 4)
+        result.results[name] = r
+    return result
+
+
+# ----------------------------------------------------------------------
+# History file + regression gate
+# ----------------------------------------------------------------------
+
+def load_history(path: str) -> Dict[str, Any]:
+    if not os.path.exists(path):
+        return {"schema": SCHEMA_VERSION, "suite": "core", "entries": []}
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported schema {data.get('schema')!r}")
+    return data
+
+
+def append_entry(path: str, result: BenchResult) -> None:
+    """Append ``result`` to the history, replacing any same-label entry."""
+    history = load_history(path)
+    history["entries"] = [e for e in history["entries"]
+                          if e.get("label") != result.label]
+    history["entries"].append(result.to_json())
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def baseline_entry(history: Dict[str, Any],
+                   label: Optional[str] = None) -> Optional[Dict[str, Any]]:
+    entries: List[Dict[str, Any]] = history.get("entries", [])
+    if label is not None:
+        for entry in entries:
+            if entry.get("label") == label:
+                return entry
+        return None
+    return entries[-1] if entries else None
+
+
+def check_regression(current: BenchResult, baseline: Dict[str, Any],
+                     max_regression: float = 0.25,
+                     bench: str = GATE_BENCH) -> "tuple[bool, str]":
+    """Compare normalized scores; ``(ok, human_message)``.
+
+    ``max_regression`` is the tolerated fractional drop (0.25 == a 25%
+    slower normalized event loop fails).  Improvements always pass.
+    """
+    base_score = (baseline.get("results", {}).get(bench, {}) or {}).get("score")
+    cur_score = current.score(bench)
+    if base_score is None or cur_score is None:
+        return True, (f"{bench}: no normalized score to compare "
+                      f"(baseline={base_score}, current={cur_score}) — skipped")
+    change = cur_score / base_score - 1.0
+    message = (f"{bench}: score {cur_score:.4f} vs baseline "
+               f"{base_score:.4f} ({baseline.get('label')!r}) — "
+               f"{change:+.1%}")
+    if change < -max_regression:
+        return False, message + f" exceeds the {max_regression:.0%} budget"
+    return True, message
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the discrete-event core micro-benchmark suite")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller iteration counts (CI smoke)")
+    parser.add_argument("--label", default="adhoc",
+                        help="entry label recorded in the history file")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="best-of-N repetitions per benchmark")
+    parser.add_argument("--out", metavar="FILE",
+                        help=f"append the entry to FILE "
+                             f"(e.g. {DEFAULT_BENCH_FILE})")
+    parser.add_argument("--check-against", metavar="FILE",
+                        help="compare against a baseline entry in FILE and "
+                             "exit 1 on regression")
+    parser.add_argument("--baseline-label", default=None,
+                        help="baseline entry label (default: last entry)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="tolerated fractional score drop (default 0.25)")
+    args = parser.parse_args(argv)
+
+    result = run_suite(label=args.label, quick=args.quick,
+                       repeat=args.repeat, progress=print)
+    print()
+    print(result.table())
+
+    if args.out:
+        append_entry(args.out, result)
+        print(f"\nrecorded entry {result.label!r} in {args.out}")
+
+    if args.check_against:
+        history = load_history(args.check_against)
+        baseline = baseline_entry(history, args.baseline_label)
+        if baseline is None:
+            print(f"\nno baseline entry "
+                  f"{args.baseline_label or '(last)'} in {args.check_against}")
+            return 1
+        ok, message = check_regression(result, baseline,
+                                       max_regression=args.max_regression)
+        print("\n" + message)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make bench
+    raise SystemExit(main())

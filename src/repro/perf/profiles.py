@@ -1,0 +1,65 @@
+"""cProfile helpers shared by ``TrialRunner(profile_dir=...)``, the CLI
+``--profile`` flag, and ``make profile``.
+
+Deliberately dependency-free (stdlib only) so :mod:`repro.runtime` can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Optional
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, out: str,
+                 **kwargs: Any) -> Any:
+    """Run ``fn(*args, **kwargs)`` under cProfile, dump stats to ``out``
+    (a ``.prof`` file readable by ``pstats``/``snakeviz``), and return
+    the call's result."""
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(fn, *args, **kwargs)
+    finally:
+        profiler.dump_stats(out)
+
+
+def top_functions(path: str, limit: int = 25,
+                  sort: str = "cumulative",
+                  strip_dirs: bool = True) -> str:
+    """Render the top ``limit`` functions of a ``.prof`` dump as text —
+    what ``make profile`` prints after the run."""
+    stats = pstats.Stats(path, stream=io.StringIO())
+    if strip_dirs:
+        stats.strip_dirs()
+    stream = io.StringIO()
+    stats.stream = stream
+    stats.sort_stats(sort).print_stats(limit)
+    return stream.getvalue()
+
+
+def print_profile(path: str, limit: int = 25,
+                  sort: str = "cumulative",
+                  write: Optional[Callable[[str], Any]] = None) -> None:
+    (write or print)(top_functions(path, limit=limit, sort=sort))
+
+
+def main(argv: Optional[list] = None) -> int:
+    """``python -m repro.perf.profiles dump.prof [--limit N] [--sort KEY]``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Pretty-print a cProfile dump produced by --profile "
+                    "or make profile")
+    parser.add_argument("path", help=".prof file to read")
+    parser.add_argument("--limit", type=int, default=25)
+    parser.add_argument("--sort", default="cumulative",
+                        help="pstats sort key (cumulative, tottime, calls)")
+    args = parser.parse_args(argv)
+    print_profile(args.path, limit=args.limit, sort=args.sort)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -15,10 +15,12 @@ exactly the changed trials.
 
 from __future__ import annotations
 
+import os
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.runtime import registry
 from repro.runtime.cache import TrialCache
@@ -49,10 +51,28 @@ class BatchStats:
     executed: int = 0
     cached: int = 0
     elapsed_s: float = 0.0
+    #: Wall-clock seconds per executed trial, keyed by ``spec.describe()``
+    #: (cached hits are absent — they cost no simulation time).  Timing
+    #: lives here, never inside :class:`TrialResult`, so result JSON
+    #: stays byte-identical across machines and runs.
+    trial_seconds: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (f"{self.total} trials: {self.executed} executed, "
                 f"{self.cached} from cache in {self.elapsed_s:.1f}s")
+
+
+def _execute_timed(spec: TrialSpec) -> "tuple[TrialResult, float]":
+    """Worker-side wrapper that reports wall-clock alongside the result."""
+    started = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - started
+
+
+def _profile_path(profile_dir: str, spec: TrialSpec) -> str:
+    name = spec.label or f"{spec.kind}-{spec.fingerprint()[:12]}"
+    return os.path.join(profile_dir, re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+                        + ".prof")
 
 
 class TrialRunner:
@@ -60,15 +80,21 @@ class TrialRunner:
 
     ``jobs`` is the worker process count; 1 means run in-process (no
     pool, easiest to debug).  ``cache=None`` disables caching entirely.
+    ``profile_dir`` dumps one cProfile stats file per executed trial
+    into that directory (forces serial execution so profiles are not
+    polluted by pool plumbing, and bypasses the cache so every trial
+    actually runs).
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[TrialCache] = None,
-                 progress: Optional[Callable[[str], None]] = None) -> None:
+                 progress: Optional[Callable[[str], None]] = None,
+                 profile_dir: Optional[str] = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
+        self.profile_dir = profile_dir
         self.last_stats = BatchStats()
 
     def _note(self, message: str) -> None:
@@ -82,7 +108,8 @@ class TrialRunner:
         misses: List[int] = []
         for index, spec in enumerate(specs):
             hit = (self.cache.get(spec.fingerprint())
-                   if self.cache is not None else None)
+                   if self.cache is not None and self.profile_dir is None
+                   else None)
             if hit is not None:
                 results[index] = hit
             else:
@@ -91,17 +118,25 @@ class TrialRunner:
 
         if misses:
             miss_specs = [specs[i] for i in misses]
-            if self.jobs == 1 or len(misses) == 1:
+            if self.profile_dir is not None:
+                executed = self._run_profiled(miss_specs, stats)
+            elif self.jobs == 1 or len(misses) == 1:
                 executed = []
                 for spec in miss_specs:
                     self._note(f"running {spec.describe()}")
-                    executed.append(execute_spec(spec))
+                    result, seconds = _execute_timed(spec)
+                    stats.trial_seconds[spec.describe()] = seconds
+                    executed.append(result)
             else:
                 self._note(f"running {len(miss_specs)} trials across "
                            f"{min(self.jobs, len(miss_specs))} workers")
                 with ProcessPoolExecutor(
                         max_workers=min(self.jobs, len(misses))) as pool:
-                    executed = list(pool.map(execute_spec, miss_specs))
+                    executed = []
+                    for spec, (result, seconds) in zip(
+                            miss_specs, pool.map(_execute_timed, miss_specs)):
+                        stats.trial_seconds[spec.describe()] = seconds
+                        executed.append(result)
             for index, result in zip(misses, executed):
                 results[index] = result
                 if self.cache is not None:
@@ -111,6 +146,22 @@ class TrialRunner:
         stats.elapsed_s = time.monotonic() - started
         self.last_stats = stats
         return [r for r in results if r is not None]
+
+    def _run_profiled(self, miss_specs: Sequence[TrialSpec],
+                      stats: BatchStats) -> List[TrialResult]:
+        """Serial execution with one cProfile dump per trial."""
+        from repro.perf.profiles import profile_call
+
+        os.makedirs(self.profile_dir, exist_ok=True)
+        executed = []
+        for spec in miss_specs:
+            out = _profile_path(self.profile_dir, spec)
+            self._note(f"profiling {spec.describe()} -> {out}")
+            started = time.perf_counter()
+            executed.append(profile_call(execute_spec, spec, out=out))
+            stats.trial_seconds[spec.describe()] = (time.perf_counter()
+                                                    - started)
+        return executed
 
     def run(self, spec: TrialSpec) -> TrialResult:
         return self.run_batch([spec])[0]

@@ -52,10 +52,11 @@ class BernoulliLoss(LossModel):
             raise ValueError(f"probability must be in [0, 1], got {probability}")
         self.probability = probability
         self.rng = rng
+        self._random = rng.random  # bound once; the per-packet hot path
         self.dropped = 0
 
     def should_drop(self, packet: Packet) -> bool:
-        if self.rng.random() < self.probability:
+        if self._random() < self.probability:
             self.dropped += 1
             return True
         return False
@@ -121,17 +122,38 @@ class Link:
         self.sim = sim
         self.bandwidth_bps = bandwidth_bps
         self.propagation_ns = propagation_ns
-        self.loss = loss or NoLoss()
+        self._loss = loss or NoLoss()
+        #: Fast-path flag: a NoLoss link skips the loss-model call per
+        #: packet entirely (kept in sync by the ``loss`` setter).
+        self._lossless = isinstance(self._loss, NoLoss)
         self.name = name
         self._endpoints: List[Optional[LinkEndpoint]] = [None, None]
+        #: id(sender) -> receiver, built once both ends are attached so
+        #: ``transmit`` avoids the identity-check chain per packet.
+        self._peer_cache: dict = {}
+        #: size_bytes -> serialization ns (traffic uses a handful of
+        #: fixed sizes, so this is effectively a precomputed multiplier).
+        self._ser_cache: dict = {}
         self.packets_delivered = 0
         self.packets_dropped = 0
+
+    @property
+    def loss(self) -> LossModel:
+        return self._loss
+
+    @loss.setter
+    def loss(self, model: LossModel) -> None:
+        self._loss = model
+        self._lossless = isinstance(model, NoLoss)
 
     def attach(self, endpoint: LinkEndpoint) -> int:
         """Attach an endpoint; returns its side index (0 or 1)."""
         for side in (0, 1):
             if self._endpoints[side] is None:
                 self._endpoints[side] = endpoint
+                a, b = self._endpoints
+                if a is not None and b is not None:
+                    self._peer_cache = {id(a): b, id(b): a}
                 return side
         raise RuntimeError(f"link {self.name!r} already has two endpoints")
 
@@ -149,8 +171,13 @@ class Link:
         raise ValueError(f"{endpoint!r} is not attached to link {self.name!r}")
 
     def serialization_ns(self, size_bytes: int) -> int:
-        """Time to clock ``size_bytes`` onto the wire at link rate."""
-        return (size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
+        """Time to clock ``size_bytes`` onto the wire at link rate
+        (memoized per size)."""
+        ns = self._ser_cache.get(size_bytes)
+        if ns is None:
+            ns = (size_bytes * 8 * 1_000_000_000) // self.bandwidth_bps
+            self._ser_cache[size_bytes] = ns
+        return ns
 
     def transmit(self, sender: LinkEndpoint, packet: Packet) -> bool:
         """Send ``packet`` from ``sender`` to the peer endpoint.
@@ -159,11 +186,14 @@ class Link:
         scheduled ``propagation_ns`` in the future; the caller has already
         accounted for serialisation time.
         """
-        receiver = self.peer_of(sender)
-        if self.loss.should_drop(packet):
+        receiver = self._peer_cache.get(id(sender))
+        if receiver is None:
+            receiver = self.peer_of(sender)
+        if not self._lossless and self._loss.should_drop(packet):
             self.packets_dropped += 1
             return False
-        self.sim.schedule(self.propagation_ns, self._deliver, receiver, packet)
+        self.sim.schedule_fast(self.propagation_ns, self._deliver,
+                               receiver, packet)
         return True
 
     def _deliver(self, receiver: LinkEndpoint, packet: Packet) -> None:

@@ -43,17 +43,35 @@ class Clock:
 
     def local_time(self, true_ns: int) -> int:
         """Convert true (simulator) time to this clock's local time."""
+        drift = self.drift_ppb
+        if not drift:  # identity fast path: a disciplined, drift-free clock
+            return true_ns + self.offset_ns
         elapsed = true_ns - self.sync_point_ns
-        return true_ns + self.offset_ns + (self.drift_ppb * elapsed) // 1_000_000_000
+        return true_ns + self.offset_ns + (drift * elapsed) // 1_000_000_000
 
     def true_time(self, local_ns: int) -> int:
-        """Convert a local timestamp back to true time (inverse of
-        :meth:`local_time`, up to integer rounding)."""
-        # local = true + offset + drift*(true - sp)/1e9
-        #       = true*(1 + drift/1e9) + offset - drift*sp/1e9
-        numer = (local_ns - self.offset_ns) * 1_000_000_000 + self.drift_ppb * self.sync_point_ns
-        denom = 1_000_000_000 + self.drift_ppb
-        return numer // denom
+        """Convert a local timestamp back to true time.
+
+        Exact inverse of :meth:`local_time` on its image: returns the
+        greatest true time ``t`` with ``local_time(t) <= local_ns``, so
+        ``local_time(true_time(L)) == L`` whenever ``L`` is a reading
+        the clock can actually produce.  (The naive algebraic inverse
+        floor-divides with a different denominator than the forward
+        map and lands 1 ns off for some negative drifts.)
+        """
+        drift = self.drift_ppb
+        if not drift:
+            return local_ns - self.offset_ns
+        # local = true + offset + floor(drift*(true - sp)/1e9); start from
+        # the real-valued inverse, then correct the floor asymmetry.
+        numer = ((local_ns - self.offset_ns) * 1_000_000_000
+                 + drift * self.sync_point_ns)
+        t = numer // (1_000_000_000 + drift)
+        while self.local_time(t) > local_ns:
+            t -= 1
+        while self.local_time(t + 1) <= local_ns:
+            t += 1
+        return t
 
     def resync(self, true_ns: int, residual_error_ns: int) -> None:
         """Discipline the clock at ``true_ns``, leaving ``residual_error_ns``

@@ -12,15 +12,26 @@ it.  Design points that matter for reproducing the paper:
   sequence number breaks ties).  This keeps simulations reproducible for a
   given seed, which the experiment harness relies on.
 * **Cancellable events.**  Timers (retransmissions, snapshot re-initiation
-  timeouts) need cancellation; cancelled events stay in the heap but are
-  skipped when popped.
+  timeouts) need cancellation; a cancelled event's sequence number goes
+  into a side table and is skipped when its heap entry is popped.
+
+Performance notes (see docs/PERF.md): heap entries are plain
+``(time, seq, fn, args)`` tuples, so ``heapq`` orders them with C-level
+tuple comparison instead of a Python ``__lt__`` per comparison — at
+millions of packet events per trial this is the single hottest path in
+the repository.  Cancellation state lives outside the heap (an
+:class:`Event` handle plus a seq side table) so the common case — events
+that are never cancelled — pays nothing for cancellability.  Internal
+hot paths that schedule trusted non-negative integer delays and never
+cancel use :meth:`Simulator.schedule_fast`, which skips both validation
+and handle allocation.
 """
 
 from __future__ import annotations
 
-import heapq
 import numbers
-from typing import Any, Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Set, Tuple
 
 #: One nanosecond, the base time unit.
 NS = 1
@@ -30,6 +41,11 @@ US = 1_000
 MS = 1_000_000
 #: Nanoseconds per second.
 S = 1_000_000_000
+
+#: Compact the heap once at least this many events are cancelled *and*
+#: they make up at least half of the heap (both bounds, so tiny heaps do
+#: not thrash and huge heaps do not accumulate unbounded garbage).
+_COMPACT_MIN_CANCELLED = 64
 
 
 def exact_ns(value: Any, what: str = "time") -> int:
@@ -54,25 +70,41 @@ def exact_ns(value: Any, what: str = "time") -> int:
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for a scheduled callback.
 
-    Events compare by ``(time, seq)`` so that simultaneous events fire in
-    scheduling order.  Use :meth:`cancel` to prevent a pending event from
-    firing; cancellation is O(1).
+    The callback itself lives in the simulator's heap as a plain tuple;
+    this handle only remembers enough identity — ``(time, seq)`` — to
+    cancel it.  Use :meth:`cancel` to prevent a pending event from
+    firing; cancellation is O(1) (amortised: a heap compaction runs when
+    cancelled entries pile up).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "_sim")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any],
+                 sim: "Simulator") -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
-        self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent this event from firing.  Safe to call more than once."""
+        """Prevent this event from firing.  Safe to call more than once,
+        and a no-op once the event has already fired."""
+        if self.cancelled:
+            return
+        sim = self._sim
+        # Events execute in strict (time, seq) order, so the last-fired
+        # key tells us exactly whether this one is still in the heap.
+        if (self.time, self.seq) <= (sim._last_time, sim._last_seq):
+            return  # already fired
         self.cancelled = True
+        cancelled = sim._cancelled
+        cancelled.add(self.seq)
+        if (len(cancelled) >= _COMPACT_MIN_CANCELLED
+                and 2 * len(cancelled) >= len(sim._heap)):
+            sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -97,10 +129,23 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        #: Heap of (time, seq, fn, args) tuples.
+        self._heap: List[Tuple[int, int, Callable[..., Any], tuple]] = []
         self._seq: int = 0
         self._events_run: int = 0
         self._running: bool = False
+        #: Seqs of cancelled-but-still-heaped events (the side table).
+        self._cancelled: Set[int] = set()
+        self._cancellations: int = 0  # lifetime count, for stats
+        self._compactions: int = 0
+        #: (time, seq) of the most recently executed event; lets
+        #: ``Event.cancel`` detect fired events exactly.
+        self._last_time: int = -1
+        self._last_seq: int = -1
+        #: Optional hook called as ``trace(time, seq, fn)`` before every
+        #: executed event (golden-trace determinism tests).  Set it
+        #: before calling :meth:`run`.
+        self.trace: Optional[Callable[[int, int, Callable[..., Any]], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -112,23 +157,42 @@ class Simulator:
         are accepted; fractional ones raise).  Returns the
         :class:`Event`, which can be cancelled.
         """
-        delay = exact_ns(delay, "delay")
+        if type(delay) is not int:  # exact-int fast path; bool et al. go slow
+            delay = exact_ns(delay, "delay")
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, fn, args))
+        return Event(time, seq, fn, self)
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``
         (an exact integer; fractional times raise)."""
-        time = exact_ns(time, "time")
+        if type(time) is not int:
+            time = exact_ns(time, "time")
         if time < self.now:
             raise ValueError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        event = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, fn, args))
+        return Event(time, seq, fn, self)
+
+    def schedule_fast(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Uncancellable fast-path scheduling for internal machinery.
+
+        Skips validation and handle allocation; ``delay`` must be a
+        trusted non-negative ``int``.  Packet forwarding, link delivery
+        and queue drain — the per-packet hot paths — use this.  Sequence
+        numbers come from the same counter as :meth:`schedule`, so
+        mixing the two preserves deterministic tie-breaking.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self.now + delay, seq, fn, args))
 
     # ------------------------------------------------------------------
     # Execution
@@ -145,23 +209,32 @@ class Simulator:
             raise RuntimeError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        cancelled = self._cancelled
+        pop = heappop
+        trace = self.trace
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                if cancelled and entry[1] in cancelled:
+                    cancelled.discard(pop(heap)[1])
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self.now = event.time
-                event.fn(*event.args)
+                pop(heap)
+                self.now = time
+                self._last_time = time
+                self._last_seq = entry[1]
+                if trace is not None:
+                    trace(time, entry[1], entry[2])
+                entry[2](*entry[3])
                 executed += 1
-                self._events_run += 1
         finally:
             self._running = False
+            self._events_run += executed
         if until is not None and self.now < until:
             self.now = until
         return executed
@@ -171,12 +244,42 @@ class Simulator:
         return self.run(max_events=1) == 1
 
     # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap and re-heapify.
+
+        Mutates ``_heap`` in place (``run`` holds a reference to the
+        list), so a compaction triggered from inside a callback is safe.
+        """
+        cancelled = self._cancelled
+        self._cancellations += len(cancelled)
+        self._heap[:] = [e for e in self._heap if e[1] not in cancelled]
+        heapify(self._heap)
+        cancelled.clear()
+        self._compactions += 1
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - len(self._cancelled)
+
+    #: Alias with the stats-style name (see also ``cancelled_count``).
+    pending_count = pending
+
+    @property
+    def cancelled_count(self) -> int:
+        """Cancelled events still occupying heap slots (drops to zero
+        after a compaction or once the entries are popped)."""
+        return len(self._cancelled)
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed so far."""
+        return self._compactions
 
     @property
     def events_run(self) -> int:
@@ -185,9 +288,11 @@ class Simulator:
 
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and cancelled and heap[0][1] in cancelled:
+            cancelled.discard(heappop(heap)[1])
+        return heap[0][0] if heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now}, pending={self.pending})"

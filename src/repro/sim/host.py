@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, exact_ns
 from repro.sim.channel import Link
 from repro.sim.packet import FlowKey, Packet
 from repro.sim.switch import _EgressQueue
@@ -79,7 +79,7 @@ class Host:
     def receive_from_link(self, packet: Packet, link: Link) -> None:
         if packet.snapshot is not None:
             # Defensive: headers must be stripped before host delivery.
-            packet.pop_snapshot_header()
+            packet.strip_snapshot_header()
         self.packets_received += 1
         self.bytes_received += packet.size_bytes
         record = self.received.get(packet.flow)
@@ -116,8 +116,8 @@ class Host:
         self._nic.push(packet)
 
     def _serialization_ns(self, packet: Packet) -> int:
-        assert self.link is not None
-        return max(1, self.link.serialization_ns(packet.size_bytes))
+        ns = self.link.serialization_ns(packet.size_bytes)
+        return ns if ns > 0 else 1
 
     def _transmit(self, packet: Packet) -> None:
         assert self.link is not None
@@ -133,10 +133,14 @@ class Host:
         """
         flow = FlowKey(self.name, dst, sport, dport, proto)
 
+        if type(gap_ns) is not int:
+            gap_ns = exact_ns(gap_ns, "gap_ns")
+        gap = gap_ns if gap_ns > 1 else 1
+
         def emit(seq: int) -> None:
             self.send_packet(Packet(flow=flow, size_bytes=size_bytes, seq=seq))
             if seq + 1 < num_packets:
-                self.sim.schedule(max(gap_ns, 1), emit, seq + 1)
+                self.sim.schedule_fast(gap, emit, seq + 1)
 
         if num_packets > 0:
             self.sim.schedule(start_delay_ns, emit, 0)

@@ -33,11 +33,22 @@ class ManagementPlane:
         self.base_latency_ns = base_latency_ns
         self.jitter_ns = jitter_ns
         self.messages_sent = 0
+        #: Jitter draws batched ahead of use (this RNG stream has no
+        #: other consumer, so batching preserves the exact draw order
+        #: and keeps results bit-identical to per-call sampling).
+        self._jitter_buf: list = []
 
     def one_way_latency_ns(self) -> int:
         """Sample a one-way delivery latency."""
-        jitter = self.rng.uniform(0, self.jitter_ns) if self.jitter_ns else 0
-        return self.base_latency_ns + int(jitter)
+        if not self.jitter_ns:
+            return self.base_latency_ns
+        buf = self._jitter_buf
+        if not buf:
+            uniform = self.rng.uniform
+            jitter_ns = self.jitter_ns
+            buf.extend(int(uniform(0, jitter_ns)) for _ in range(256))
+            buf.reverse()  # pop() must consume in draw order
+        return self.base_latency_ns + buf.pop()
 
     def send(self, deliver: Callable[..., Any], *args: Any) -> None:
         """Deliver ``deliver(*args)`` after one sampled one-way latency."""

@@ -12,24 +12,40 @@ The snapshot header (paper §5.1) carries three fields:
 Hosts never see the header: it is pushed by the first snapshot-enabled
 ingress unit and popped before delivery to a host (or, under partial
 deployment, at the last snapshot-enabled device on the path).
+
+Performance notes (docs/PERF.md): these are the most-allocated objects
+in any trial, so all three types are ``__slots__`` classes with
+hand-written constructors.  :class:`FlowKey` instances are interned —
+equal keys are usually the *same* object with a precomputed hash, which
+makes the per-packet flow-table lookups in hosts and load balancers
+cheap.  Stripped snapshot headers are recycled through a small free
+list (:func:`release_header`) instead of round-tripping the allocator.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
-class PacketType(enum.Enum):
-    """Snapshot header packet type (§5.1)."""
+class PacketType(enum.IntEnum):
+    """Snapshot header packet type (§5.1).
 
-    DATA = "data"
-    INITIATION = "initiation"
+    An ``IntEnum`` so fast-path code can compare the stored member
+    against a plain int (or a cached member with ``is``) without
+    attribute-chasing the enum class per packet.
+    """
+
+    DATA = 0
+    INITIATION = 1
 
 
-@dataclass
+#: Members cached at module level for hot-path identity comparisons.
+DATA = PacketType.DATA
+INITIATION = PacketType.INITIATION
+
+
 class SnapshotHeader:
     """The in-band snapshot header added to every packet.
 
@@ -37,32 +53,115 @@ class SnapshotHeader:
     downstream unit learns the upstream unit's current snapshot epoch.
     """
 
-    sid: int = 0
-    packet_type: PacketType = PacketType.DATA
-    channel_id: Optional[int] = None
+    __slots__ = ("sid", "packet_type", "channel_id")
+
+    def __init__(self, sid: int = 0, packet_type: PacketType = DATA,
+                 channel_id: Optional[int] = None) -> None:
+        self.sid = sid
+        self.packet_type = packet_type
+        self.channel_id = channel_id
 
     def copy(self) -> "SnapshotHeader":
-        return SnapshotHeader(self.sid, self.packet_type, self.channel_id)
+        """An independent header with the same fields (recycles the
+        free list when possible)."""
+        return new_header(self.sid, self.packet_type, self.channel_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SnapshotHeader(sid={self.sid}, "
+                f"packet_type={self.packet_type!r}, "
+                f"channel_id={self.channel_id})")
 
 
-@dataclass(frozen=True)
+#: Free list of stripped headers.  Bounded so a pathological workload
+#: cannot pin memory; per-process, so worker processes stay independent.
+_HEADER_POOL: List[SnapshotHeader] = []
+_HEADER_POOL_MAX = 1024
+
+
+def new_header(sid: int = 0, packet_type: PacketType = DATA,
+               channel_id: Optional[int] = None) -> SnapshotHeader:
+    """Allocate a snapshot header, reusing a pooled one when available."""
+    if _HEADER_POOL:
+        header = _HEADER_POOL.pop()
+        header.sid = sid
+        header.packet_type = packet_type
+        header.channel_id = channel_id
+        return header
+    return SnapshotHeader(sid, packet_type, channel_id)
+
+
+def release_header(header: Optional[SnapshotHeader]) -> None:
+    """Return a header to the free list.
+
+    Only for internal strip paths where the header is provably dead
+    (host delivery, egress stripping for a header-blind peer); callers
+    of the public :meth:`Packet.pop_snapshot_header` own the returned
+    header and must *not* release it.
+    """
+    if header is not None and len(_HEADER_POOL) < _HEADER_POOL_MAX:
+        _HEADER_POOL.append(header)
+
+
 class FlowKey:
-    """A 5-tuple identifying a flow, used by the load balancers."""
+    """A 5-tuple identifying a flow, used by the load balancers.
 
-    src: str
-    dst: str
-    sport: int
-    dport: int
-    proto: int = 6  # TCP by default
+    Instances are immutable by convention and interned: constructing the
+    same 5-tuple twice usually yields the same object, with the hash
+    precomputed once.  (The intern table is bounded; past the bound,
+    construction falls back to ordinary allocation and value equality.)
+    """
+
+    __slots__ = ("src", "dst", "sport", "dport", "proto", "_hash")
+
+    _intern: Dict[Tuple[str, str, int, int, int], "FlowKey"] = {}
+    _INTERN_MAX = 65536
+
+    def __new__(cls, src: str, dst: str, sport: int, dport: int,
+                proto: int = 6) -> "FlowKey":
+        key = (src, dst, sport, dport, proto)
+        cache = cls._intern
+        self = cache.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.src = src
+            self.dst = dst
+            self.sport = sport
+            self.dport = dport
+            self.proto = proto
+            self._hash = hash(key)
+            if len(cache) < cls._INTERN_MAX:
+                cache[key] = self
+        return self
 
     def reversed(self) -> "FlowKey":
         return FlowKey(self.dst, self.src, self.dport, self.sport, self.proto)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, FlowKey):
+            return NotImplemented
+        return (self.src == other.src and self.dst == other.dst
+                and self.sport == other.sport and self.dport == other.dport
+                and self.proto == other.proto)
+
+    def __reduce__(self):
+        # Re-intern on unpickle (the default __slots__ path would bypass
+        # __new__'s required arguments).
+        return (FlowKey, (self.src, self.dst, self.sport, self.dport,
+                          self.proto))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlowKey({self.src!r}, {self.dst!r}, {self.sport}, "
+                f"{self.dport}, proto={self.proto})")
 
 
 _packet_uid = itertools.count()
 
 
-@dataclass
 class Packet:
     """A simulated packet.
 
@@ -70,14 +169,22 @@ class Packet:
     the network never interprets it except for broadcast-probe TTLs.
     """
 
-    flow: FlowKey
-    size_bytes: int = 1500
-    seq: int = 0
-    created_ns: int = 0
-    snapshot: Optional[SnapshotHeader] = None
-    uid: int = field(default_factory=lambda: next(_packet_uid))
-    cos: int = 0
-    payload: Any = None
+    __slots__ = ("flow", "size_bytes", "seq", "created_ns", "snapshot",
+                 "uid", "cos", "payload")
+
+    def __init__(self, flow: FlowKey, size_bytes: int = 1500, seq: int = 0,
+                 created_ns: int = 0,
+                 snapshot: Optional[SnapshotHeader] = None,
+                 uid: Optional[int] = None, cos: int = 0,
+                 payload: Any = None) -> None:
+        self.flow = flow
+        self.size_bytes = size_bytes
+        self.seq = seq
+        self.created_ns = created_ns
+        self.snapshot = snapshot
+        self.uid = next(_packet_uid) if uid is None else uid
+        self.cos = cos
+        self.payload = payload
 
     @property
     def src(self) -> str:
@@ -88,15 +195,23 @@ class Packet:
         return self.flow.dst
 
     def push_snapshot_header(self, sid: int = 0,
-                             packet_type: PacketType = PacketType.DATA) -> SnapshotHeader:
+                             packet_type: PacketType = DATA) -> SnapshotHeader:
         """Attach a snapshot header (first snapshot-enabled hop)."""
-        self.snapshot = SnapshotHeader(sid=sid, packet_type=packet_type)
+        self.snapshot = new_header(sid, packet_type)
         return self.snapshot
 
     def pop_snapshot_header(self) -> Optional[SnapshotHeader]:
-        """Remove and return the snapshot header (last enabled hop)."""
+        """Remove and return the snapshot header (last enabled hop).
+        The caller owns the returned header."""
         header, self.snapshot = self.snapshot, None
         return header
+
+    def strip_snapshot_header(self) -> None:
+        """Drop the snapshot header and recycle it (internal strip
+        paths only — the header must not be referenced elsewhere)."""
+        header, self.snapshot = self.snapshot, None
+        if header is not None and len(_HEADER_POOL) < _HEADER_POOL_MAX:
+            _HEADER_POOL.append(header)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         snap = f", sid={self.snapshot.sid}" if self.snapshot else ""
@@ -113,5 +228,5 @@ def make_initiation_packet(sid: int, created_ns: int = 0) -> Packet:
     """
     flow = FlowKey(src="cpu", dst="cpu", sport=0, dport=0, proto=0)
     pkt = Packet(flow=flow, size_bytes=64, created_ns=created_ns)
-    pkt.snapshot = SnapshotHeader(sid=sid, packet_type=PacketType.INITIATION)
+    pkt.snapshot = new_header(sid, INITIATION)
     return pkt

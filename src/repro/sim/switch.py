@@ -33,6 +33,11 @@ from repro.sim.engine import Simulator, US
 from repro.sim.channel import Link
 from repro.sim.packet import Packet, PacketType
 
+#: Enum members cached at module level: the per-packet fast path does
+#: identity checks against these instead of attribute-chasing the enum.
+_DATA = PacketType.DATA
+_INITIATION = PacketType.INITIATION
+
 #: Channel ID an ingress unit uses for its single external upstream
 #: neighbor (§5.1: "for ingress processing units, there is only one
 #: upstream neighbor").
@@ -221,6 +226,13 @@ class _EgressQueue:
         self.num_cos = num_cos
         self.capacity_packets = capacity_packets
         self._lanes: List[Deque[Packet]] = [deque() for _ in range(num_cos)]
+        #: Single-lane fast path: with one CoS (the paper's base model)
+        #: lane selection and strict-priority scanning collapse away.
+        self._only_lane: Optional[Deque[Packet]] = (
+            self._lanes[0] if num_cos == 1 else None)
+        #: Waiting packets across all lanes (excludes the in-service one);
+        #: maintained incrementally so depth checks are O(1).
+        self._waiting = 0
         self.queued_bytes = 0
         self.busy = False
         self.packets_sent = 0
@@ -230,7 +242,7 @@ class _EgressQueue:
 
     @property
     def depth_packets(self) -> int:
-        return sum(len(lane) for lane in self._lanes) + (1 if self.busy else 0)
+        return self._waiting + (1 if self.busy else 0)
 
     @property
     def depth_bytes(self) -> int:
@@ -247,21 +259,34 @@ class _EgressQueue:
 
         Returns False on a tail drop (buffer at capacity).
         """
+        depth = self._waiting + (1 if self.busy else 0)
         if (self.capacity_packets is not None
-                and self.depth_packets >= self.capacity_packets):
+                and depth >= self.capacity_packets):
             self.packets_dropped += 1
             return False
-        self._lanes[self._lane_of(packet)].append(packet)
+        lane = self._only_lane
+        if lane is None:
+            lane = self._lanes[self._lane_of(packet)]
+        lane.append(packet)
+        self._waiting += 1
         self.queued_bytes += packet.size_bytes
-        self.max_depth_packets = max(self.max_depth_packets, self.depth_packets)
+        if depth + 1 > self.max_depth_packets:
+            self.max_depth_packets = depth + 1
         if not self.busy:
             self._start_next()
         return True
 
     def _pop(self) -> Optional[Packet]:
+        lane = self._only_lane
+        if lane is not None:
+            if lane:
+                self._waiting -= 1
+                return lane.popleft()
+            return None
         # Strict priority: highest class first.
         for lane in reversed(self._lanes):
             if lane:
+                self._waiting -= 1
                 return lane.popleft()
         return None
 
@@ -272,8 +297,8 @@ class _EgressQueue:
             return
         self.busy = True
         self.queued_bytes -= packet.size_bytes
-        assert self.ser_fn is not None and self.transmit is not None
-        self.sim.schedule(max(1, self.ser_fn(packet)), self._finish, packet)
+        ser = self.ser_fn(packet)
+        self.sim.schedule_fast(ser if ser > 0 else 1, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
         self.packets_sent += 1
@@ -300,19 +325,20 @@ class _ProcessingUnit:
     def _run_snapshot(self, packet: Packet, channel_id: int) -> None:
         """Apply the snapshot agent to the packet's header, if any."""
         agent = self.snapshot_agent
-        if agent is None or packet.snapshot is None:
+        header = packet.snapshot
+        if agent is None or header is None:
             return
         now = self.switch.sim.now
-        carried = packet.snapshot.sid
+        carried = header.sid
         new_sid = agent.process_packet(packet, channel_id, now)
-        packet.snapshot.sid = new_sid
+        header.sid = new_sid
         sink = self.switch.trace_sink
         if sink is not None:
             sink(TraceEvent(
                 packet_uid=packet.uid, unit=self.unit_id, time_ns=now,
                 carried_sid=carried, unit_sid_after=new_sid,
                 channel=channel_id,
-                is_data=packet.snapshot.packet_type is PacketType.DATA,
+                is_data=header.packet_type is _DATA,
                 size_bytes=packet.size_bytes))
 
     def read_counter(self, name: str):
@@ -332,11 +358,12 @@ class IngressUnit(_ProcessingUnit):
     def handle_packet(self, packet: Packet) -> None:
         self.packets_processed += 1
         sw = self.switch
-        is_initiation = (packet.snapshot is not None and
-                         packet.snapshot.packet_type is PacketType.INITIATION)
+        snapshot = packet.snapshot
+        is_initiation = (snapshot is not None and
+                         snapshot.packet_type is _INITIATION)
 
-        if self.snapshot_enabled:
-            if packet.snapshot is None:
+        if self.snapshot_agent is not None:
+            if snapshot is None:
                 # First snapshot-enabled hop on this packet's path: push a
                 # header carrying our current epoch.  A fresh header never
                 # triggers a snapshot (sid equality) but does refresh the
@@ -348,35 +375,38 @@ class IngressUnit(_ProcessingUnit):
             # channel (§4.1); with one lane this reduces to
             # EXTERNAL_CHANNEL == 0.
             channel = (CPU_CHANNEL if is_initiation
-                       else sw.cos_lane(packet))
+                       else (0 if sw._single_cos else sw.cos_lane(packet)))
             self._run_snapshot(packet, channel)
         elif is_initiation:
             # A disabled unit should never see initiations; drop defensively.
             return
 
         if not is_initiation:
-            self.counters.update_all(packet, sw.sim.now)
+            counters = self.counters._counters
+            if counters:
+                now = sw.sim.now
+                for counter in counters.values():
+                    counter.update(packet, now)
 
-        delay = sw.config.ingress_latency_ns
         if is_initiation:
             # Initiation travels CPU → ingress → egress of the *same* port
             # (Figure 6, path 3) and is dropped there after processing.
-            sw.sim.schedule(delay + sw.config.fabric_latency_ns,
-                            sw.ports[self.port_index].egress.handle_packet,
-                            packet, self.port_index)
+            sw.sim.schedule_fast(sw._ingress_fabric_ns,
+                                 sw.ports[self.port_index].egress.handle_packet,
+                                 packet, self.port_index)
             return
 
-        if packet.dst == BROADCAST_DST:
-            self._flood(packet, delay)
+        if packet.flow.dst == BROADCAST_DST:
+            self._flood(packet, sw.config.ingress_latency_ns)
             return
 
         out_port = sw.forward(packet, self.port_index)
         if out_port is None:
             sw.packets_unroutable += 1
             return
-        sw.sim.schedule(delay + sw.config.fabric_latency_ns,
-                        sw.ports[out_port].egress.handle_packet,
-                        packet, self.port_index)
+        sw.sim.schedule_fast(sw._ingress_fabric_ns,
+                             sw.ports[out_port].egress.handle_packet,
+                             packet, self.port_index)
 
     def _flood(self, packet: Packet, delay: int) -> None:
         """Replicate a broadcast probe to every other connected egress.
@@ -395,9 +425,9 @@ class IngressUnit(_ProcessingUnit):
                           cos=packet.cos, payload=ttl)
             if packet.snapshot is not None:
                 copy.snapshot = packet.snapshot.copy()
-            sw.sim.schedule(delay + sw.config.fabric_latency_ns,
-                            sw.ports[out_port].egress.handle_packet,
-                            copy, self.port_index)
+            sw.sim.schedule_fast(delay + sw.config.fabric_latency_ns,
+                                 sw.ports[out_port].egress.handle_packet,
+                                 copy, self.port_index)
 
 
 class EgressUnit(_ProcessingUnit):
@@ -422,33 +452,41 @@ class EgressUnit(_ProcessingUnit):
 
     def _serialization_ns(self, packet: Packet) -> int:
         link = self.switch.ports[self.port_index].link
-        assert link is not None
-        return max(1, link.serialization_ns(packet.size_bytes))
+        ns = link.serialization_ns(packet.size_bytes)
+        return ns if ns > 0 else 1
 
     def handle_packet(self, packet: Packet, from_ingress_port: int) -> None:
         self.packets_processed += 1
         sw = self.switch
-        is_initiation = (packet.snapshot is not None and
-                         packet.snapshot.packet_type is PacketType.INITIATION)
+        snapshot = packet.snapshot
+        is_initiation = (snapshot is not None and
+                         snapshot.packet_type is _INITIATION)
 
-        if self.snapshot_enabled:
-            channel = (CPU_CHANNEL if is_initiation
-                       else sw.egress_channel_id(from_ingress_port,
-                                                 sw.cos_lane(packet)))
+        if self.snapshot_agent is not None:
+            if is_initiation:
+                channel = CPU_CHANNEL
+            elif sw._single_cos:
+                channel = from_ingress_port
+            else:
+                channel = sw.egress_channel_id(from_ingress_port,
+                                               sw.cos_lane(packet))
             self._run_snapshot(packet, channel)
-
-        if not is_initiation:
-            self.counters.update_all(packet, sw.sim.now)
 
         if is_initiation:
             # "...the egress unit ... drops the packet after processing" (§6)
             return
 
+        counters = self.counters._counters
+        if counters:
+            now = sw.sim.now
+            for counter in counters.values():
+                counter.update(packet, now)
+
         link = sw.ports[self.port_index].link
         if link is None:
             sw.packets_unroutable += 1
             return
-        if packet.dst == BROADCAST_DST:
+        if packet.flow.dst == BROADCAST_DST:
             # Probe: forward over the wire only while TTL lasts and the
             # peer can parse the header; never bother hosts with probes.
             ttl = packet.payload if isinstance(packet.payload, int) else 0
@@ -456,13 +494,12 @@ class EgressUnit(_ProcessingUnit):
                 return
             packet.payload = ttl - 1
         if self.strip_header_for_peer:
-            packet.pop_snapshot_header()
+            packet.strip_snapshot_header()
         self.queue.push(packet)
 
     def _transmit(self, packet: Packet) -> None:
-        link = self.switch.ports[self.port_index].link
-        assert link is not None
-        link.transmit(self.switch.ports[self.port_index], packet)
+        port = self.switch.ports[self.port_index]
+        port.link.transmit(port, packet)
 
     # Queue depth is a first-class metric (§1, §2.2 examples).
     @property
@@ -528,6 +565,12 @@ class Switch:
         self.sim = sim
         self.name = name
         self.config = config or SwitchConfig()
+        #: Hot-path precomputations from the (static) config: the
+        #: combined ingress→fabric hop latency and the single-CoS flag
+        #: that collapses lane/channel arithmetic.
+        self._ingress_fabric_ns = (self.config.ingress_latency_ns
+                                   + self.config.fabric_latency_ns)
+        self._single_cos = self.config.num_cos == 1
         self.ports: List[Port] = [Port(self, i) for i in range(self.config.num_ports)]
         self.routes: Dict[str, List[int]] = {}
         self.lb: LoadBalancer = lb or _FirstPortBalancer()
@@ -619,8 +662,8 @@ class Switch:
         """Ship a notification over the ASIC→CPU channel."""
         if self.notification_sink is None:
             return
-        self.sim.schedule(self.config.asic_cpu_latency_ns,
-                          self.notification_sink, notification)
+        self.sim.schedule_fast(self.config.asic_cpu_latency_ns,
+                               self.notification_sink, notification)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Switch({self.name}, ports={len(self.ports)})"

@@ -1,0 +1,56 @@
+"""Golden event-trace determinism: the exact event stream is pinned.
+
+The hot-path optimization of the discrete-event core (docs/PERF.md) is
+required to be *event-for-event* identical to the reference
+implementation: same events, same (time, seq) order, same callbacks.
+This test hashes the full ``(time, seq, fn_qualname)`` stream of a
+seeded two-switch scenario — 38k+ events through hosts, switches,
+links, clocks, the snapshot protocol and the management plane — and
+compares it against the recorded reference digest.
+
+The digest was captured on the pre-optimization engine (plus the
+``Clock.true_time`` floor-asymmetry fix, which legitimately shifts
+initiation times by 1 ns for some negative-drift clocks).  If this
+test fails, a change reordered or perturbed the simulation itself —
+that is a correctness regression, not a formality.  Re-record only for
+a change that *intentionally* alters simulation behaviour, and say so
+in the commit message.
+"""
+
+import hashlib
+
+from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.sim.engine import MS
+from repro.sim.network import Network, NetworkConfig
+from repro.topology import linear
+from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
+
+GOLDEN_SHA256 = ("1a3cc758348164a251befa5ae043864d"
+                 "06cb64d9ff2940ce2dced81cc4e3eb13")
+GOLDEN_EVENTS = 38735
+GOLDEN_TOTALS = [2006, 6038, 10060]
+
+
+def test_golden_event_trace_hash():
+    network = Network(linear(num_switches=2, hosts_per_switch=2),
+                      NetworkConfig(seed=7))
+    PoissonWorkload(network, PoissonConfig(rate_pps=10_000,
+                                           stop_ns=40 * MS,
+                                           sport_churn=True)).start()
+    deployment = SpeedlightDeployment(network, DeploymentConfig(
+        metric="packet_count", channel_state=True))
+    deployment.schedule_campaign(count=3, interval_ns=10 * MS)
+
+    digest = hashlib.sha256()
+
+    def trace(time: int, seq: int, fn) -> None:
+        name = getattr(fn, "__qualname__", None) or repr(fn)
+        digest.update(f"{time}:{seq}:{name}\n".encode())
+
+    network.sim.trace = trace
+    network.run(until=60 * MS)
+
+    assert network.sim.events_run == GOLDEN_EVENTS
+    assert digest.hexdigest() == GOLDEN_SHA256
+    snaps = [deployment.observer.snapshot(epoch) for epoch in (1, 2, 3)]
+    assert [s.total_value() for s in snaps] == GOLDEN_TOTALS

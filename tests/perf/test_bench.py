@@ -1,0 +1,108 @@
+"""The benchmark harness itself: history file handling and the
+regression gate.  (The benchmarks' *timings* are exercised by
+``make bench`` / ``benchmarks/perf/``, not asserted here.)"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import (BenchResult, append_entry, baseline_entry,
+                              bench_event_loop, bench_timer_churn,
+                              check_regression, load_history)
+
+
+def _result(label: str, score: float) -> BenchResult:
+    result = BenchResult(label=label, quick=True,
+                         calibration_ops_per_sec=1e6)
+    result.results["event_loop"] = {"seconds": 0.1, "events": 1000,
+                                    "events_per_sec": score * 1e6,
+                                    "score": score}
+    return result
+
+
+class TestRegressionGate:
+    def test_equal_scores_pass(self):
+        ok, message = check_regression(_result("cur", 0.04),
+                                       _result("base", 0.04).to_json())
+        assert ok and "+0.0%" in message
+
+    def test_improvement_passes(self):
+        ok, _ = check_regression(_result("cur", 0.08),
+                                 _result("base", 0.04).to_json())
+        assert ok
+
+    def test_small_regression_within_budget_passes(self):
+        ok, _ = check_regression(_result("cur", 0.033),
+                                 _result("base", 0.04).to_json(),
+                                 max_regression=0.25)
+        assert ok
+
+    def test_large_regression_fails(self):
+        ok, message = check_regression(_result("cur", 0.02),
+                                       _result("base", 0.04).to_json(),
+                                       max_regression=0.25)
+        assert not ok and "exceeds" in message
+
+    def test_missing_scores_skip_rather_than_fail(self):
+        bare = BenchResult(label="cur", quick=True,
+                           calibration_ops_per_sec=1e6)
+        ok, message = check_regression(bare, {"results": {}})
+        assert ok and "skipped" in message
+
+
+class TestHistoryFile:
+    def test_load_missing_file_yields_empty_history(self, tmp_path):
+        history = load_history(str(tmp_path / "nope.json"))
+        assert history["entries"] == []
+
+    def test_append_then_baseline_roundtrip(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        append_entry(path, _result("first", 0.03))
+        append_entry(path, _result("second", 0.04))
+        history = load_history(path)
+        assert [e["label"] for e in history["entries"]] == ["first", "second"]
+        assert baseline_entry(history)["label"] == "second"
+        assert baseline_entry(history, "first")["label"] == "first"
+        assert baseline_entry(history, "absent") is None
+
+    def test_append_replaces_same_label(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        append_entry(path, _result("ci-smoke", 0.03))
+        append_entry(path, _result("ci-smoke", 0.05))
+        entries = load_history(path)["entries"]
+        assert len(entries) == 1
+        assert entries[0]["results"]["event_loop"]["score"] == 0.05
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "entries": []}))
+        with pytest.raises(ValueError):
+            load_history(str(path))
+
+
+class TestCommittedBaseline:
+    def test_bench_core_json_has_the_gate_entries(self):
+        """The committed history must keep the before/after pair the
+        CI gate and docs/PERF.md refer to."""
+        path = Path(__file__).resolve().parents[2] / "BENCH_core.json"
+        history = load_history(str(path))
+        labels = [e["label"] for e in history["entries"]]
+        assert "pre-optimization" in labels
+        assert "post-optimization" in labels
+        post = baseline_entry(history, "post-optimization")
+        pre = baseline_entry(history, "pre-optimization")
+        # The locked-in win: >= 2x on the normalized event-loop score.
+        assert (post["results"]["event_loop"]["score"]
+                >= 2 * pre["results"]["event_loop"]["score"])
+
+
+class TestMicroBenchmarks:
+    def test_event_loop_executes_requested_events(self):
+        run = bench_event_loop(events=2_000, tickers=8)
+        assert run["events"] == 2_000
+        assert run["events_per_sec"] > 0
+
+    def test_timer_churn_fires_only_surviving_timers(self):
+        run = bench_timer_churn(timers=4_000, cancel_mod=4)
+        assert run["events"] == 1_000  # 1 in 4 survives cancellation

@@ -31,6 +31,49 @@ class TestDeterminism:
         results = TrialRunner(jobs=2).run_batch(specs)
         assert [r.params["routers"] for r in results] == [20, 5, 10]
 
+    def test_cache_fingerprints_stable_across_jobs(self, tmp_path):
+        """The on-disk cache produced at ``--jobs 4`` is interchangeable
+        with the one produced at ``--jobs 1``: same fingerprints (file
+        identities) and byte-identical stored results."""
+        specs = _fig11_specs([5, 10, 20, 40])
+        serial_cache = TrialCache(tmp_path / "serial", version="v1")
+        parallel_cache = TrialCache(tmp_path / "parallel", version="v1")
+        TrialRunner(jobs=1, cache=serial_cache).run_batch(specs)
+        TrialRunner(jobs=4, cache=parallel_cache).run_batch(specs)
+
+        for spec in specs:
+            fp = spec.fingerprint()
+            serial_hit = serial_cache.get(fp)
+            parallel_hit = parallel_cache.get(fp)
+            assert serial_hit is not None and parallel_hit is not None
+            assert serial_hit.to_json() == parallel_hit.to_json()
+
+        # And a serial run replays cleanly from the parallel cache.
+        replay = TrialRunner(jobs=1, cache=parallel_cache)
+        replay.run_batch(specs)
+        assert replay.last_stats.cached == len(specs)
+        assert replay.last_stats.executed == 0
+
+    def test_trial_seconds_recorded_per_executed_trial(self):
+        specs = _fig11_specs([5, 10])
+        runner = TrialRunner(jobs=1)
+        runner.run_batch(specs)
+        stats = runner.last_stats
+        assert set(stats.trial_seconds) == {s.describe() for s in specs}
+        assert all(seconds >= 0 for seconds in stats.trial_seconds.values())
+
+    def test_profile_dir_dumps_one_prof_per_trial(self, tmp_path):
+        specs = _fig11_specs([5, 10])
+        profile_dir = tmp_path / "profs"
+        cache = TrialCache(tmp_path / "cache", version="v1")
+        TrialRunner(cache=cache).run_batch(specs)  # warm the cache
+        runner = TrialRunner(cache=cache, profile_dir=str(profile_dir))
+        results = runner.run_batch(specs)
+        # Profiling bypasses the cache (a cache hit profiles nothing).
+        assert runner.last_stats.executed == len(specs)
+        assert len(results) == len(specs)
+        assert len(list(profile_dir.glob("*.prof"))) == len(specs)
+
 
 class TestCacheInteraction:
     def test_cache_hit_skips_execution(self, tmp_path):

@@ -40,15 +40,31 @@ class TestClock:
         clock.resync(true_ns=100, residual_error_ns=-7)
         assert clock.error_at(100) == -7
 
-    @given(st.integers(min_value=-100_000, max_value=100_000),
+    @given(st.integers(min_value=-40_000_000, max_value=40_000_000),
            st.integers(min_value=-10_000, max_value=10_000),
+           st.integers(min_value=0, max_value=10**12),
            st.integers(min_value=0, max_value=10**12))
-    def test_property_true_time_inverts_local_time(self, drift, offset, t):
+    def test_property_true_time_exactly_inverts_local_time(
+            self, drift, offset, t, sync_point):
+        """``true_time`` is the exact inverse of ``local_time`` on its
+        image for *signed* drift: it returns the greatest true time
+        mapping at or below the reading.  (The naive algebraic inverse
+        floor-divides with a different denominator than the forward map
+        and lands 1 ns off for some negative drifts.)"""
         clock = Clock(drift_ppb=drift, offset_ns=offset)
+        clock.sync_point_ns = sync_point
         local = clock.local_time(t)
         recovered = clock.true_time(local)
-        # Integer rounding allows an error of at most 1 ns.
-        assert abs(recovered - t) <= 1
+        assert clock.local_time(recovered) == local
+        assert clock.local_time(recovered + 1) > local
+        assert recovered >= t  # greatest preimage, never an earlier one
+
+    @given(st.integers(min_value=-40_000_000, max_value=40_000_000),
+           st.integers(min_value=-10_000, max_value=10_000),
+           st.integers(min_value=0, max_value=10**9))
+    def test_property_true_time_monotone_in_local(self, drift, offset, local):
+        clock = Clock(drift_ppb=drift, offset_ns=offset)
+        assert clock.true_time(local) <= clock.true_time(local + 1)
 
 
 class TestPTPService:

@@ -183,6 +183,82 @@ class TestRunLimits:
         assert sim.peek_time() == 9
 
 
+class TestCancellationBookkeeping:
+    """The cancellation side table and its compaction bounds."""
+
+    def test_pending_count_and_cancelled_count(self, sim):
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        assert sim.pending == sim.pending_count == 10
+        assert sim.cancelled_count == 0
+        handles[0].cancel()
+        handles[5].cancel()
+        assert sim.pending == sim.pending_count == 8
+        assert sim.cancelled_count == 2
+
+    def test_cancel_after_fire_does_not_pollute_side_table(self, sim):
+        first = sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run(until=1)
+        first.cancel()  # already fired: must be an exact no-op
+        assert sim.cancelled_count == 0
+        assert sim.pending == 1
+
+    def test_cancel_churn_does_not_leak(self, sim):
+        """Schedule-then-cancel churn must not grow the heap without
+        bound: compaction keeps cancelled entries at under half the
+        heap (above the small-heap threshold)."""
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+
+        live = [sim.schedule(10 * S + i, lambda: None) for i in range(8)]
+        for i in range(10_000):
+            sim.schedule(1_000 + i % 97, lambda: None).cancel()
+            assert (sim.cancelled_count < _COMPACT_MIN_CANCELLED
+                    or 2 * sim.cancelled_count < len(sim._heap))
+        assert sim.compactions > 0
+        # Bound: live entries + the compaction trigger's slack.
+        assert len(sim._heap) <= 2 * max(len(live),
+                                         _COMPACT_MIN_CANCELLED) + 1
+        assert sim.pending == len(live)
+        assert sim.run() == len(live)
+
+    def test_compaction_from_within_callback_is_safe(self, sim):
+        """A compaction triggered while ``run`` iterates must not orphan
+        the loop's heap reference (compaction mutates in place)."""
+        from repro.sim.engine import _COMPACT_MIN_CANCELLED
+
+        fired = []
+
+        def churn() -> None:
+            for _ in range(2 * _COMPACT_MIN_CANCELLED):
+                sim.schedule(100, lambda: None).cancel()
+
+        sim.schedule(1, churn)
+        sim.schedule(200, fired.append, "late")
+        sim.run()
+        assert fired == ["late"]
+        assert sim.compactions > 0
+
+    def test_schedule_fast_shares_seq_counter(self, sim):
+        """Fast-path and validated scheduling interleave with FIFO
+        tie-breaking preserved (one seq per call, in call order)."""
+        order = []
+        sim.schedule(5, order.append, "a")
+        sim.schedule_fast(5, order.append, "b")
+        sim.schedule(5, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_trace_hook_sees_every_event(self, sim):
+        seen = []
+        sim.trace = lambda time, seq, fn: seen.append((time, seq))
+        sim.schedule(3, lambda: None)
+        sim.schedule_fast(1, lambda: None)
+        skipped = sim.schedule(2, lambda: None)
+        skipped.cancel()
+        sim.run()
+        assert seen == [(1, 1), (3, 0)]
+
+
 class TestTimeConstants:
     def test_unit_relationships(self):
         assert US == 1_000 * NS
