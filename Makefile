@@ -8,8 +8,9 @@ BENCH_LABEL ?= adhoc
 # Experiment profiled by `make profile` (any name from `experiments --list`).
 PROFILE_EXP ?= fig10
 
-.PHONY: install test lint bench bench-smoke bench-experiments profile \
-        figures experiments examples quick-experiments clean
+.PHONY: install test lint bench bench-smoke bench-experiments \
+        chaos-smoke profile figures experiments examples \
+        quick-experiments clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +38,18 @@ bench-smoke:
 # The full experiment regeneration benchmarks (pytest-benchmark).
 bench-experiments:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Snapshots-under-failure smoke (docs/FAULTS.md): the quick fault
+# sweep, uncached; fails if any completed-and-consistent snapshot
+# violates the link non-negativity or conservation audits.
+chaos-smoke:
+	$(PYTHON) -c "import sys; \
+	from repro.experiments import faults; \
+	from repro.runtime import TrialRunner; \
+	result = faults.run(faults.FaultsConfig.quick(), \
+	                    TrialRunner(jobs=$(JOBS))); \
+	print(result.report()); \
+	sys.exit(0 if result.all_audits_ok else 1)"
 
 # cProfile one experiment end-to-end: one .prof per trial under
 # profiles/, then print the hottest functions of each.

@@ -15,6 +15,7 @@ from repro.analysis.stats import (
     balance_stddevs,
 )
 from repro.analysis.consistency import (
+    ConsistencyAudit,
     ConsistencyChecker,
     ConsistencyViolation,
 )
@@ -24,6 +25,7 @@ from repro.analysis.report import (
     snapshot_to_json,
 )
 from repro.analysis.invariants import (
+    AuditSummary,
     LinkAudit,
     LinkReport,
     LoopDetector,
@@ -31,6 +33,7 @@ from repro.analysis.invariants import (
 )
 
 __all__ = [
+    "AuditSummary",
     "LinkAudit",
     "LinkReport",
     "LoopDetector",
@@ -42,6 +45,7 @@ __all__ = [
     "spearman_matrix",
     "significant_fraction",
     "balance_stddevs",
+    "ConsistencyAudit",
     "ConsistencyChecker",
     "ConsistencyViolation",
 ]

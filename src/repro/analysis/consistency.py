@@ -44,6 +44,29 @@ class ConsistencyViolation(AssertionError):
 
 
 @dataclass
+class ConsistencyAudit:
+    """Outcome of :meth:`ConsistencyChecker.audit` over a campaign."""
+
+    snapshots_checked: int = 0
+    incomplete: int = 0
+    records_checked: int = 0
+    records_flagged: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff no consistent-claimed record was silently wrong."""
+        return not self.violations
+
+    def __str__(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (f"checked {self.snapshots_checked} snapshots "
+                f"({self.records_checked} records, "
+                f"{self.records_flagged} flagged inconsistent, "
+                f"{self.incomplete} incomplete) -> {verdict}")
+
+
+@dataclass
 class _UnitHistory:
     """Per-unit arrival history in unwrapped epochs."""
 
@@ -107,14 +130,16 @@ class ConsistencyChecker:
         return sum(w for a, w in zip(history.after, history.weight)
                    if a < epoch)
 
-    def check_snapshot(self, snapshot: GlobalSnapshot,
-                       channel_state: bool) -> None:
-        """Validate one complete snapshot; raises on violation.
+    def violations_of(self, snapshot: GlobalSnapshot,
+                      channel_state: bool) -> List[str]:
+        """Conservation-law violations of one snapshot, as messages.
 
         Only consistent records are held to the conservation law;
         records the control plane flagged inconsistent are exempt (that
-        is the flag's purpose).
+        is the flag's purpose).  Non-raising so fault experiments can
+        audit whole campaigns and report, not abort.
         """
+        problems: List[str] = []
         for unit, record in sorted(snapshot.records.items(), key=lambda kv: str(kv[0])):
             if not record.consistent:
                 continue
@@ -127,9 +152,17 @@ class ConsistencyChecker:
                 actual = record.value
                 law = "value == pre-capture arrivals"
             if actual != expected:
-                raise ConsistencyViolation(
+                problems.append(
                     f"epoch {record.epoch} at {unit}: {law} violated "
                     f"(snapshot says {actual}, ground truth {expected})")
+        return problems
+
+    def check_snapshot(self, snapshot: GlobalSnapshot,
+                       channel_state: bool) -> None:
+        """Validate one complete snapshot; raises on violation."""
+        problems = self.violations_of(snapshot, channel_state)
+        if problems:
+            raise ConsistencyViolation(problems[0])
 
     def check_all(self, snapshots: Sequence[GlobalSnapshot],
                   channel_state: bool) -> int:
@@ -139,6 +172,30 @@ class ConsistencyChecker:
             self.check_snapshot(snapshot, channel_state)
             checked += sum(1 for r in snapshot.records.values() if r.consistent)
         return checked
+
+    def audit(self, snapshots: Sequence[GlobalSnapshot],
+              channel_state: bool) -> "ConsistencyAudit":
+        """Audit a whole campaign (the fault-experiment verification pass).
+
+        Complete snapshots are checked record-by-record against the
+        ground-truth conservation law; violations are collected, never
+        raised.  The report distinguishes records *flagged* inconsistent
+        (protocol honesty — expected under faults) from records claimed
+        consistent yet wrong (a real bug — never acceptable).
+        """
+        report = ConsistencyAudit()
+        for snapshot in snapshots:
+            if not snapshot.complete:
+                report.incomplete += 1
+                continue
+            report.snapshots_checked += 1
+            flagged = sum(1 for r in snapshot.records.values()
+                          if not r.consistent)
+            report.records_flagged += flagged
+            report.records_checked += len(snapshot.records) - flagged
+            report.violations.extend(
+                self.violations_of(snapshot, channel_state))
+        return report
 
     def marking_precision(self, snapshots: Sequence[GlobalSnapshot]) -> Dict[str, int]:
         """How often inconsistent-marked records actually violate the law

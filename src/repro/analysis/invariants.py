@@ -85,6 +85,61 @@ class LinkAudit:
                 "is marked inconsistent")
         return [r for r in self.audit(snapshot) if r.discrepancy < 0]
 
+    def audit_completed(self, snapshots: Sequence[GlobalSnapshot]) -> "AuditSummary":
+        """Audit every completed snapshot of a campaign (fault runs).
+
+        Consistent + complete snapshots are held to the non-negativity
+        invariant; snapshots the control planes *marked* inconsistent are
+        exempt (the marking is the protocol being honest about them, not
+        a bug) but counted, and incomplete snapshots are only counted.
+        This is the verification half of fault injection: faults may
+        stall or degrade snapshots, but every snapshot still reported as
+        consistent must describe a possible network state.
+        """
+        summary = AuditSummary()
+        for snapshot in snapshots:
+            if not snapshot.complete:
+                summary.skipped_incomplete += 1
+                continue
+            if not snapshot.consistent:
+                summary.skipped_inconsistent += 1
+                continue
+            summary.snapshots_audited += 1
+            for report in self.audit(snapshot):
+                summary.links_checked += 1
+                if report.discrepancy < 0:
+                    summary.negative_discrepancies.append(
+                        (snapshot.epoch, report))
+        return summary
+
+
+@dataclass
+class AuditSummary:
+    """Outcome of :meth:`LinkAudit.audit_completed` over a campaign."""
+
+    snapshots_audited: int = 0
+    links_checked: int = 0
+    skipped_inconsistent: int = 0
+    skipped_incomplete: int = 0
+    negative_discrepancies: List[Tuple[int, LinkReport]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.negative_discrepancies is None:
+            self.negative_discrepancies = []
+
+    @property
+    def ok(self) -> bool:
+        """True iff no consistent cut showed an impossible state."""
+        return not self.negative_discrepancies
+
+    def __str__(self) -> str:
+        verdict = ("OK" if self.ok
+                   else f"{len(self.negative_discrepancies)} VIOLATIONS")
+        return (f"audited {self.snapshots_audited} snapshots "
+                f"({self.links_checked} link checks, "
+                f"{self.skipped_inconsistent} flagged inconsistent, "
+                f"{self.skipped_incomplete} incomplete) -> {verdict}")
+
 
 @dataclass
 class LoopVerdict:

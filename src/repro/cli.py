@@ -87,14 +87,17 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             print(f"  {name:<21} {exp.description}")
         return 0
 
-    names = list(reg)
+    # Subset selection: positional names (`repro experiments faults`)
+    # and/or the --only list; no selection runs the whole suite.
+    selected = list(args.names or [])
     if args.only:
-        names = [n.strip() for n in args.only.split(",") if n.strip()]
-        unknown = [n for n in names if n not in reg]
-        if unknown:
-            print(f"unknown experiment(s) {', '.join(unknown)}; run "
-                  "`python -m repro experiments --list`", file=sys.stderr)
-            return 2
+        selected.extend(n.strip() for n in args.only.split(",") if n.strip())
+    names = selected or list(reg)
+    unknown = [n for n in names if n not in reg]
+    if unknown:
+        print(f"unknown experiment(s) {', '.join(unknown)}; run "
+              "`python -m repro experiments --list`", file=sys.stderr)
+        return 2
 
     # One combined batch across all selected experiments: the runner
     # sees every trial at once, so --jobs fans out across experiments.
@@ -193,6 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser = sub.add_parser(
         "experiments",
         help="run the full experiment suite (or --list to enumerate)")
+    exp_parser.add_argument("names", nargs="*", metavar="NAME",
+                            help="experiments to run (default: all)")
     exp_parser.add_argument("--list", action="store_true",
                             help="list available experiments and exit")
     exp_parser.add_argument("--only", metavar="A,B",

@@ -143,6 +143,13 @@ class NotificationChannel:
         self.handler = handler
         self._queue: Deque[Notification] = deque()
         self._busy = False
+        #: Per-instance copies of the shared config's capacity, and the
+        #: fault knobs (:mod:`repro.faults` mutates these per switch; the
+        #: ControlPlaneConfig object is shared deployment-wide and must
+        #: stay immutable at runtime).
+        self.capacity = config.buffer_capacity
+        self.service_scale = 1.0
+        self.online = True
         self.received = 0
         self.processed = 0
         self.dropped = 0
@@ -155,13 +162,20 @@ class NotificationChannel:
     def deliver(self, notification: Notification) -> None:
         """Called by the switch after the ASIC→CPU latency."""
         self.received += 1
-        if len(self._queue) >= self.config.buffer_capacity:
+        if not self.online or len(self._queue) >= self.capacity:
             self.dropped += 1
             return
         self._queue.append(notification)
         self.max_backlog = max(self.max_backlog, self.backlog)
         if not self._busy:
             self._service_next()
+
+    def flush_queued(self) -> int:
+        """Discard everything queued (crash injection); returns the count
+        of notifications lost.  The in-service one dies in :meth:`_finish`."""
+        lost = len(self._queue)
+        self._queue.clear()
+        return lost
 
     def _service_next(self) -> None:
         if not self._queue:
@@ -172,9 +186,17 @@ class NotificationChannel:
         jitter = self.rng.randint(-self.config.notification_jitter_ns,
                                   self.config.notification_jitter_ns)
         cost = max(1, self.config.notification_service_ns + jitter)
+        if self.service_scale != 1.0:
+            cost = max(1, int(cost * self.service_scale))
         self.sim.schedule(cost, self._finish, notification)
 
     def _finish(self, notification: Notification) -> None:
+        if not self.online:
+            # The CP process died mid-service: the notification is lost
+            # and servicing stops until restart.
+            self._busy = False
+            self.dropped += 1
+            return
         self.processed += 1
         self.handler(notification)
         self._service_next()
@@ -203,6 +225,10 @@ class DigestChannel:
         self._queue: Deque[List[Notification]] = deque()
         self._busy = False
         self._flush_event = None
+        #: Per-instance fault knobs; see :class:`NotificationChannel`.
+        self.capacity = config.buffer_capacity
+        self.service_scale = 1.0
+        self.online = True
         self.received = 0
         self.processed = 0
         self.dropped = 0
@@ -216,7 +242,7 @@ class DigestChannel:
 
     def deliver(self, notification: Notification) -> None:
         self.received += 1
-        if self.backlog >= self.config.buffer_capacity:
+        if not self.online or self.backlog >= self.capacity:
             self.dropped += 1
             return
         self._pending.append(notification)
@@ -242,6 +268,17 @@ class DigestChannel:
         if not self._busy:
             self._service_next()
 
+    def flush_queued(self) -> int:
+        """Discard pending and queued digests (crash injection); returns
+        the count of notifications lost."""
+        lost = len(self._pending) + sum(len(b) for b in self._queue)
+        self._pending = []
+        self._queue.clear()
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        return lost
+
     def _service_next(self) -> None:
         if not self._queue:
             self._busy = False
@@ -250,9 +287,15 @@ class DigestChannel:
         batch = self._queue.popleft()
         cost = (self.config.digest_service_ns +
                 len(batch) * self.config.digest_per_record_ns)
+        if self.service_scale != 1.0:
+            cost = int(cost * self.service_scale)
         self.sim.schedule(max(1, cost), self._finish, batch)
 
     def _finish(self, batch: List[Notification]) -> None:
+        if not self.online:
+            self._busy = False
+            self.dropped += len(batch)
+            return
         for notification in batch:
             self.processed += 1
             self.handler(notification)
@@ -322,6 +365,10 @@ class SwitchControlPlane:
         self._initiated: Dict[int, int] = {}
         self.initiations_sent = 0
         self.reinitiations_sent = 0
+        #: Crash-fault state (see :meth:`crash` / :meth:`restart`).
+        self._crashed = False
+        self.crashes = 0
+        self.notifications_lost_to_crash = 0
 
     # ------------------------------------------------------------------
     # Registration (deployment wiring)
@@ -357,6 +404,8 @@ class SwitchControlPlane:
                              self._fire_initiation, epoch)
 
     def _fire_initiation(self, epoch: int) -> None:
+        if self._crashed:
+            return  # a dead CP fires nothing; observer retries cover it
         # OS wake-up jitter before the initiation loop runs.
         wakeup = self._sample_wakeup_ns()
         ports = self._snapshot_ports()
@@ -396,6 +445,8 @@ class SwitchControlPlane:
         return min(int(value), cfg.wakeup_max_ns)
 
     def _maybe_reinitiate(self, epoch: int) -> None:
+        if self._crashed:
+            return
         retries = self._initiated.get(epoch, 0)
         if retries <= 0 or self.local_epoch_complete(epoch):
             return
@@ -429,6 +480,8 @@ class SwitchControlPlane:
         Seen update it causes downstream happens on a channel the probe
         physically traversed behind any in-flight packets.
         """
+        if self._crashed:
+            return
         for port_index in self._snapshot_ports():
             port = self.switch.ports[port_index]
             agent = port.ingress.snapshot_agent
@@ -440,13 +493,15 @@ class SwitchControlPlane:
                 probe = Packet(flow=flow, size_bytes=64, cos=cos,
                                created_ns=self.sim.now, payload=ttl)
                 probe.snapshot = SnapshotHeader(sid=agent.sid,
-                                                packet_type=PacketType.DATA)
+                                                packet_type=PacketType.PROBE)
                 self.sim.schedule(self.switch.config.asic_cpu_latency_ns,
                                   port.ingress.handle_packet, probe)
 
     def poll_registers(self) -> None:
         """Proactively resync the control-plane view from the data plane,
         recovering from dropped notifications (§6)."""
+        if self._crashed:
+            return
         for tracker in self.trackers.values():
             agent = tracker.agent
             now = self.sim.now
@@ -459,6 +514,48 @@ class SwitchControlPlane:
                 if seen > tracker.ctrl_last_seen.get(channel, 0):
                     tracker.ctrl_last_seen[channel] = seen
             self._finalize_ready(tracker, read_ns=now)
+
+    # ------------------------------------------------------------------
+    # Crash faults (see :mod:`repro.faults`)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the control-plane process.
+
+        The notification queue and the control plane's *volatile* view of
+        every unit (unwrapped ID, Last Seen) are lost; already-finalized
+        epochs (``last_read``) and the inconsistent-epoch markings survive
+        — they were shipped / would be re-derived conservatively, and
+        clearing :attr:`_UnitTracker.inconsistent` could silently launder
+        a bad epoch.  Data-plane registers are unaffected (the ASIC keeps
+        snapshotting; only the CPU side dies).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crashes += 1
+        self.channel.online = False
+        self.notifications_lost_to_crash += self.channel.flush_queued()
+        for tracker in self.trackers.values():
+            # Register-view loss: restart from the last finalized epoch;
+            # the no-lapping window bounds how far the data plane can run
+            # ahead, so unwrap_onto recovers the true epochs on restart.
+            tracker.ctrl_sid = tracker.last_read
+            for channel in tracker.ctrl_last_seen:
+                tracker.ctrl_last_seen[channel] = tracker.last_read
+
+    def restart(self) -> None:
+        """Bring the control plane back up.
+
+        Recovery is the §6 notification-drop path: one register poll with
+        ``drop_suspected`` marking, so every epoch the data plane crossed
+        while the CP was dead is flagged inconsistent rather than
+        reported with silently-wrong channel state.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.channel.online = True
+        self.poll_registers()
 
     # ------------------------------------------------------------------
     # Notification handling (Figure 7)

@@ -75,8 +75,8 @@ def registry() -> Dict[str, Experiment]:
     Imports lazily so ``import repro.experiments`` (and light CLI
     commands like ``metrics``) stay cheap.
     """
-    from repro.experiments import (ablations, fig9, fig10, fig11, fig12,
-                                   fig13, motivation, scaling, sweeps,
+    from repro.experiments import (ablations, faults, fig9, fig10, fig11,
+                                   fig12, fig13, motivation, scaling, sweeps,
                                    table1)
 
     entries = [
@@ -119,6 +119,8 @@ def registry() -> Dict[str, Experiment]:
                    sweeps.rate_assemble),
         Experiment("scaling", "full protocol on growing fat-trees",
                    scaling.ScalingConfig, scaling.specs, scaling.assemble),
+        Experiment("faults", "snapshot health vs. fault intensity (chaos)",
+                   faults.FaultsConfig, faults.specs, faults.assemble),
     ]
     return {e.name: e for e in entries}
 

@@ -1,0 +1,36 @@
+"""repro.faults — deterministic fault injection for the snapshot testbed.
+
+The paper's claim is not that snapshots work on a healthy network; it is
+that they stay *causally consistent* when the network misbehaves (§4.2,
+§6).  This package turns that claim into something the repo can sweep:
+
+* :class:`~repro.faults.schedule.FaultSchedule` — a declarative,
+  JSON-serialisable list of timed :class:`~repro.faults.schedule.FaultEvent`\\ s
+  (link flaps, bursty loss, latency spikes, buffer squeezes, unit
+  stalls, control-plane crashes/overflows/slowdowns, clock holdover and
+  steps).
+* :func:`~repro.faults.schedule.compile_profile` — deterministically
+  expands a scalar fault intensity into a concrete schedule.
+* :class:`~repro.faults.injector.FaultInjector` — binds a schedule to a
+  live :class:`~repro.sim.network.Network` (and optionally a
+  :class:`~repro.core.deployment.SpeedlightDeployment`), scheduling the
+  apply/revert callbacks on the event engine.
+
+Determinism contract: an empty schedule arms zero events and draws zero
+randomness — runs with ``FaultSchedule()`` are byte-identical to runs
+with no schedule at all.  See ``docs/FAULTS.md``.
+"""
+
+from repro.faults.injector import FaultInjector, InjectionRecord
+from repro.faults.schedule import (FAULT_KINDS, INSTANT_KINDS, FaultEvent,
+                                   FaultSchedule, compile_profile)
+
+__all__ = [
+    "FAULT_KINDS",
+    "INSTANT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "InjectionRecord",
+    "compile_profile",
+]

@@ -1,0 +1,274 @@
+"""Binds a :class:`~repro.faults.schedule.FaultSchedule` to a live network.
+
+The injector resolves every event's target against the simulation
+objects (links, switches, control planes, clocks), schedules the
+apply/revert callbacks on the discrete-event engine, and keeps an audit
+log of everything it did.  All stochastic fault behaviour draws from the
+network's dedicated ``_child_rng("faults")`` stream — the workload, PTP
+and control-plane streams are untouched, so the *only* way a fault run
+diverges from the fault-free golden trace is through the faults
+themselves.
+
+Arming an **empty** schedule is a strict no-op: no events scheduled, no
+RNG constructed, no object touched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.faults.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.sim.channel import BernoulliLoss, GilbertElliottLoss, Link
+from repro.sim.network import Network
+
+#: Fault kinds that need a snapshot deployment (they act on the
+#: control plane, which only exists once a deployment is wired).
+_CP_KINDS = frozenset({"cp_crash", "cp_overflow", "cp_slow"})
+
+
+@dataclass
+class InjectionRecord:
+    """One line of the injector's audit log."""
+
+    time_ns: int
+    action: str  # "apply" | "revert"
+    kind: str
+    target: str
+
+
+class FaultInjector:
+    """Schedules and executes the events of one fault schedule.
+
+    Usage::
+
+        injector = FaultInjector(network, schedule, deployment=deployment)
+        injector.arm()          # before network.run()
+        network.run(until=...)
+        injector.log            # audit trail of applies/reverts
+    """
+
+    def __init__(self, network: Network, schedule: FaultSchedule,
+                 deployment: Optional[object] = None) -> None:
+        self.network = network
+        self.schedule = schedule
+        self.deployment = deployment
+        self.sim = network.sim
+        self.rng: Optional[random.Random] = None
+        self.log: List[InjectionRecord] = []
+        self.applied = 0
+        self.reverted = 0
+        self._armed = False
+        #: link name (normalised "a-b") -> Link
+        self._links: Dict[str, Link] = {}
+        for link in network.links:
+            self._links[link.name] = link
+            if "-" in link.name:
+                a, b = link.name.split("-", 1)
+                self._links.setdefault(f"{b}-{a}", link)
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self) -> int:
+        """Validate targets and schedule every event; returns the number
+        of events armed.  An empty schedule arms nothing and touches
+        nothing (the determinism guard depends on this)."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        if not self.schedule:
+            return 0
+        self.rng = self.network._child_rng("faults")
+        for event in self.schedule:
+            self._resolve_targets(event)  # raise now, not mid-run
+        for event in self.schedule:
+            self.sim.schedule_at(max(event.at_ns, self.sim.now),
+                                 self._apply, event)
+        return len(self.schedule)
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+    def _resolve_targets(self, event: FaultEvent) -> List[Any]:
+        layer = FAULT_KINDS[event.kind]
+        if event.kind in _CP_KINDS:
+            cps = getattr(self.deployment, "control_planes", None)
+            if cps is None:
+                raise ValueError(
+                    f"{event.kind} targets the snapshot control plane; "
+                    "construct FaultInjector with deployment=...")
+            if event.target == "*":
+                return [cps[name] for name in sorted(cps)]
+            if event.target not in cps:
+                raise ValueError(
+                    f"{event.kind}: no control plane on {event.target!r}")
+            return [cps[event.target]]
+        if layer == "link":
+            if event.target == "*":
+                return list(self.network.links)
+            link = self._links.get(event.target)
+            if link is None:
+                raise ValueError(
+                    f"{event.kind}: no link named {event.target!r} "
+                    f"(known: {sorted(l.name for l in self.network.links)})")
+            return [link]
+        if layer == "switch":
+            switches = self.network.switches
+            if event.target == "*":
+                return [switches[name] for name in sorted(switches)]
+            if event.target not in switches:
+                raise ValueError(
+                    f"{event.kind}: no switch named {event.target!r}")
+            return [switches[event.target]]
+        if layer == "clock":
+            clocks = self.network.ptp.clocks
+            if event.target == "*":
+                return sorted(clocks)
+            if event.target not in clocks:
+                raise ValueError(
+                    f"{event.kind}: no clock named {event.target!r}")
+            return [event.target]
+        raise AssertionError(f"unhandled layer {layer!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Apply / revert
+    # ------------------------------------------------------------------
+    def _apply(self, event: FaultEvent) -> None:
+        revert_fns: List[Callable[[], None]] = []
+        for obj in self._resolve_targets(event):
+            revert = getattr(self, f"_apply_{event.kind}")(obj, event)
+            if revert is not None:
+                revert_fns.append(revert)
+        self.applied += 1
+        self.log.append(InjectionRecord(self.sim.now, "apply",
+                                        event.kind, event.target))
+        if event.duration_ns > 0 and revert_fns:
+            self.sim.schedule(event.duration_ns, self._revert,
+                              event, revert_fns)
+
+    def _revert(self, event: FaultEvent,
+                revert_fns: List[Callable[[], None]]) -> None:
+        for fn in revert_fns:
+            fn()
+        self.reverted += 1
+        self.log.append(InjectionRecord(self.sim.now, "revert",
+                                        event.kind, event.target))
+
+    # -- link faults ---------------------------------------------------
+    def _apply_link_down(self, link: Link, event: FaultEvent):
+        link.up = False
+
+        def revert() -> None:
+            link.up = True
+        return revert
+
+    def _apply_link_loss(self, link: Link, event: FaultEvent):
+        params = event.params
+        model_name = params.get("model", "gilbert_elliott")
+        assert self.rng is not None
+        if model_name == "bernoulli":
+            model = BernoulliLoss(float(params.get("p", 0.01)), self.rng)
+        elif model_name == "gilbert_elliott":
+            model = GilbertElliottLoss(
+                self.rng,
+                p_good_to_bad=float(params.get("p_good_to_bad", 0.01)),
+                p_bad_to_good=float(params.get("p_bad_to_good", 0.1)),
+                p_loss_good=float(params.get("p_loss_good", 0.0)),
+                p_loss_bad=float(params.get("p_loss_bad", 0.5)))
+        else:
+            raise ValueError(f"link_loss: unknown model {model_name!r}")
+        previous = link.loss
+        link.loss = model
+
+        def revert() -> None:
+            link.loss = previous
+        return revert
+
+    def _apply_link_delay(self, link: Link, event: FaultEvent):
+        extra = int(event.params.get("extra_ns", 100_000))
+        if extra <= 0:
+            raise ValueError(f"link_delay: extra_ns must be > 0, got {extra}")
+        link.extra_delay_ns = extra
+
+        def revert() -> None:
+            link.extra_delay_ns = 0
+        return revert
+
+    # -- switch faults -------------------------------------------------
+    def _apply_queue_squeeze(self, switch, event: FaultEvent):
+        capacity = int(event.params.get("capacity", 8))
+        if capacity < 1:
+            raise ValueError(
+                f"queue_squeeze: capacity must be >= 1, got {capacity}")
+        queues = [switch.ports[p].egress.queue
+                  for p in switch.connected_ports()]
+        previous = [q.capacity_packets for q in queues]
+        for queue in queues:
+            queue.capacity_packets = capacity
+
+        def revert() -> None:
+            for queue, cap in zip(queues, previous):
+                queue.capacity_packets = cap
+        return revert
+
+    def _apply_unit_stall(self, switch, event: FaultEvent):
+        port = event.params.get("port")
+        if port is None:
+            ports = switch.connected_ports()
+        else:
+            ports = [int(port)]
+        queues = [switch.ports[p].egress.queue for p in ports]
+        for queue in queues:
+            queue.pause()
+
+        def revert() -> None:
+            for queue in queues:
+                queue.resume()
+        return revert
+
+    # -- control-plane faults ------------------------------------------
+    def _apply_cp_crash(self, cp, event: FaultEvent):
+        cp.crash()
+
+        def revert() -> None:
+            cp.restart()
+        return revert
+
+    def _apply_cp_overflow(self, cp, event: FaultEvent):
+        capacity = int(event.params.get("capacity", 8))
+        if capacity < 1:
+            raise ValueError(
+                f"cp_overflow: capacity must be >= 1, got {capacity}")
+        previous = cp.channel.capacity
+        cp.channel.capacity = capacity
+
+        def revert() -> None:
+            cp.channel.capacity = previous
+        return revert
+
+    def _apply_cp_slow(self, cp, event: FaultEvent):
+        scale = float(event.params.get("scale", 10.0))
+        if scale <= 0:
+            raise ValueError(f"cp_slow: scale must be > 0, got {scale}")
+        previous = cp.channel.service_scale
+        cp.channel.service_scale = scale
+
+        def revert() -> None:
+            cp.channel.service_scale = previous
+        return revert
+
+    # -- clock faults --------------------------------------------------
+    def _apply_clock_holdover(self, name: str, event: FaultEvent):
+        ptp = self.network.ptp
+        ptp.hold(name)
+
+        def revert() -> None:
+            ptp.release(name)
+        return revert
+
+    def _apply_clock_step(self, name: str, event: FaultEvent):
+        delta = int(event.params.get("delta_ns", 50_000))
+        self.network.ptp.clocks[name].step(delta)
+        return None  # instantaneous; the next PTP sync removes it

@@ -1,0 +1,237 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a validated list of :class:`FaultEvent`\\ s —
+*what* goes wrong, *where*, *when*, and for *how long*.  Schedules are
+plain data: JSON-serialisable (so a fault profile participates in the
+TrialSpec cache fingerprint) and entirely decoupled from the simulation
+objects they will act on (the :class:`~repro.faults.injector.FaultInjector`
+binds them to a live network at arm time).
+
+Determinism contract
+--------------------
+* An **empty schedule arms nothing**: zero events are scheduled and zero
+  random numbers are drawn, so a run with ``FaultSchedule()`` is
+  byte-identical to a run with no schedule at all (the golden-trace
+  guard pins this).
+* Stochastic fault *behaviour* (e.g. Gilbert–Elliott loss draws) comes
+  from the network's dedicated ``_child_rng("faults")`` stream, never
+  from the streams driving workloads, PTP, or control planes — injecting
+  faults perturbs the simulation through the faults themselves, not
+  through RNG stream pollution.
+* Stochastic fault *placement* is done ahead of time by
+  :func:`compile_profile`, which maps ``(intensity, seed)`` to a concrete
+  schedule with its own derived RNG — same arguments, same schedule,
+  on every machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.engine import MS
+
+#: Every fault kind the injector understands, with the layer it hooks.
+FAULT_KINDS = {
+    # sim.channel
+    "link_down": "link",        # administrative down; revert flaps it back up
+    "link_loss": "link",        # swap in a loss model (bernoulli | gilbert_elliott)
+    "link_delay": "link",       # latency spike: extra one-way delay, FIFO-safe
+    # sim.switch
+    "queue_squeeze": "switch",  # shrink every egress buffer (tail drops)
+    "unit_stall": "switch",     # pause egress dequeuing (slow/stuck unit)
+    # core.control_plane
+    "cp_crash": "switch",       # kill the CP process; revert = restart + recovery
+    "cp_overflow": "switch",    # shrink the notification buffer
+    "cp_slow": "switch",        # inflate notification service latency
+    # sim.clock
+    "clock_holdover": "clock",  # stop PTP disciplining (drift accumulates)
+    "clock_step": "clock",      # instantaneous offset step (no revert)
+}
+
+#: Kinds whose effect is instantaneous — ``duration_ns`` is meaningless
+#: and must be 0.
+INSTANT_KINDS = frozenset({"clock_step"})
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault.
+
+    ``target`` names the object the fault applies to: a link (either
+    endpoint order, e.g. ``"s0-s1"``), a switch, or a clock owner —
+    or ``"*"`` for every eligible object of the kind's layer.
+    ``duration_ns == 0`` means the fault is permanent (never reverted);
+    for :data:`INSTANT_KINDS` it is the only legal value.
+    """
+
+    at_ns: int
+    kind: str
+    target: str = "*"
+    duration_ns: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(sorted(FAULT_KINDS))})")
+        if self.at_ns < 0:
+            raise ValueError(f"at_ns must be >= 0, got {self.at_ns}")
+        if self.duration_ns < 0:
+            raise ValueError(
+                f"duration_ns must be >= 0, got {self.duration_ns}")
+        if self.kind in INSTANT_KINDS and self.duration_ns:
+            raise ValueError(
+                f"{self.kind} is instantaneous; duration_ns must be 0")
+        if not self.target:
+            raise ValueError("target cannot be empty")
+
+    @property
+    def layer(self) -> str:
+        return FAULT_KINDS[self.kind]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"at_ns": self.at_ns, "kind": self.kind,
+                                "target": self.target,
+                                "duration_ns": self.duration_ns}
+        if self.params:
+            data["params"] = {k: self.params[k] for k in sorted(self.params)}
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(at_ns=int(data["at_ns"]), kind=str(data["kind"]),
+                   target=str(data.get("target", "*")),
+                   duration_ns=int(data.get("duration_ns", 0)),
+                   params=dict(data.get("params", {})))
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault events.
+
+    Events are kept sorted by ``(at_ns, insertion order)`` so arming the
+    injector is deterministic regardless of construction order.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"expected FaultEvent, got {event!r}")
+        self._sort()
+
+    def _sort(self) -> None:
+        self.events.sort(key=lambda e: e.at_ns)
+
+    def add(self, kind: str, at_ns: int, *, target: str = "*",
+            duration_ns: int = 0, **params: Any) -> FaultEvent:
+        """Append one event (convenience builder)."""
+        event = FaultEvent(at_ns=at_ns, kind=kind, target=target,
+                           duration_ns=duration_ns, params=dict(params))
+        self.events.append(event)
+        self._sort()
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        """Stable, JSON-ready form — this is what enters the TrialSpec
+        cache fingerprint, so equal schedules always hash equal."""
+        return [event.to_jsonable() for event in self.events]
+
+    @classmethod
+    def from_jsonable(cls, data: Iterable[Dict[str, Any]]) -> "FaultSchedule":
+        return cls(events=[FaultEvent.from_jsonable(d) for d in data])
+
+
+def compile_profile(*, intensity: float, horizon_ns: int,
+                    links: Sequence[str] = (),
+                    switches: Sequence[str] = (),
+                    clocks: Sequence[str] = (),
+                    kinds: Optional[Sequence[str]] = None,
+                    seed: int = 0,
+                    start_ns: int = 0,
+                    mean_duration_ns: int = 5 * MS) -> FaultSchedule:
+    """Deterministically expand a scalar fault *intensity* into a schedule.
+
+    ``intensity`` is the expected number of fault events per target per
+    ``horizon_ns`` window (0 compiles to an empty schedule without
+    drawing any randomness).  Event times are uniform over
+    ``[start_ns, start_ns + horizon_ns)``; durations are exponential
+    with mean ``mean_duration_ns`` (clamped into the window).  Each
+    eligible (kind, target) pair draws from a :class:`random.Random`
+    seeded by ``f"{seed}/faults/{kind}/{target}"``, so adding a target
+    or kind never reshuffles the events of the others.
+    """
+    if intensity < 0:
+        raise ValueError(f"intensity must be >= 0, got {intensity}")
+    if horizon_ns <= 0:
+        raise ValueError(f"horizon_ns must be > 0, got {horizon_ns}")
+    schedule = FaultSchedule()
+    if intensity == 0:
+        return schedule
+    chosen = list(kinds) if kinds is not None else sorted(FAULT_KINDS)
+    targets_of = {"link": list(links), "switch": list(switches),
+                  "clock": list(clocks)}
+    for kind in chosen:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        for target in targets_of[FAULT_KINDS[kind]]:
+            rng = random.Random(f"{seed}/faults/{kind}/{target}")
+            # Poisson count with mean = intensity, via inversion (small
+            # means; avoids numpy so the schedule layer stays stdlib).
+            count = _poisson(rng, intensity)
+            for _ in range(count):
+                at = start_ns + int(rng.random() * horizon_ns)
+                if kind in INSTANT_KINDS:
+                    duration = 0
+                else:
+                    duration = 1 + int(rng.expovariate(1.0 / mean_duration_ns))
+                    duration = min(duration, start_ns + horizon_ns - at)
+                schedule.add(kind, at, target=target,
+                             duration_ns=max(duration, 0),
+                             **_default_params(kind, rng))
+    return schedule
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's product method — fine for the small means profiles use."""
+    import math
+    threshold = math.exp(-mean)
+    count, product = 0, rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def _default_params(kind: str, rng: random.Random) -> Dict[str, Any]:
+    """Reasonable stochastic parameters for profile-compiled events."""
+    if kind == "link_loss":
+        return {"model": "gilbert_elliott",
+                "p_good_to_bad": 0.01,
+                "p_bad_to_good": 0.1,
+                "p_loss_bad": round(0.3 + 0.6 * rng.random(), 3)}
+    if kind == "link_delay":
+        return {"extra_ns": int(50_000 + rng.random() * 450_000)}
+    if kind == "queue_squeeze":
+        return {"capacity": rng.randint(4, 16)}
+    if kind == "cp_overflow":
+        return {"capacity": rng.randint(4, 32)}
+    if kind == "cp_slow":
+        return {"scale": round(2.0 + 8.0 * rng.random(), 2)}
+    if kind == "clock_step":
+        sign = 1 if rng.random() < 0.5 else -1
+        return {"delta_ns": sign * int(10_000 + rng.random() * 190_000)}
+    return {}

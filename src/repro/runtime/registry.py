@@ -40,6 +40,7 @@ _TRIAL_MODULES = (
     "repro.experiments.ablations",
     "repro.experiments.sweeps",
     "repro.experiments.scaling",
+    "repro.experiments.faults",
 )
 
 

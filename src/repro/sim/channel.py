@@ -65,6 +65,60 @@ class BernoulliLoss(LossModel):
         self.dropped = 0
 
 
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (the Gilbert–Elliott channel model).
+
+    The channel alternates between a GOOD state (loss probability
+    ``p_loss_good``, typically ~0) and a BAD state (loss probability
+    ``p_loss_bad``, typically high); per-packet transition probabilities
+    ``p_good_to_bad`` / ``p_bad_to_good`` control burst frequency and
+    mean burst length (``1 / p_bad_to_good`` packets).  Unlike
+    :class:`BernoulliLoss`, drops cluster — the pattern that stresses
+    the snapshot protocol's liveness machinery hardest, because a burst
+    can swallow an initiation *and* its immediate retries.
+    """
+
+    def __init__(self, rng: random.Random, *,
+                 p_good_to_bad: float = 0.001,
+                 p_bad_to_good: float = 0.05,
+                 p_loss_good: float = 0.0,
+                 p_loss_bad: float = 0.5) -> None:
+        for name, p in (("p_good_to_bad", p_good_to_bad),
+                        ("p_bad_to_good", p_bad_to_good),
+                        ("p_loss_good", p_loss_good),
+                        ("p_loss_bad", p_loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.rng = rng
+        self._random = rng.random
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.p_loss_good = p_loss_good
+        self.p_loss_bad = p_loss_bad
+        self.in_bad_state = False
+        self.dropped = 0
+        self.bursts_entered = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        rand = self._random
+        if self.in_bad_state:
+            if rand() < self.p_bad_to_good:
+                self.in_bad_state = False
+        elif rand() < self.p_good_to_bad:
+            self.in_bad_state = True
+            self.bursts_entered += 1
+        p_loss = self.p_loss_bad if self.in_bad_state else self.p_loss_good
+        if p_loss and rand() < p_loss:
+            self.dropped += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.in_bad_state = False
+        self.dropped = 0
+        self.bursts_entered = 0
+
+
 class ScriptedLoss(LossModel):
     """Drop exactly the packets whose uid is in ``drop_uids``.
 
@@ -127,6 +181,19 @@ class Link:
         #: packet entirely (kept in sync by the ``loss`` setter).
         self._lossless = isinstance(self._loss, NoLoss)
         self.name = name
+        #: Administrative / physical link state.  A down link drops every
+        #: transmission (counted in ``packets_dropped``); flapped by the
+        #: fault injector (:mod:`repro.faults`).
+        self.up = True
+        #: Extra one-way delay added to ``propagation_ns`` (latency-spike
+        #: faults).  While non-zero — and until in-flight spiked packets
+        #: have drained — delivery goes through a slow path that clamps
+        #: delivery times to stay monotone per direction, preserving the
+        #: FIFO channel property the snapshot algorithm requires (§4.1).
+        self.extra_delay_ns = 0
+        #: id(receiver) -> earliest allowed delivery time for the next
+        #: packet in that direction (only populated during/after spikes).
+        self._fifo_floor: dict = {}
         self._endpoints: List[Optional[LinkEndpoint]] = [None, None]
         #: id(sender) -> receiver, built once both ends are attached so
         #: ``transmit`` avoids the identity-check chain per packet.
@@ -189,12 +256,42 @@ class Link:
         receiver = self._peer_cache.get(id(sender))
         if receiver is None:
             receiver = self.peer_of(sender)
+        if not self.up:
+            self.packets_dropped += 1
+            return False
         if not self._lossless and self._loss.should_drop(packet):
             self.packets_dropped += 1
             return False
+        if self.extra_delay_ns or self._fifo_floor:
+            self._transmit_slow(receiver, packet)
+            return True
         self.sim.schedule_fast(self.propagation_ns, self._deliver,
                                receiver, packet)
         return True
+
+    def _transmit_slow(self, receiver: LinkEndpoint, packet: Packet) -> None:
+        """Delivery under (or draining from) a latency spike.
+
+        Clamps each delivery to be no earlier than the previous one in
+        the same direction: a spike that ends (``extra_delay_ns`` back
+        to 0) must not let later packets overtake slower in-flight ones,
+        which would break the FIFO-channel assumption.  Equal delivery
+        times are fine — the engine's tie-break preserves send order.
+        """
+        key = id(receiver)
+        at = self.sim.now + self.propagation_ns + self.extra_delay_ns
+        floor = self._fifo_floor.get(key, 0)
+        if self.extra_delay_ns:
+            if at < floor:
+                at = floor
+            self._fifo_floor[key] = at
+        elif at >= floor:
+            self._fifo_floor.pop(key, None)  # natural timing caught up
+        else:
+            # Still draining: clamp to the last spiked delivery and keep
+            # the floor until un-spiked deliveries naturally pass it.
+            at = floor
+        self.sim.schedule_at(at, self._deliver, receiver, packet)
 
     def _deliver(self, receiver: LinkEndpoint, packet: Packet) -> None:
         self.packets_delivered += 1

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.sim.engine import Simulator, S
 
@@ -80,6 +80,13 @@ class Clock:
         self.sync_point_ns = true_ns
         self.offset_ns = int(residual_error_ns)
 
+    def step(self, delta_ns: int) -> None:
+        """Instantaneously step the clock by ``delta_ns`` (fault injection:
+        a GPS glitch, a bad servo correction, an operator ``date -s``).
+        The next PTP resync removes it; until then every local-time
+        conversion — including initiation scheduling — is skewed."""
+        self.offset_ns += int(delta_ns)
+
     def error_at(self, true_ns: int) -> int:
         """Current deviation of local time from true time, in ns."""
         return self.local_time(true_ns) - true_ns
@@ -129,6 +136,10 @@ class PTPService:
         self.config = config or PTPConfig()
         self.clocks: Dict[str, Clock] = {}
         self._started = False
+        #: Clocks in holdover (fault injection): sync rounds skip them, so
+        #: their drift accumulates undisciplined — the "PTP daemon died /
+        #: grandmaster unreachable" failure mode.
+        self._holdover: Set[str] = set()
 
     def attach(self, name: str, clock: Optional[Clock] = None) -> Clock:
         """Register a clock under ``name``; creates one if not given."""
@@ -165,9 +176,30 @@ class PTPService:
         clock.resync(self.sim.now, self.sample_residual())
 
     def _sync_round(self) -> None:
-        for clock in self.clocks.values():
-            self._discipline(clock)
+        if self._holdover:
+            for name, clock in self.clocks.items():
+                if name not in self._holdover:
+                    self._discipline(clock)
+        else:
+            for clock in self.clocks.values():
+                self._discipline(clock)
         self.sim.schedule(self.config.sync_interval_ns, self._sync_round)
+
+    # ------------------------------------------------------------------
+    # Fault injection (see :mod:`repro.faults`)
+    # ------------------------------------------------------------------
+    def hold(self, name: str) -> None:
+        """Put a clock into holdover: stop disciplining it, letting its
+        frequency drift accumulate until :meth:`release`."""
+        if name not in self.clocks:
+            raise KeyError(f"no clock named {name!r}")
+        self._holdover.add(name)
+
+    def release(self, name: str) -> None:
+        """End holdover for a clock and immediately re-discipline it."""
+        self._holdover.discard(name)
+        if self._started:
+            self._discipline(self.clocks[name])
 
     # ------------------------------------------------------------------
     # Introspection used by the experiments

@@ -3,7 +3,9 @@
 The snapshot header (paper §5.1) carries three fields:
 
 * **packet type** — ``DATA`` for ordinary traffic, ``INITIATION`` for the
-  control-plane initiation messages of §6 (Figure 6, path 3);
+  control-plane initiation messages of §6 (Figure 6, path 3), ``PROBE``
+  for the snapshot-propagation broadcasts that keep idle channels live
+  (§6, "Ensuring liveness");
 * **snapshot ID** — the epoch the *send* of this packet belongs to, set at
   each hop to the sending processing unit's current ID;
 * **channel ID** — identifies the upstream neighbor (only needed when
@@ -39,11 +41,16 @@ class PacketType(enum.IntEnum):
 
     DATA = 0
     INITIATION = 1
+    #: Snapshot-propagation probe: advances IDs and Last Seen like DATA,
+    #: but is protocol-internal — never measured traffic, so it neither
+    #: updates unit counters nor credits in-flight channel state.
+    PROBE = 2
 
 
 #: Members cached at module level for hot-path identity comparisons.
 DATA = PacketType.DATA
 INITIATION = PacketType.INITIATION
+PROBE = PacketType.PROBE
 
 
 class SnapshotHeader:

@@ -37,6 +37,7 @@ from repro.sim.packet import Packet, PacketType
 #: identity checks against these instead of attribute-chasing the enum.
 _DATA = PacketType.DATA
 _INITIATION = PacketType.INITIATION
+_PROBE = PacketType.PROBE
 
 #: Channel ID an ingress unit uses for its single external upstream
 #: neighbor (§5.1: "for ingress processing units, there is only one
@@ -235,6 +236,11 @@ class _EgressQueue:
         self._waiting = 0
         self.queued_bytes = 0
         self.busy = False
+        #: Unit-stall fault flag (:mod:`repro.faults`): while paused the
+        #: queue keeps accepting packets (up to capacity) but stops
+        #: dequeuing, so latency builds up and tail drops appear — the
+        #: "slow / stuck egress" failure mode.
+        self.paused = False
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
@@ -272,7 +278,7 @@ class _EgressQueue:
         self.queued_bytes += packet.size_bytes
         if depth + 1 > self.max_depth_packets:
             self.max_depth_packets = depth + 1
-        if not self.busy:
+        if not self.busy and not self.paused:
             self._start_next()
         return True
 
@@ -291,6 +297,9 @@ class _EgressQueue:
         return None
 
     def _start_next(self) -> None:
+        if self.paused:
+            self.busy = False
+            return
         packet = self._pop()
         if packet is None:
             self.busy = False
@@ -305,6 +314,16 @@ class _EgressQueue:
         self.bytes_sent += packet.size_bytes
         self.transmit(packet)
         self._start_next()
+
+    def pause(self) -> None:
+        """Stall the dequeue side (the in-service packet still completes)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume servicing after a stall."""
+        self.paused = False
+        if not self.busy:
+            self._start_next()
 
 
 class _ProcessingUnit:
@@ -361,6 +380,13 @@ class IngressUnit(_ProcessingUnit):
         snapshot = packet.snapshot
         is_initiation = (snapshot is not None and
                          snapshot.packet_type is _INITIATION)
+        # Protocol-internal packets (initiations and liveness probes)
+        # drive snapshot state but are not measured traffic: they bypass
+        # the unit counters, keeping port counters conserved across each
+        # link (a probe may enter an ingress straight from the CPU, so
+        # counting it would break the receiver ⊆ sender invariant that
+        # analysis.invariants.LinkAudit checks).
+        is_measured = snapshot is None or snapshot.packet_type is _DATA
 
         if self.snapshot_agent is not None:
             if snapshot is None:
@@ -373,15 +399,23 @@ class IngressUnit(_ProcessingUnit):
                 packet.push_snapshot_header(sid=self.snapshot_agent.sid)
             # Each CoS lane of the external link is its own FIFO logical
             # channel (§4.1); with one lane this reduces to
-            # EXTERNAL_CHANNEL == 0.
-            channel = (CPU_CHANNEL if is_initiation
-                       else (0 if sw._single_cos else sw.cos_lane(packet)))
+            # EXTERNAL_CHANNEL == 0.  A probe injected by our *own* CPU
+            # never traversed the external link, so it runs on the CPU
+            # channel — updating the external lane's Last Seen would
+            # spoof the gate open while genuinely old packets are still
+            # in flight from the neighbor (a probe that crossed the wire
+            # arrived behind them, so the external lane is correct).
+            if is_initiation or (not is_measured
+                                 and packet.flow.src == sw._cpu_src):
+                channel = CPU_CHANNEL
+            else:
+                channel = 0 if sw._single_cos else sw.cos_lane(packet)
             self._run_snapshot(packet, channel)
         elif is_initiation:
             # A disabled unit should never see initiations; drop defensively.
             return
 
-        if not is_initiation:
+        if is_measured:
             counters = self.counters._counters
             if counters:
                 now = sw.sim.now
@@ -476,11 +510,15 @@ class EgressUnit(_ProcessingUnit):
             # "...the egress unit ... drops the packet after processing" (§6)
             return
 
-        counters = self.counters._counters
-        if counters:
-            now = sw.sim.now
-            for counter in counters.values():
-                counter.update(packet, now)
+        # Probes are protocol-internal, never measured traffic (see the
+        # ingress-side note): skip the unit counters so per-link counts
+        # stay conserved even when floods die here (TTL exhausted).
+        if snapshot is None or snapshot.packet_type is _DATA:
+            counters = self.counters._counters
+            if counters:
+                now = sw.sim.now
+                for counter in counters.values():
+                    counter.update(packet, now)
 
         link = sw.ports[self.port_index].link
         if link is None:
@@ -571,6 +609,10 @@ class Switch:
         self._ingress_fabric_ns = (self.config.ingress_latency_ns
                                    + self.config.fabric_latency_ns)
         self._single_cos = self.config.num_cos == 1
+        #: Flow source of this switch's own CPU-injected liveness probes
+        #: (see ``SwitchControlPlane.inject_probes``); used to tell a
+        #: locally injected probe from one that crossed the wire.
+        self._cpu_src = f"{name}-cpu"
         self.ports: List[Port] = [Port(self, i) for i in range(self.config.num_ports)]
         self.routes: Dict[str, List[int]] = {}
         self.lb: LoadBalancer = lb or _FirstPortBalancer()

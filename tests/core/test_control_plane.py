@@ -296,3 +296,116 @@ class TestInitiation:
         net, cp, agent, _ = _bench()
         with pytest.raises(ValueError):
             cp.register_unit(agent, [])
+
+
+def _port_facing(net, switch_name, peer_name):
+    """Index of ``switch_name``'s port whose link peer is ``peer_name``."""
+    switch = net.switch(switch_name)
+    for port_index in switch.connected_ports():
+        peer, _kind = net.peer_of_port(switch_name, port_index)
+        if peer == peer_name:
+            return port_index
+    raise AssertionError(f"{switch_name} has no port facing {peer_name}")
+
+
+class TestCrashRecovery:
+    """Crash/restart semantics used by the fault injector (repro.faults)."""
+
+    def _two_switch(self, channel_state=True):
+        from repro.core import DeploymentConfig, SpeedlightDeployment
+        from repro.topology import linear
+        net = Network(linear(num_switches=2, hosts_per_switch=1),
+                      NetworkConfig(seed=5))
+        deployment = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", channel_state=channel_state))
+        return net, deployment
+
+    def test_crash_is_idempotent_and_goes_offline(self):
+        net, deployment = self._two_switch()
+        cp = deployment.control_planes["sw0"]
+        cp.crash()
+        cp.crash()
+        assert cp.crashes == 1
+        assert not cp.channel.online
+
+    def test_crash_flushes_queued_notifications(self):
+        net, deployment = self._two_switch()
+        cp = deployment.control_planes["sw0"]
+        deployment.schedule_campaign(count=1, interval_ns=5 * MS)
+        # Stop just after the initiation fires, while notifications from
+        # the data plane are still queued for CPU service.
+        net.run(until=int(1.05 * MS))
+        queued = len(cp.channel._queue) + (1 if cp.channel._busy else 0)
+        cp.crash()
+        assert cp.notifications_lost_to_crash >= queued
+        assert not cp.channel._queue
+
+    def test_epochs_crossed_while_dead_ship_inconsistent(self):
+        net, deployment = self._two_switch()
+        cp = deployment.control_planes["sw0"]
+        epochs = deployment.schedule_campaign(count=3, interval_ns=5 * MS)
+        # Dead from before the first initiation until after the last.
+        net.sim.schedule_at(int(0.5 * MS), cp.crash)
+        net.sim.schedule_at(20 * MS, cp.restart)
+        net.run(until=60 * MS)
+        for epoch in epochs:
+            snap = deployment.observer.snapshot(epoch)
+            records = [r for unit, r in snap.records.items()
+                       if unit.device == "sw0"]
+            assert records, "restart recovery must still ship the epochs"
+            assert not any(r.consistent for r in records)
+        # The peer switch was healthy the whole time.
+        healthy = [r for r in deployment.observer.snapshot(epochs[0])
+                   .records.values() if r.unit.device == "sw1"]
+        assert healthy and all(r.consistent for r in healthy)
+
+    def test_restart_without_crash_is_a_noop(self):
+        net, deployment = self._two_switch()
+        cp = deployment.control_planes["sw0"]
+        cp.restart()
+        assert cp.crashes == 0
+        assert cp.channel.online
+
+
+class TestProbeLiveness:
+    """§6 "Ensuring liveness": probes must complete snapshots on idle
+    links — without spoofing the external channel's Last Seen."""
+
+    def _idle_two_switch(self):
+        from repro.core import DeploymentConfig, SpeedlightDeployment
+        from repro.topology import linear
+        net = Network(linear(num_switches=2, hosts_per_switch=1),
+                      NetworkConfig(seed=5))
+        deployment = SpeedlightDeployment(net, DeploymentConfig(
+            metric="packet_count", channel_state=True))
+        return net, deployment
+
+    def test_idle_link_snapshot_completes_via_probes(self):
+        net, deployment = self._idle_two_switch()  # zero traffic
+        epoch = deployment.take_snapshot(at_wall_ns=1 * MS)
+        net.run(until=50 * MS)
+        snap = deployment.observer.snapshot(epoch)
+        assert snap.complete
+        assert snap.consistent
+
+    def test_local_probe_never_spoofs_external_last_seen(self):
+        net, deployment = self._idle_two_switch()
+        # Stall the sw0 -> sw1 direction: nothing (not even sw0's wire
+        # probes) crosses, so sw1's external Last Seen must stay put even
+        # though sw1's own CPU injects probes into that very ingress.
+        sw0_egress = net.switch("sw0").ports[
+            _port_facing(net, "sw0", "sw1")].egress
+        sw0_egress.queue.pause()
+        agent = net.switch("sw1").ports[
+            _port_facing(net, "sw1", "sw0")].ingress.snapshot_agent
+        epoch = deployment.take_snapshot(at_wall_ns=1 * MS)
+        net.run(until=10 * MS)
+        assert agent.sid == 1                     # CPU initiation arrived
+        assert agent.read_last_seen(0) == 0       # wire saw nothing: no spoof
+        assert not deployment.observer.snapshot(epoch).complete
+        # Un-stall: the queued probe crosses and completion follows.
+        sw0_egress.queue.resume()
+        net.run(until=60 * MS)
+        snap = deployment.observer.snapshot(epoch)
+        assert agent.read_last_seen(0) >= 1
+        assert snap.complete

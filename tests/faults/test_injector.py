@@ -1,0 +1,215 @@
+"""Tests for binding fault schedules to a live network."""
+
+import pytest
+
+from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.faults import FaultInjector, FaultSchedule
+from repro.sim.channel import GilbertElliottLoss, NoLoss
+from repro.sim.engine import MS
+from repro.sim.network import Network, NetworkConfig
+from repro.topology import linear
+
+
+def _network(seed=3):
+    return Network(linear(num_switches=2, hosts_per_switch=1),
+                   NetworkConfig(seed=seed))
+
+
+def _link(network, name="sw0-sw1"):
+    return next(l for l in network.links if l.name == name)
+
+
+def _armed(network, schedule, deployment=None):
+    injector = FaultInjector(network, schedule, deployment=deployment)
+    injector.arm()
+    return injector
+
+
+class TestArming:
+    def test_empty_schedule_is_a_strict_noop(self):
+        network = _network()
+        injector = FaultInjector(network, FaultSchedule())
+        before = len(network.sim._heap)
+        assert injector.arm() == 0
+        assert injector.rng is None               # no RNG stream constructed
+        assert len(network.sim._heap) == before   # nothing scheduled
+
+    def test_double_arm_rejected(self):
+        network = _network()
+        injector = FaultInjector(network, FaultSchedule())
+        injector.arm()
+        with pytest.raises(RuntimeError, match="already armed"):
+            injector.arm()
+
+    def test_unknown_link_rejected_at_arm_time(self):
+        schedule = FaultSchedule()
+        schedule.add("link_down", 0, target="sw0-sw9")
+        with pytest.raises(ValueError, match="no link named"):
+            _armed(_network(), schedule)
+
+    def test_unknown_switch_and_clock_rejected(self):
+        for kind, match in (("queue_squeeze", "no switch"),
+                            ("clock_step", "no clock")):
+            schedule = FaultSchedule()
+            schedule.add(kind, 0, target="nope")
+            with pytest.raises(ValueError, match=match):
+                _armed(_network(), schedule)
+
+    def test_cp_faults_require_deployment(self):
+        schedule = FaultSchedule()
+        schedule.add("cp_crash", 0, target="sw0")
+        with pytest.raises(ValueError, match="deployment"):
+            _armed(_network(), schedule)
+
+    def test_link_target_accepts_either_orientation(self):
+        schedule = FaultSchedule()
+        schedule.add("link_down", 0, target="sw1-sw0")
+        network = _network()
+        _armed(network, schedule)
+        network.run(until=1)
+        assert not _link(network).up
+
+
+class TestLinkFaults:
+    def test_link_down_applies_and_reverts(self):
+        schedule = FaultSchedule()
+        schedule.add("link_down", 1 * MS, target="sw0-sw1",
+                     duration_ns=2 * MS)
+        network = _network()
+        injector = _armed(network, schedule)
+        link = _link(network)
+        network.run(until=2 * MS)
+        assert not link.up
+        network.run(until=4 * MS)
+        assert link.up
+        assert injector.applied == 1 and injector.reverted == 1
+        assert [(r.action, r.kind) for r in injector.log] == [
+            ("apply", "link_down"), ("revert", "link_down")]
+
+    def test_link_loss_swaps_model_and_restores_previous(self):
+        schedule = FaultSchedule()
+        schedule.add("link_loss", 1 * MS, target="sw0-sw1",
+                     duration_ns=1 * MS, model="gilbert_elliott",
+                     p_loss_bad=0.9)
+        network = _network()
+        _armed(network, schedule)
+        link = _link(network)
+        network.run(until=1 * MS + 1)
+        assert isinstance(link.loss, GilbertElliottLoss)
+        assert link.loss.p_loss_bad == 0.9
+        network.run(until=3 * MS)
+        assert isinstance(link.loss, NoLoss)
+
+    def test_link_loss_unknown_model_rejected(self):
+        schedule = FaultSchedule()
+        schedule.add("link_loss", 0, target="sw0-sw1", model="quantum")
+        network = _network()
+        _armed(network, schedule)
+        with pytest.raises(ValueError, match="unknown model"):
+            network.run(until=1 * MS)
+
+    def test_link_delay_spike_applies_and_clears(self):
+        schedule = FaultSchedule()
+        schedule.add("link_delay", 1 * MS, target="sw0-sw1",
+                     duration_ns=1 * MS, extra_ns=250_000)
+        network = _network()
+        _armed(network, schedule)
+        link = _link(network)
+        network.run(until=1 * MS + 1)
+        assert link.extra_delay_ns == 250_000
+        network.run(until=3 * MS)
+        assert link.extra_delay_ns == 0
+
+    def test_wildcard_hits_every_link(self):
+        schedule = FaultSchedule()
+        schedule.add("link_down", 0, target="*", duration_ns=0)
+        network = _network()
+        _armed(network, schedule)
+        network.run(until=1)
+        assert all(not l.up for l in network.links)  # permanent: no revert
+
+
+class TestSwitchFaults:
+    def test_queue_squeeze_shrinks_and_restores_capacity(self):
+        schedule = FaultSchedule()
+        schedule.add("queue_squeeze", 1 * MS, target="sw0",
+                     duration_ns=1 * MS, capacity=4)
+        network = _network()
+        _armed(network, schedule)
+        switch = network.switch("sw0")
+        queues = [switch.ports[p].egress.queue
+                  for p in switch.connected_ports()]
+        originals = [q.capacity_packets for q in queues]
+        network.run(until=1 * MS + 1)
+        assert all(q.capacity_packets == 4 for q in queues)
+        network.run(until=3 * MS)
+        assert [q.capacity_packets for q in queues] == originals
+
+    def test_unit_stall_pauses_and_resumes_egress(self):
+        schedule = FaultSchedule()
+        schedule.add("unit_stall", 1 * MS, target="sw0", duration_ns=1 * MS)
+        network = _network()
+        _armed(network, schedule)
+        switch = network.switch("sw0")
+        queues = [switch.ports[p].egress.queue
+                  for p in switch.connected_ports()]
+        network.run(until=1 * MS + 1)
+        assert all(q.paused for q in queues)
+        network.run(until=3 * MS)
+        assert not any(q.paused for q in queues)
+
+
+class TestControlPlaneAndClockFaults:
+    def _deployed(self, schedule):
+        network = _network()
+        deployment = SpeedlightDeployment(network, DeploymentConfig(
+            metric="packet_count"))
+        injector = _armed(network, schedule, deployment=deployment)
+        return network, deployment, injector
+
+    def test_cp_crash_and_restart(self):
+        schedule = FaultSchedule()
+        schedule.add("cp_crash", 1 * MS, target="sw0", duration_ns=2 * MS)
+        network, deployment, _ = self._deployed(schedule)
+        cp = deployment.control_planes["sw0"]
+        network.run(until=2 * MS)
+        assert cp.crashes == 1
+        assert not cp.channel.online
+        network.run(until=4 * MS)
+        assert cp.channel.online  # restarted (and re-polled its registers)
+
+    def test_cp_overflow_and_slow_tweak_channel(self):
+        schedule = FaultSchedule()
+        schedule.add("cp_overflow", 1 * MS, target="sw1",
+                     duration_ns=1 * MS, capacity=5)
+        schedule.add("cp_slow", 1 * MS, target="sw1",
+                     duration_ns=1 * MS, scale=4.0)
+        network, deployment, _ = self._deployed(schedule)
+        channel = deployment.control_planes["sw1"].channel
+        original = channel.capacity
+        network.run(until=1 * MS + 1)
+        assert channel.capacity == 5 and channel.service_scale == 4.0
+        network.run(until=3 * MS)
+        assert channel.capacity == original and channel.service_scale == 1.0
+
+    def test_clock_holdover_suspends_ptp_discipline(self):
+        schedule = FaultSchedule()
+        schedule.add("clock_holdover", 1 * MS, target="sw0",
+                     duration_ns=2 * MS)
+        network = _network()
+        _armed(network, schedule)
+        network.run(until=2 * MS)
+        assert "sw0" in network.ptp._holdover
+        network.run(until=4 * MS)
+        assert not network.ptp._holdover
+
+    def test_clock_step_applies_instant_offset(self):
+        schedule = FaultSchedule()
+        schedule.add("clock_step", 1 * MS, target="sw1", delta_ns=50_000)
+        network = _network()
+        injector = _armed(network, schedule)
+        clock = network.ptp.clocks["sw1"]
+        before = clock.offset_ns
+        network.run(until=1 * MS + 1)
+        assert clock.offset_ns == before + 50_000
+        assert injector.applied == 1 and injector.reverted == 0

@@ -1,0 +1,125 @@
+"""Tests for fault schedules and profile compilation."""
+
+import pytest
+
+from repro.faults import (FAULT_KINDS, INSTANT_KINDS, FaultEvent,
+                          FaultSchedule, compile_profile)
+from repro.sim.engine import MS
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(at_ns=0, kind="gremlins")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="at_ns"):
+            FaultEvent(at_ns=-1, kind="link_down")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration_ns"):
+            FaultEvent(at_ns=0, kind="link_down", duration_ns=-5)
+
+    def test_instant_kind_refuses_duration(self):
+        with pytest.raises(ValueError, match="instantaneous"):
+            FaultEvent(at_ns=0, kind="clock_step", duration_ns=100)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent(at_ns=0, kind="link_down", target="")
+
+    def test_layer_property(self):
+        assert FaultEvent(at_ns=0, kind="cp_crash").layer == "switch"
+        assert FaultEvent(at_ns=0, kind="link_delay").layer == "link"
+
+    def test_every_kind_has_a_layer(self):
+        for kind, layer in FAULT_KINDS.items():
+            assert layer in ("link", "switch", "clock"), kind
+        assert INSTANT_KINDS <= set(FAULT_KINDS)
+
+
+class TestFaultSchedule:
+    def test_add_keeps_time_order(self):
+        schedule = FaultSchedule()
+        schedule.add("link_down", 500, target="a-b", duration_ns=10)
+        schedule.add("cp_crash", 100, target="sw0")
+        assert [e.at_ns for e in schedule] == [100, 500]
+        assert len(schedule) == 2 and bool(schedule)
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule()
+        assert len(FaultSchedule()) == 0
+
+    def test_json_round_trip(self):
+        schedule = FaultSchedule()
+        schedule.add("link_loss", 1000, target="a-b", duration_ns=2000,
+                     model="bernoulli", p=0.25)
+        schedule.add("clock_step", 50, target="sw1", delta_ns=-7000)
+        data = schedule.to_jsonable()
+        restored = FaultSchedule.from_jsonable(data)
+        assert restored.to_jsonable() == data
+        assert [e.kind for e in restored] == ["clock_step", "link_loss"]
+        assert restored.events[1].params["p"] == 0.25
+
+    def test_jsonable_params_sorted_for_stable_fingerprints(self):
+        e1 = FaultEvent(at_ns=0, kind="link_loss", target="a-b",
+                        params={"b": 2, "a": 1})
+        e2 = FaultEvent(at_ns=0, kind="link_loss", target="a-b",
+                        params={"a": 1, "b": 2})
+        assert list(e1.to_jsonable()["params"]) == ["a", "b"]
+        assert e1.to_jsonable() == e2.to_jsonable()
+
+    def test_non_event_rejected(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(events=["link_down"])
+
+
+class TestCompileProfile:
+    def _compile(self, **overrides):
+        kwargs = dict(intensity=1.0, horizon_ns=50 * MS,
+                      links=["sw0-sw1"], switches=["sw0", "sw1"],
+                      clocks=["sw0", "sw1"], seed=7, start_ns=10 * MS)
+        kwargs.update(overrides)
+        return compile_profile(**kwargs)
+
+    def test_zero_intensity_compiles_empty(self):
+        assert not self._compile(intensity=0.0)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError, match="intensity"):
+            self._compile(intensity=-0.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            self._compile(kinds=["link_down", "bitrot"])
+
+    def test_deterministic(self):
+        assert self._compile().to_jsonable() == self._compile().to_jsonable()
+
+    def test_seed_changes_schedule(self):
+        a = self._compile(intensity=3.0)
+        b = self._compile(intensity=3.0, seed=8)
+        assert a.to_jsonable() != b.to_jsonable()
+
+    def test_adding_a_target_never_reshuffles_others(self):
+        # Per-(kind, target) RNG streams: sw0-sw1's events are identical
+        # whether or not a second link exists.
+        one = self._compile(intensity=2.0, links=["sw0-sw1"])
+        two = self._compile(intensity=2.0, links=["sw0-sw1", "sw1-sw2"])
+        keep = [e.to_jsonable() for e in one if e.target == "sw0-sw1"]
+        both = [e.to_jsonable() for e in two if e.target == "sw0-sw1"]
+        assert keep == both
+
+    def test_events_inside_window_and_durations_clamped(self):
+        start, horizon = 10 * MS, 50 * MS
+        schedule = self._compile(intensity=4.0)
+        assert len(schedule) > 0
+        for event in schedule:
+            assert start <= event.at_ns < start + horizon
+            assert event.at_ns + event.duration_ns <= start + horizon
+            if event.kind in INSTANT_KINDS:
+                assert event.duration_ns == 0
+
+    def test_kind_subset_respected(self):
+        schedule = self._compile(intensity=5.0, kinds=["cp_crash"])
+        assert schedule and all(e.kind == "cp_crash" for e in schedule)

@@ -4,7 +4,8 @@ import random
 
 import pytest
 
-from repro.sim.channel import BernoulliLoss, Link, NoLoss, ScriptedLoss
+from repro.sim.channel import (BernoulliLoss, GilbertElliottLoss, Link,
+                               NoLoss, ScriptedLoss)
 from repro.sim.engine import Simulator
 from repro.sim.packet import FlowKey, Packet
 
@@ -132,3 +133,114 @@ class TestLossModels:
         sim.run()
         assert b.received == []
         assert link.packets_dropped == 1
+
+
+class TestGilbertElliottLoss:
+    def _model(self, **overrides):
+        kwargs = dict(p_good_to_bad=0.01, p_bad_to_good=0.1,
+                      p_loss_good=0.0, p_loss_bad=0.5)
+        kwargs.update(overrides)
+        return GilbertElliottLoss(random.Random(7), **kwargs)
+
+    def test_invalid_probability_rejected(self):
+        for name in ("p_good_to_bad", "p_bad_to_good",
+                     "p_loss_good", "p_loss_bad"):
+            with pytest.raises(ValueError, match=name):
+                self._model(**{name: 1.5})
+
+    def test_never_leaves_good_state_when_transition_zero(self):
+        model = self._model(p_good_to_bad=0.0)
+        assert not any(model.should_drop(_pkt()) for _ in range(1000))
+        assert not model.in_bad_state
+        assert model.bursts_entered == 0
+
+    def test_sticky_bad_state_drops_everything(self):
+        model = self._model(p_good_to_bad=1.0, p_bad_to_good=0.0,
+                            p_loss_bad=1.0)
+        assert all(model.should_drop(_pkt()) for _ in range(100))
+        assert model.in_bad_state
+        assert model.bursts_entered == 1
+        assert model.dropped == 100
+
+    def test_drops_cluster_into_bursts(self):
+        # Mean burst length 1/p_bad_to_good = 10 packets at 100% loss:
+        # drops must arrive in runs, unlike Bernoulli at the same rate.
+        model = self._model(p_good_to_bad=0.02, p_bad_to_good=0.1,
+                            p_loss_bad=1.0)
+        pattern = [model.should_drop(_pkt()) for _ in range(20_000)]
+        drops = sum(pattern)
+        runs = sum(1 for i, d in enumerate(pattern)
+                   if d and (i == 0 or not pattern[i - 1]))
+        assert drops > 500            # bad state actually visited
+        assert runs == model.bursts_entered
+        assert drops / runs > 4       # multi-packet bursts on average
+
+    def test_same_seed_same_pattern(self):
+        a = GilbertElliottLoss(random.Random(42))
+        b = GilbertElliottLoss(random.Random(42))
+        packets = [_pkt(seq=i) for i in range(500)]
+        assert ([a.should_drop(p) for p in packets]
+                == [b.should_drop(p) for p in packets])
+
+    def test_reset_restores_good_state(self):
+        model = self._model(p_good_to_bad=1.0, p_loss_bad=1.0)
+        model.should_drop(_pkt())
+        model.reset()
+        assert not model.in_bad_state
+        assert model.dropped == 0 and model.bursts_entered == 0
+
+
+class TestLinkFaultSurface:
+    def test_down_link_drops_everything(self):
+        sim = Simulator()
+        link, a, b = _wired_link(sim)
+        link.up = False
+        assert link.transmit(a, _pkt()) is False
+        sim.run()
+        assert b.received == []
+        assert link.packets_dropped == 1
+        link.up = True
+        assert link.transmit(a, _pkt(1)) is True
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_latency_spike_delays_delivery(self):
+        sim = Simulator()
+        link, a, b = _wired_link(sim, propagation_ns=100)
+        link.extra_delay_ns = 900
+        link.transmit(a, _pkt())
+        sim.run()
+        assert sim.now == 1000
+
+    def test_fifo_preserved_while_spike_drains(self):
+        # A packet sent during the spike is in flight with +900 ns; the
+        # packet sent just after the spike ends must NOT overtake it.
+        sim = Simulator()
+        link, a, b = _wired_link(sim, propagation_ns=100)
+        link.extra_delay_ns = 900
+        link.transmit(a, _pkt(seq=0))          # delivers at 1000
+        link.extra_delay_ns = 0
+        link.transmit(a, _pkt(seq=1))          # natural 100 -> clamped
+        sim.run(until=999)
+        assert b.received == []                # neither overtook the spike
+        sim.run()
+        assert [p.seq for p in b.received] == [0, 1]
+
+    def test_fifo_floor_expires_once_natural_timing_catches_up(self):
+        sim = Simulator()
+        link, a, b = _wired_link(sim, propagation_ns=100)
+        link.extra_delay_ns = 500
+        link.transmit(a, _pkt(seq=0))          # delivers at 600
+        link.extra_delay_ns = 0
+        sim.run(until=700)
+
+        def late_send():
+            link.transmit(a, _pkt(seq=1))      # natural 800 >= floor 600
+
+        sim.schedule_at(700, late_send)
+        sim.run()
+        assert [p.seq for p in b.received] == [0, 1]
+        assert not link._fifo_floor             # back on the fast path
+        link.transmit(a, _pkt(seq=2))
+        sim.run()
+        assert sim.now == b.received[-1].created_ns + 100 or len(b.received) == 3
