@@ -8,7 +8,8 @@ BENCH_LABEL ?= adhoc
 # Experiment profiled by `make profile` (any name from `experiments --list`).
 PROFILE_EXP ?= fig10
 
-.PHONY: install test lint bench bench-smoke bench-experiments \
+.PHONY: install test lint statics typecheck static-checks \
+        bench bench-smoke bench-experiments \
         chaos-smoke profile figures experiments examples \
         quick-experiments clean
 
@@ -20,6 +21,17 @@ test:
 
 lint:
 	ruff check src tests benchmarks examples
+
+# Determinism & simulation-invariant static analysis (docs/DETERMINISM.md).
+# Exits non-zero on any unsuppressed finding; CI gates on this.
+statics:
+	$(PYTHON) -m repro statics src tests
+
+typecheck:
+	mypy
+
+# Everything the CI static-checks job runs (statics + types + lint).
+static-checks: statics typecheck lint
 
 # Hot-path micro-suite (docs/PERF.md): records a labelled entry in
 # BENCH_core.json and fails on >25% normalized event-loop regression

@@ -20,7 +20,7 @@ Run:  python examples/capacity_planning.py
 from repro.core import DeploymentConfig, SpeedlightDeployment
 from repro.experiments.campaigns import make_balancer_factory
 from repro.lb import flow_hash
-from repro.sim.engine import MS, S, US
+from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.packet import FlowKey
 from repro.sim.switch import Direction, SwitchConfig

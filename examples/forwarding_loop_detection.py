@@ -17,7 +17,7 @@ Run:  python examples/forwarding_loop_detection.py
 """
 
 from repro.core import DeploymentConfig, SpeedlightDeployment
-from repro.sim.engine import MS, S, US
+from repro.sim.engine import MS, US
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.switch import Direction
 from repro.topology import ring

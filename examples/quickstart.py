@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
-from repro.sim.engine import MS, S, US
+from repro.sim.engine import MS, S
 from repro.sim.network import Network, NetworkConfig
 from repro.topology import leaf_spine
 from repro.workloads.synthetic import PoissonConfig, PoissonWorkload

@@ -32,7 +32,7 @@ the wrapped on-wire IDs by tracking each unit's monotone epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.ids import IdSpace
 from repro.core.snapshot import GlobalSnapshot
@@ -51,7 +51,7 @@ class ConsistencyAudit:
     incomplete: int = 0
     records_checked: int = 0
     records_flagged: int = 0
-    violations: List[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -71,11 +71,11 @@ class _UnitHistory:
     """Per-unit arrival history in unwrapped epochs."""
 
     #: Unwrapped carried epoch of each DATA arrival, in time order.
-    carried: List[int] = field(default_factory=list)
+    carried: list[int] = field(default_factory=list)
     #: Unwrapped unit epoch after processing each DATA arrival.
-    after: List[int] = field(default_factory=list)
+    after: list[int] = field(default_factory=list)
     #: Contribution of each arrival (1 for packet counts, size for bytes).
-    weight: List[int] = field(default_factory=list)
+    weight: list[int] = field(default_factory=list)
     #: Running unwrapped epoch (for unwrap references).
     current_epoch: int = 0
 
@@ -89,7 +89,7 @@ class ConsistencyChecker:
                 "conservation checking only applies to accumulator metrics")
         self.ids = id_space
         self.metric = metric
-        self._history: Dict[UnitId, _UnitHistory] = {}
+        self._history: dict[UnitId, _UnitHistory] = {}
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -131,7 +131,7 @@ class ConsistencyChecker:
                    if a < epoch)
 
     def violations_of(self, snapshot: GlobalSnapshot,
-                      channel_state: bool) -> List[str]:
+                      channel_state: bool) -> list[str]:
         """Conservation-law violations of one snapshot, as messages.
 
         Only consistent records are held to the conservation law;
@@ -139,7 +139,7 @@ class ConsistencyChecker:
         is the flag's purpose).  Non-raising so fault experiments can
         audit whole campaigns and report, not abort.
         """
-        problems: List[str] = []
+        problems: list[str] = []
         for unit, record in sorted(snapshot.records.items(), key=lambda kv: str(kv[0])):
             if not record.consistent:
                 continue
@@ -197,7 +197,7 @@ class ConsistencyChecker:
                 self.violations_of(snapshot, channel_state))
         return report
 
-    def marking_precision(self, snapshots: Sequence[GlobalSnapshot]) -> Dict[str, int]:
+    def marking_precision(self, snapshots: Sequence[GlobalSnapshot]) -> dict[str, int]:
         """How often inconsistent-marked records actually violate the law
         (with channel state).  Conservative marking means some marked
         records are in fact fine; this quantifies the over-marking."""

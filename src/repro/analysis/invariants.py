@@ -24,7 +24,8 @@ only hold on legal cuts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core.snapshot import GlobalSnapshot
 from repro.sim.network import Network
@@ -52,7 +53,7 @@ class LinkAudit:
 
     def __init__(self, network: Network) -> None:
         self.network = network
-        self._links: List[Tuple[UnitId, UnitId]] = []
+        self._links: list[tuple[UnitId, UnitId]] = []
         for name in sorted(network.switches):
             for neighbor, port in sorted(network.port_map[name].items()):
                 if network.topology.kind(neighbor) is not NodeKind.SWITCH:
@@ -62,7 +63,7 @@ class LinkAudit:
                     (UnitId(name, port, Direction.EGRESS),
                      UnitId(neighbor, peer_port, Direction.INGRESS)))
 
-    def audit(self, snapshot: GlobalSnapshot) -> List[LinkReport]:
+    def audit(self, snapshot: GlobalSnapshot) -> list[LinkReport]:
         """Per-link reports for every link both of whose units appear in
         the snapshot (partial deployments audit the enabled core)."""
         reports = []
@@ -76,7 +77,7 @@ class LinkAudit:
                 sent=sent_rec.total_value, received=recv_rec.total_value))
         return reports
 
-    def violations(self, snapshot: GlobalSnapshot) -> List[LinkReport]:
+    def violations(self, snapshot: GlobalSnapshot) -> list[LinkReport]:
         """Links whose receiver counted more than the sender emitted —
         impossible on a consistent cut."""
         if not snapshot.consistent:
@@ -121,7 +122,7 @@ class AuditSummary:
     links_checked: int = 0
     skipped_inconsistent: int = 0
     skipped_incomplete: int = 0
-    negative_discrepancies: List[Tuple[int, LinkReport]] = None  # type: ignore[assignment]
+    negative_discrepancies: list[tuple[int, LinkReport]] = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.negative_discrepancies is None:
@@ -173,7 +174,7 @@ class LoopDetector:
         self.max_path_hops = max_path_hops
         self.slack = slack
 
-    def _ingress_totals(self, snapshot: GlobalSnapshot) -> Tuple[int, int]:
+    def _ingress_totals(self, snapshot: GlobalSnapshot) -> tuple[int, int]:
         edge = transit = 0
         for unit, record in snapshot.records.items():
             if unit.direction is not Direction.INGRESS:
@@ -205,6 +206,6 @@ class LoopDetector:
                            amplification=amplification,
                            loop_suspected=suspected)
 
-    def scan(self, snapshots: Sequence[GlobalSnapshot]) -> List[LoopVerdict]:
+    def scan(self, snapshots: Sequence[GlobalSnapshot]) -> list[LoopVerdict]:
         ordered = sorted(snapshots, key=lambda s: s.epoch)
         return [self.compare(a, b) for a, b in zip(ordered, ordered[1:])]

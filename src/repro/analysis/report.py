@@ -12,14 +12,15 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core.snapshot import GlobalSnapshot
 from repro.runtime.result import TrialResult
 from repro.sim.switch import Direction, UnitId
 
 
-def snapshot_rows(snapshot: GlobalSnapshot) -> List[Dict[str, object]]:
+def snapshot_rows(snapshot: GlobalSnapshot) -> list[dict[str, object]]:
     """One flat dict per unit record (stable ordering)."""
     rows = []
     for unit, record in sorted(snapshot.records.items(),
@@ -61,8 +62,8 @@ class CampaignSeries:
     have equal length (ragged series break rank-correlation analyses).
     """
 
-    epochs: List[int]
-    series: Dict[UnitId, List[int]]
+    epochs: list[int]
+    series: dict[UnitId, list[int]]
 
     @classmethod
     def from_snapshots(cls, snapshots: Sequence[GlobalSnapshot],
@@ -75,7 +76,7 @@ class CampaignSeries:
             common &= set(snap.records)
         if not common:
             raise ValueError("snapshots share no units")
-        series: Dict[UnitId, List[int]] = {u: [] for u in common}
+        series: dict[UnitId, list[int]] = {u: [] for u in common}
         for snap in snaps:
             for unit in common:
                 record = snap.records[unit]
@@ -86,14 +87,14 @@ class CampaignSeries:
     def __len__(self) -> int:
         return len(self.epochs)
 
-    def units(self) -> List[UnitId]:
+    def units(self) -> list[UnitId]:
         return sorted(self.series, key=lambda u: (u.device, u.port,
                                                   u.direction.value))
 
-    def named(self, direction: Optional[Direction] = None) -> Dict[str, List[float]]:
+    def named(self, direction: Optional[Direction] = None) -> dict[str, list[float]]:
         """Series keyed by "device:port" strings (the spearman_matrix
         input shape), optionally filtered to one direction."""
-        out: Dict[str, List[float]] = {}
+        out: dict[str, list[float]] = {}
         for unit in self.units():
             if direction is not None and unit.direction is not direction:
                 continue
@@ -115,7 +116,7 @@ class CampaignSeries:
 # Trial-result rows (the CLI's suite summary)
 # ----------------------------------------------------------------------
 
-def trial_rows(results: Sequence[TrialResult]) -> List[Dict[str, object]]:
+def trial_rows(results: Sequence[TrialResult]) -> list[dict[str, object]]:
     """One flat dict per trial, suitable for JSON/CSV export."""
     return [{
         "label": r.label or r.kind,

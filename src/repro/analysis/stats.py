@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 from scipy import stats as sps
@@ -57,7 +57,7 @@ class Cdf:
         return float(np.searchsorted(self.samples, value, side="right")
                      / self.samples.size)
 
-    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+    def points(self, max_points: int = 200) -> list[tuple[float, float]]:
         """(value, cumulative fraction) pairs, decimated for plotting or
         tabular output."""
         n = self.samples.size
@@ -77,7 +77,7 @@ class Cdf:
                 f"max={self.max/scale:>10.1f}{unit}")
 
 
-def balance_stddevs(rounds: Sequence[Dict[str, Dict[int, float]]]) -> List[float]:
+def balance_stddevs(rounds: Sequence[dict[str, dict[int, float]]]) -> list[float]:
     """Figure 12's balance metric over a measurement campaign.
 
     ``rounds`` is a sequence of measurement rounds; each round maps a
@@ -86,7 +86,7 @@ def balance_stddevs(rounds: Sequence[Dict[str, Dict[int, float]]]) -> List[float
     across that switch's uplinks ("uplinks were compared only to other
     uplinks on the same switch").
     """
-    out: List[float] = []
+    out: list[float] = []
     for round_ in rounds:
         for _switch, by_port in sorted(round_.items()):
             values = [v for _p, v in sorted(by_port.items())]
@@ -99,13 +99,13 @@ def balance_stddevs(rounds: Sequence[Dict[str, Dict[int, float]]]) -> List[float
 class CorrelationResult:
     """Pairwise Spearman correlations over a set of named series."""
 
-    names: List[str]
+    names: list[str]
     rho: np.ndarray      # correlation coefficients, NaN on diagonal
     pvalue: np.ndarray   # two-sided p-values
 
-    def significant(self, alpha: float = 0.1) -> Dict[Tuple[str, str], float]:
+    def significant(self, alpha: float = 0.1) -> dict[tuple[str, str], float]:
         """Significant pairs (p < alpha) → coefficient."""
-        out: Dict[Tuple[str, str], float] = {}
+        out: dict[tuple[str, str], float] = {}
         n = len(self.names)
         for i in range(n):
             for j in range(i + 1, n):
@@ -122,7 +122,7 @@ class CorrelationResult:
         return float(self.pvalue[i, j])
 
 
-def spearman_matrix(series: Dict[str, Sequence[float]]) -> CorrelationResult:
+def spearman_matrix(series: dict[str, Sequence[float]]) -> CorrelationResult:
     """Pairwise Spearman rank correlation of equally long series.
 
     Computed in one vectorised ``scipy.stats.spearmanr`` call over the

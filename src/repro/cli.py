@@ -13,6 +13,10 @@ Commands:
 ``metrics``
     List the snapshot-capable metrics and whether they support channel
     state.
+``statics [paths] [--json] [--rules A,B] [--list-rules]``
+    Run the determinism & simulation-invariant static analysis pass
+    (docs/DETERMINISM.md) over ``src tests`` or the given paths; exits
+    non-zero on findings.  CI gates on ``repro statics src tests``.
 ``demo``
     A 30-second tour: build the testbed, take snapshots, print results.
 
@@ -26,7 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.deployment import GAUGE_METRICS
 
@@ -43,7 +47,7 @@ def _make_runner(args: argparse.Namespace):
         except OSError as exc:
             print(f"cannot use cache dir {args.cache_dir!r}: {exc}",
                   file=sys.stderr)
-            raise SystemExit(2)
+            raise SystemExit(2) from exc
     if args.profile and args.jobs > 1:
         print("[--profile forces serial execution; ignoring --jobs]",
               file=sys.stderr)
@@ -161,6 +165,19 @@ def cmd_metrics(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_statics(args: argparse.Namespace) -> int:
+    from repro.statics.cli import main as statics_main
+
+    argv: list[str] = list(args.paths)
+    if args.as_json:
+        argv.append("--json")
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return statics_main(argv)
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     from repro.core import DeploymentConfig, SpeedlightDeployment
     from repro.sim.engine import MS
@@ -209,17 +226,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_flags(run_parser)
 
     sub.add_parser("metrics", help="list snapshot-capable metrics")
+
+    statics_parser = sub.add_parser(
+        "statics",
+        help="determinism & simulation-invariant static analysis")
+    statics_parser.add_argument("paths", nargs="*", metavar="PATH",
+                                help="files/directories (default: src tests)")
+    statics_parser.add_argument("--json", action="store_true",
+                                dest="as_json",
+                                help="machine-readable output")
+    statics_parser.add_argument("--rules", metavar="A,B", default=None,
+                                help="run only these rule ids")
+    statics_parser.add_argument("--list-rules", action="store_true",
+                                help="list the rules and exit")
+
     sub.add_parser("demo", help="a 30-second end-to-end tour")
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
         "experiments": cmd_experiments,
         "run": cmd_run,
         "metrics": cmd_metrics,
+        "statics": cmd_statics,
         "demo": cmd_demo,
     }
     if args.command is None:

@@ -18,7 +18,8 @@ already schedules.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.observer import SnapshotObserver
 from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
@@ -52,11 +53,11 @@ class ConsistentCampaign:
         self.config = config or CampaignConfig()
         if self.config.target < 1:
             raise ValueError("target must be positive")
-        self.usable: List[GlobalSnapshot] = []
-        self.discarded: List[GlobalSnapshot] = []
+        self.usable: list[GlobalSnapshot] = []
+        self.discarded: list[GlobalSnapshot] = []
         self.attempts = 0
         self._started = False
-        self._done_callbacks: List[Callable[["ConsistentCampaign"], None]] = []
+        self._done_callbacks: list[Callable[["ConsistentCampaign"], None]] = []
         self._next_slot_ns = 0
         observer.on_complete(self._on_complete)
 

@@ -48,7 +48,8 @@ import math
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.dataplane import SpeedlightUnit
 from repro.core.ids import IdSpace
@@ -141,7 +142,7 @@ class NotificationChannel:
         self.rng = rng
         self.config = config
         self.handler = handler
-        self._queue: Deque[Notification] = deque()
+        self._queue: deque[Notification] = deque()
         self._busy = False
         #: Per-instance copies of the shared config's capacity, and the
         #: fault knobs (:mod:`repro.faults` mutates these per switch; the
@@ -221,8 +222,8 @@ class DigestChannel:
         self.rng = rng
         self.config = config
         self.handler = handler
-        self._pending: List[Notification] = []
-        self._queue: Deque[List[Notification]] = deque()
+        self._pending: list[Notification] = []
+        self._queue: deque[list[Notification]] = deque()
         self._busy = False
         self._flush_event = None
         #: Per-instance fault knobs; see :class:`NotificationChannel`.
@@ -291,7 +292,7 @@ class DigestChannel:
             cost = int(cost * self.service_scale)
         self.sim.schedule(max(1, cost), self._finish, batch)
 
-    def _finish(self, batch: List[Notification]) -> None:
+    def _finish(self, batch: list[Notification]) -> None:
         if not self.online:
             self._busy = False
             self.dropped += len(batch)
@@ -308,13 +309,13 @@ class _UnitTracker:
     __slots__ = ("agent", "gating", "ctrl_sid", "ctrl_last_seen",
                  "last_read", "inconsistent")
 
-    def __init__(self, agent: SpeedlightUnit, gating: List[int]) -> None:
+    def __init__(self, agent: SpeedlightUnit, gating: list[int]) -> None:
         self.agent = agent
         self.gating = list(gating)
         self.ctrl_sid = 0            # unwrapped view of the unit's ID
-        self.ctrl_last_seen: Dict[int, int] = {c: 0 for c in gating}
+        self.ctrl_last_seen: dict[int, int] = {c: 0 for c in gating}
         self.last_read = 0           # latest finalized epoch
-        self.inconsistent: Set[int] = set()
+        self.inconsistent: set[int] = set()
 
     def gating_min(self) -> int:
         if not self.gating:
@@ -344,7 +345,7 @@ class SwitchControlPlane:
         #: Callback shipping finalized records toward the observer
         #: (installed by the deployment; routed over the mgmt plane).
         self.ship = ship
-        self.trackers: Dict[UnitId, _UnitTracker] = {}
+        self.trackers: dict[UnitId, _UnitTracker] = {}
         if self.config.notification_transport == "digest":
             self.channel = DigestChannel(self.sim, self.rng, self.config,
                                          self._on_notification)
@@ -360,9 +361,9 @@ class SwitchControlPlane:
         switch.notification_sink = self.channel.deliver
         #: (epoch, unit, data-plane timestamp) for every processed
         #: notification — the synchronization measurements of Figure 9.
-        self.progress_log: List[Tuple[int, UnitId, int]] = []
+        self.progress_log: list[tuple[int, UnitId, int]] = []
         #: Epochs initiated locally, with remaining retry budget.
-        self._initiated: Dict[int, int] = {}
+        self._initiated: dict[int, int] = {}
         self.initiations_sent = 0
         self.reinitiations_sent = 0
         #: Crash-fault state (see :meth:`crash` / :meth:`restart`).
@@ -374,7 +375,7 @@ class SwitchControlPlane:
     # Registration (deployment wiring)
     # ------------------------------------------------------------------
     def register_unit(self, agent: SpeedlightUnit,
-                      gating_channels: List[int]) -> None:
+                      gating_channels: list[int]) -> None:
         """Track a data-plane unit.  ``gating_channels`` are the upstream
         channels whose Last Seen gates completion (empty without channel
         state; the CPU channel is never gating, §6)."""
@@ -422,7 +423,7 @@ class SwitchControlPlane:
             self.sim.schedule(self.config.reinitiation_timeout_ns,
                               self._maybe_reinitiate, epoch)
 
-    def _snapshot_ports(self) -> List[int]:
+    def _snapshot_ports(self) -> list[int]:
         return sorted({uid.port for uid in self.trackers})
 
     def _inject_initiation(self, port: int, epoch: int) -> None:
@@ -620,7 +621,7 @@ class SwitchControlPlane:
             # skipped (uninitialized) slots from the nearest valid value
             # above — the unit processed no packets in between, so the
             # state is identical.
-            records: List[UnitSnapshotRecord] = []
+            records: list[UnitSnapshotRecord] = []
             valid_value: Optional[int] = None
             valid_captured = now
             for epoch in range(to_read, tracker.last_read, -1):

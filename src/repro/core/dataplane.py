@@ -30,7 +30,8 @@ snapshot).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.ids import IdSpace
 from repro.core.notifications import Notification
@@ -83,9 +84,9 @@ class SpeedlightUnit:
         self.in_flight_value_fn = in_flight_value_fn or (lambda pkt: 1)
 
         self._sid = 0  # wrapped; registers power up at zero (§6)
-        self.last_seen: Dict[int, int] = {}
+        self.last_seen: dict[int, int] = {}
         if id_space.size is not None:
-            self._slots: Dict[int, SnapshotSlot] = {
+            self._slots: dict[int, SnapshotSlot] = {
                 i: SnapshotSlot() for i in range(id_space.size)}
         else:
             self._slots = {}
@@ -182,7 +183,7 @@ class SpeedlightUnit:
     def read_last_seen(self, channel_id: int) -> int:
         return self.last_seen.get(channel_id, 0)
 
-    def poll_state(self) -> Dict[str, int]:
+    def poll_state(self) -> dict[str, int]:
         """Proactive register poll used for notification-drop recovery
         (§6, "Ensuring liveness")."""
         state = {"sid": self._sid}

@@ -30,7 +30,8 @@ unit gates on every connected ingress port of its switch except its own
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.control_plane import (ControlPlaneConfig, SwitchControlPlane,
                                       UnitSnapshotRecord)
@@ -52,7 +53,7 @@ GAUGE_METRICS = frozenset({"queue_depth", "queue_watermark",
                            "fib_version"})
 
 #: Per-metric contribution of one in-flight packet to channel state.
-_IN_FLIGHT_FNS: Dict[str, Callable[[Packet], int]] = {
+_IN_FLIGHT_FNS: dict[str, Callable[[Packet], int]] = {
     "packet_count": lambda pkt: 1,
     "byte_count": lambda pkt: pkt.size_bytes,
 }
@@ -71,7 +72,7 @@ class DeploymentConfig:
     #: plain "Packet Count" variant).
     max_sid: Optional[int] = 255
     #: Participating switches; None means all (partial deployment, §10).
-    switches: Optional[List[str]] = None
+    switches: Optional[list[str]] = None
     #: Use the idealised Figure 3 units instead of Speedlight's
     #: hardware-constrained ones (ablation only; forces unbounded IDs).
     ideal_units: bool = False
@@ -83,7 +84,7 @@ class DeploymentConfig:
     #: stall channel-state completion until probes or re-initiation cover
     #: them, so operators running traffic in a subset of classes should
     #: list that subset here (§6's neighbor-exclusion knob, per class).
-    cos_classes: Optional[List[int]] = None
+    cos_classes: Optional[list[int]] = None
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
     observer: ObserverConfig = field(default_factory=ObserverConfig)
 
@@ -110,8 +111,8 @@ class SpeedlightDeployment:
                 f"metric {config.metric!r} has no in-flight contribution "
                 "rule; register one or disable channel state")
         self.ids = IdSpace(None if config.ideal_units else config.max_sid)
-        self.agents: Dict[UnitId, object] = {}
-        self.control_planes: Dict[str, SwitchControlPlane] = {}
+        self.agents: dict[UnitId, object] = {}
+        self.control_planes: dict[str, SwitchControlPlane] = {}
         self.observer = SnapshotObserver(network.sim, network.mgmt, self.ids,
                                          config.observer)
         self._deploy()
@@ -121,7 +122,7 @@ class SpeedlightDeployment:
     # Wiring
     # ------------------------------------------------------------------
     @property
-    def switch_names(self) -> List[str]:
+    def switch_names(self) -> list[str]:
         if self.config.switches is not None:
             return list(self.config.switches)
         return sorted(self.network.switches)
@@ -211,13 +212,13 @@ class SpeedlightDeployment:
             {UnitId(name, p, d) for p in connected
              for d in (Direction.INGRESS, Direction.EGRESS)})
 
-    def _cos_classes(self, switch: Switch) -> List[int]:
+    def _cos_classes(self, switch: Switch) -> list[int]:
         if self.config.cos_classes is not None:
             return [c for c in self.config.cos_classes
                     if 0 <= c < switch.config.num_cos]
         return list(range(switch.config.num_cos))
 
-    def _ingress_gating(self, switch_name: str, port: int) -> List[int]:
+    def _ingress_gating(self, switch_name: str, port: int) -> list[int]:
         if not self.config.channel_state:
             return []
         peer, kind = self.network.peer_of_port(switch_name, port)
@@ -229,7 +230,7 @@ class SpeedlightDeployment:
         return []
 
     def _egress_gating(self, switch: Switch, feasible_channels,
-                       port: int) -> List[int]:
+                       port: int) -> list[int]:
         """Channels whose Last Seen gates this egress's completion: every
         (feasible ingress port, configured CoS class) pair — derived from
         the routing function so completion never gates on structurally
@@ -249,7 +250,7 @@ class SpeedlightDeployment:
         return self.observer.take_snapshot(at_wall_ns)
 
     def schedule_campaign(self, count: int, interval_ns: int,
-                          start_wall_ns: Optional[int] = None) -> List[int]:
+                          start_wall_ns: Optional[int] = None) -> list[int]:
         return self.observer.schedule_campaign(count, interval_ns, start_wall_ns)
 
     def inject_probes(self) -> None:
@@ -261,14 +262,14 @@ class SpeedlightDeployment:
         """Synchronization of one snapshot ID, defined as in §8.1: the
         difference between the earliest and latest data-plane timestamps
         on any notification carrying that ID."""
-        times: List[int] = []
+        times: list[int] = []
         for cp in self.control_planes.values():
             times.extend(t for (e, _u, t) in cp.progress_log if e == epoch)
         if len(times) < 2:
             return None
         return max(times) - min(times)
 
-    def notification_stats(self) -> Dict[str, int]:
+    def notification_stats(self) -> dict[str, int]:
         """Aggregate notification-channel health across switches."""
         stats = {"received": 0, "processed": 0, "dropped": 0, "backlog": 0}
         for cp in self.control_planes.values():

@@ -24,7 +24,8 @@ a simulated switch unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.ids import IdSpace
 from repro.core.notifications import Notification
@@ -66,8 +67,8 @@ class IdealUnit:
         self.notify = notify
         self.in_flight_value_fn = in_flight_value_fn or (lambda pkt: 1)
         self._sid = 0
-        self.snaps: Dict[int, IdealSlot] = {}
-        self.last_seen: Dict[int, int] = {}
+        self.snaps: dict[int, IdealSlot] = {}
+        self.last_seen: dict[int, int] = {}
         self.packets_seen = 0
 
     # ------------------------------------------------------------------
@@ -121,7 +122,7 @@ class IdealUnit:
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
-    def completed_through(self, gating_channels: List[int]) -> int:
+    def completed_through(self, gating_channels: list[int]) -> int:
         """Highest epoch locally complete (Figure 3 line 12): with
         channel state, ``min(lastSeen[*])`` over the gating channels;
         without, simply the current ID (line 19)."""

@@ -25,7 +25,8 @@ Responsibilities implemented here (§6):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core.control_plane import SwitchControlPlane, UnitSnapshotRecord
 from repro.core.ids import IdSpace
@@ -60,17 +61,17 @@ class SnapshotObserver:
         self.mgmt = mgmt
         self.ids = id_space
         self.config = config or ObserverConfig()
-        self.control_planes: Dict[str, SwitchControlPlane] = {}
-        self._device_units: Dict[str, Set[UnitId]] = {}
-        self.snapshots: Dict[int, GlobalSnapshot] = {}
+        self.control_planes: dict[str, SwitchControlPlane] = {}
+        self._device_units: dict[str, set[UnitId]] = {}
+        self.snapshots: dict[int, GlobalSnapshot] = {}
         self._next_epoch = 1  # epoch 0 is the power-on state, never taken
-        self._completion_callbacks: List[Callable[[GlobalSnapshot], None]] = []
+        self._completion_callbacks: list[Callable[[GlobalSnapshot], None]] = []
 
     # ------------------------------------------------------------------
     # Device registration (including live node attachment, §6)
     # ------------------------------------------------------------------
     def register_device(self, name: str, control_plane: SwitchControlPlane,
-                        units: Set[UnitId]) -> None:
+                        units: set[UnitId]) -> None:
         """Add a device to the active set.  Devices registered after a
         snapshot was initiated join from the *next* snapshot on."""
         if name in self.control_planes:
@@ -90,7 +91,7 @@ class SnapshotObserver:
     # Taking snapshots
     # ------------------------------------------------------------------
     def take_snapshot(self, at_wall_ns: Optional[int] = None,
-                      initiators: Optional[List[str]] = None) -> int:
+                      initiators: Optional[list[str]] = None) -> int:
         """Schedule one global snapshot; returns its epoch.
 
         ``at_wall_ns`` defaults to now + lead time.  Results appear in
@@ -106,7 +107,7 @@ class SnapshotObserver:
         self._next_epoch += 1
         at_wall = at_wall_ns if at_wall_ns is not None else (
             self.sim.now + self.config.lead_time_ns)
-        expected: Set[UnitId] = set()
+        expected: set[UnitId] = set()
         for units in self._device_units.values():
             expected |= units
         snapshot = GlobalSnapshot(epoch=epoch, requested_wall_ns=at_wall,
@@ -114,7 +115,7 @@ class SnapshotObserver:
         self.snapshots[epoch] = snapshot
         targets = (self.control_planes if initiators is None
                    else {n: self.control_planes[n] for n in initiators})
-        for name, cp in targets.items():
+        for cp in targets.values():
             self.mgmt.send(cp.schedule_initiation, epoch, at_wall)
         # No-lapping enforcement happens when this epoch actually starts
         # circulating: any snapshot more than a window behind must stop
@@ -126,7 +127,7 @@ class SnapshotObserver:
         return epoch
 
     def schedule_campaign(self, count: int, interval_ns: int,
-                          start_wall_ns: Optional[int] = None) -> List[int]:
+                          start_wall_ns: Optional[int] = None) -> list[int]:
         """Schedule ``count`` snapshots at a fixed cadence; returns their
         epochs (the measurement-campaign primitive used throughout §8)."""
         if count < 1:
@@ -191,9 +192,11 @@ class SnapshotObserver:
                               self._check_progress, epoch)
             return
         # Out of retries: exclude devices that never reported anything.
+        # Sorted so the exclusion order (and any log/audit keyed on it)
+        # is independent of the hash seed.
         silent = {u.device for u in snapshot.missing_units}
         reported = {u.device for u in snapshot.records}
-        for device in silent - reported:
+        for device in sorted(silent - reported):
             snapshot.exclude_device(device)
         if snapshot.complete:
             snapshot.status = SnapshotStatus.COMPLETE
@@ -208,7 +211,7 @@ class SnapshotObserver:
     def snapshot(self, epoch: int) -> GlobalSnapshot:
         return self.snapshots[epoch]
 
-    def completed_snapshots(self, require_consistent: bool = False) -> List[GlobalSnapshot]:
+    def completed_snapshots(self, require_consistent: bool = False) -> list[GlobalSnapshot]:
         """All COMPLETE snapshots, in epoch order."""
         result = [s for _e, s in sorted(self.snapshots.items())
                   if s.status is SnapshotStatus.COMPLETE]

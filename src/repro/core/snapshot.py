@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
 
 from repro.core.control_plane import UnitSnapshotRecord
 from repro.sim.switch import Direction, UnitId
@@ -32,9 +31,9 @@ class GlobalSnapshot:
 
     epoch: int
     requested_wall_ns: int
-    expected_units: Set[UnitId]
-    records: Dict[UnitId, UnitSnapshotRecord] = field(default_factory=dict)
-    excluded_devices: Set[str] = field(default_factory=set)
+    expected_units: set[UnitId]
+    records: dict[UnitId, UnitSnapshotRecord] = field(default_factory=dict)
+    excluded_devices: set[str] = field(default_factory=set)
     status: SnapshotStatus = SnapshotStatus.PENDING
     retries: int = 0
 
@@ -57,7 +56,7 @@ class GlobalSnapshot:
                         if u.device != device}
 
     @property
-    def missing_units(self) -> Set[UnitId]:
+    def missing_units(self) -> set[UnitId]:
         return self.expected_units - set(self.records)
 
     @property
@@ -101,10 +100,10 @@ class GlobalSnapshot:
         record = self.records[UnitId(device, port, direction)]
         return record.value
 
-    def values_by_unit(self) -> Dict[UnitId, int]:
+    def values_by_unit(self) -> dict[UnitId, int]:
         return {u: r.value for u, r in self.records.items()}
 
-    def device_records(self, device: str) -> List[UnitSnapshotRecord]:
+    def device_records(self, device: str) -> list[UnitSnapshotRecord]:
         return [r for u, r in sorted(self.records.items(),
                                      key=lambda kv: (kv[0].device, kv[0].port,
                                                      kv[0].direction.value))

@@ -21,7 +21,7 @@ supports the collection of any variable accessible from the data plane"
 from __future__ import annotations
 
 import math
-from typing import Callable
+from collections.abc import Callable
 
 from repro.counters.base import Counter, register_counter
 from repro.lb.ecmp import flow_hash

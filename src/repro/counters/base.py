@@ -21,7 +21,7 @@ with a string.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict
+from collections.abc import Callable
 
 from repro.sim.packet import Packet
 
@@ -43,7 +43,7 @@ class Counter(abc.ABC):
 
 #: Metric name -> factory.  Factories take no arguments; per-unit context
 #: (e.g. which queue a depth counter watches) is bound by the deployment.
-COUNTER_REGISTRY: Dict[str, Callable[[], Counter]] = {}
+COUNTER_REGISTRY: dict[str, Callable[[], Counter]] = {}
 
 
 def register_counter(name: str, factory: Callable[[], Counter]) -> None:

@@ -15,7 +15,7 @@ question 4) that asynchronous readings cannot rule out.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.counters.base import Counter
 from repro.sim.packet import Packet

@@ -13,7 +13,7 @@ normal configuration.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.counters.base import Counter
 from repro.sim.packet import Packet

@@ -39,7 +39,8 @@ ablations   ideal-vs-speedlight data plane; multi- vs single-initiator
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from collections.abc import Callable, Sequence
+from typing import Optional
 
 from repro.experiments import harness
 from repro.runtime import TrialResult, TrialRunner, TrialSpec
@@ -58,18 +59,19 @@ class Experiment:
     name: str
     description: str
     config_cls: type
-    specs: Callable[[object], List[TrialSpec]]
+    specs: Callable[[object], list[TrialSpec]]
     assemble: Callable[[object, Sequence[TrialResult]], object]
 
     def config(self, quick: bool = False) -> object:
         return self.config_cls.quick() if quick else self.config_cls()
 
-    def run(self, config: object, runner: TrialRunner = None) -> object:
+    def run(self, config: object,
+            runner: Optional[TrialRunner] = None) -> object:
         runner = runner or TrialRunner()
         return self.assemble(config, runner.run_batch(self.specs(config)))
 
 
-def registry() -> Dict[str, Experiment]:
+def registry() -> dict[str, Experiment]:
     """All paper experiments, in presentation order.
 
     Imports lazily so ``import repro.experiments`` (and light CLI

@@ -22,7 +22,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.analysis.stats import Cdf
 from repro.core import (ControlPlaneConfig, DeploymentConfig, ObserverConfig,
@@ -62,7 +63,7 @@ class IdealVsSpeedlightConfig:
 class IdealVsSpeedlightResult:
     config: IdealVsSpeedlightConfig
     #: data-plane kind -> (complete, consistent) snapshot counts.
-    outcomes: Dict[str, Dict[str, int]]
+    outcomes: dict[str, dict[str, int]]
 
     def report(self) -> str:
         table = TextTable(["Data plane", "Complete", "Consistent",
@@ -81,7 +82,7 @@ class IdealVsSpeedlightResult:
             "Speedlight must discard intermediate epochs as inconsistent."])
 
 
-def _run_starved(config: IdealVsSpeedlightConfig, ideal: bool) -> Dict[str, int]:
+def _run_starved(config: IdealVsSpeedlightConfig, ideal: bool) -> dict[str, int]:
     network = Network(leaf_spine(hosts_per_leaf=1),
                       NetworkConfig(seed=config.seed))
     duration = 30 * MS + config.snapshots * config.interval_ns + 300 * MS
@@ -113,7 +114,7 @@ def _run_starved(config: IdealVsSpeedlightConfig, ideal: bool) -> Dict[str, int]
     return {"complete": complete, "consistent": consistent}
 
 
-def ideal_specs(config: IdealVsSpeedlightConfig) -> List[TrialSpec]:
+def ideal_specs(config: IdealVsSpeedlightConfig) -> list[TrialSpec]:
     """One spec per data-plane kind (speedlight, ideal)."""
     return [TrialSpec(kind="ablation_ideal",
                       params=dict(kind=kind, snapshots=config.snapshots,
@@ -144,8 +145,9 @@ def ideal_assemble(config: IdealVsSpeedlightConfig,
 
 
 def run_ideal_vs_speedlight(
-        config: IdealVsSpeedlightConfig = IdealVsSpeedlightConfig(),
+        config: Optional[IdealVsSpeedlightConfig] = None,
         runner: Optional[TrialRunner] = None) -> IdealVsSpeedlightResult:
+    config = config or IdealVsSpeedlightConfig()
     runner = runner or TrialRunner()
     return ideal_assemble(config, runner.run_batch(ideal_specs(config)))
 
@@ -188,7 +190,7 @@ class InitiationResult:
 
 
 def _sync_samples(config: InitiationConfig,
-                  initiators: Optional[List[str]]) -> List[float]:
+                  initiators: Optional[list[str]]) -> list[float]:
     network = Network(leaf_spine(hosts_per_leaf=1),
                       NetworkConfig(seed=config.seed))
     duration = 30 * MS + config.snapshots * config.interval_ns + 200 * MS
@@ -204,7 +206,7 @@ def _sync_samples(config: InitiationConfig,
     return [float(s) for s in spreads if s is not None]
 
 
-def initiation_specs(config: InitiationConfig) -> List[TrialSpec]:
+def initiation_specs(config: InitiationConfig) -> list[TrialSpec]:
     """One spec per initiation strategy."""
     return [TrialSpec(kind="ablation_initiation",
                       params=dict(strategy=strategy,
@@ -234,8 +236,9 @@ def initiation_assemble(config: InitiationConfig,
 
 
 def run_initiation_strategies(
-        config: InitiationConfig = InitiationConfig(),
+        config: Optional[InitiationConfig] = None,
         runner: Optional[TrialRunner] = None) -> InitiationResult:
+    config = config or InitiationConfig()
     runner = runner or TrialRunner()
     return initiation_assemble(config,
                                runner.run_batch(initiation_specs(config)))
@@ -262,11 +265,11 @@ class TransportConfig:
 class TransportResult:
     config: TransportConfig
     #: transport -> max sustained snapshot rate (Hz), bulk regime.
-    max_rate_hz: Dict[str, float]
+    max_rate_hz: dict[str, float]
     #: transport -> median snapshot completion latency on a small
     #: (sparse-notification) switch — the latency-sensitive regime
     #: snapshot progress tracking lives in.
-    completion_ns: Dict[str, float]
+    completion_ns: dict[str, float]
 
     def report(self) -> str:
         table = TextTable(["Transport", "Max rate (Hz, 32 ports)",
@@ -308,7 +311,7 @@ def _transport_completion(config: TransportConfig, transport: str) -> float:
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count", channel_state=False,
         control_plane=_transport_cp_config(transport)))
-    finish_times: Dict[int, int] = {}
+    finish_times: dict[int, int] = {}
     deployment.observer.on_complete(
         lambda snap: finish_times.setdefault(snap.epoch, network.sim.now))
     epochs = deployment.schedule_campaign(config.snapshots,
@@ -326,7 +329,7 @@ def _transport_completion(config: TransportConfig, transport: str) -> float:
     return float(latencies[len(latencies) // 2])
 
 
-def transport_specs(config: TransportConfig) -> List[TrialSpec]:
+def transport_specs(config: TransportConfig) -> list[TrialSpec]:
     """One spec per (transport, measurement) — four-way parallel."""
     return [TrialSpec(kind="ablation_transport",
                       params=dict(transport=transport, measure=measure,
@@ -352,8 +355,8 @@ def run_transport_trial(spec: TrialSpec) -> TrialResult:
 
 def transport_assemble(config: TransportConfig,
                        results: Sequence[TrialResult]) -> TransportResult:
-    max_rate_hz: Dict[str, float] = {}
-    completion_ns: Dict[str, float] = {}
+    max_rate_hz: dict[str, float] = {}
+    completion_ns: dict[str, float] = {}
     for r in results:
         bucket = (max_rate_hz if r.params["measure"] == "rate"
                   else completion_ns)
@@ -363,8 +366,9 @@ def transport_assemble(config: TransportConfig,
 
 
 def run_notification_transports(
-        config: TransportConfig = TransportConfig(),
+        config: Optional[TransportConfig] = None,
         runner: Optional[TrialRunner] = None) -> TransportResult:
+    config = config or TransportConfig()
     runner = runner or TrialRunner()
     return transport_assemble(config,
                               runner.run_batch(transport_specs(config)))

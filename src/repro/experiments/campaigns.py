@@ -17,7 +17,8 @@ traffic start, and the campaign time window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Optional
 
 from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
 from repro.lb import EcmpBalancer, FlowletBalancer
@@ -36,8 +37,8 @@ from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
 
 #: Target = (switch, port, direction); a measurement round maps each
 #: target to the metric value observed for it.
-Target = Tuple[str, int, Direction]
-Round = Dict[Target, int]
+Target = tuple[str, int, Direction]
+Round = dict[Target, int]
 
 
 # ----------------------------------------------------------------------
@@ -150,9 +151,9 @@ def build_network(spec: CampaignSpec) -> Network:
                       lb_factory=make_balancer_factory(spec.balancer)))
 
 
-def uplink_egress_targets(network: Network) -> List[Target]:
+def uplink_egress_targets(network: Network) -> list[Target]:
     """The leaf uplink egress units — Figure 12's measurement points."""
-    targets: List[Target] = []
+    targets: list[Target] = []
     for leaf in sorted(network.switches):
         if not leaf.startswith("leaf"):
             continue
@@ -161,9 +162,9 @@ def uplink_egress_targets(network: Network) -> List[Target]:
     return targets
 
 
-def all_egress_targets(network: Network) -> List[Target]:
+def all_egress_targets(network: Network) -> list[Target]:
     """Egress units of every connected leaf port — Figure 13's points."""
-    targets: List[Target] = []
+    targets: list[Target] = []
     for name in sorted(network.switches):
         if not name.startswith("leaf"):
             continue
@@ -173,7 +174,7 @@ def all_egress_targets(network: Network) -> List[Target]:
 
 
 def snapshot_campaign(spec: CampaignSpec,
-                      target_fn: Callable[[Network], List[Target]]) -> List[Round]:
+                      target_fn: Callable[[Network], list[Target]]) -> list[Round]:
     """Collect rounds via synchronized snapshots (no channel state —
     both EWMA metrics are gauges)."""
     network = build_network(spec)
@@ -187,7 +188,7 @@ def snapshot_campaign(spec: CampaignSpec,
     epochs = deployment.schedule_campaign(spec.rounds, spec.interval_ns)
     last_wall = deployment.observer.snapshot(epochs[-1]).requested_wall_ns
     network.run(until=last_wall + spec.settle_ns)
-    rounds: List[Round] = []
+    rounds: list[Round] = []
     for epoch in epochs:
         snap = deployment.observer.snapshot(epoch)
         if not snap.complete:
@@ -198,7 +199,7 @@ def snapshot_campaign(spec: CampaignSpec,
 
 
 def polling_campaign(spec: CampaignSpec,
-                     target_fn: Callable[[Network], List[Target]]) -> List[Round]:
+                     target_fn: Callable[[Network], list[Target]]) -> list[Round]:
     """Collect the same rounds via the sequential polling baseline."""
     network = build_network(spec)
     workload = make_workload(spec.workload, network, seed=spec.seed + 1,
@@ -217,19 +218,19 @@ def polling_campaign(spec: CampaignSpec,
     network.sim.schedule(spec.warmup_ns, poller.run_campaign,
                          spec.rounds, spec.interval_ns)
     network.run(until=spec.duration_ns)
-    rounds: List[Round] = []
+    rounds: list[Round] = []
     for round_ in poller.complete_rounds:
         rounds.append({(s.target.switch, s.target.port, s.target.direction):
                        s.value for s in round_.samples})
     return rounds
 
 
-def rounds_to_balance_input(rounds: List[Round]) -> List[Dict[str, Dict[int, float]]]:
+def rounds_to_balance_input(rounds: list[Round]) -> list[dict[str, dict[int, float]]]:
     """Regroup rounds for :func:`repro.analysis.stats.balance_stddevs`:
     per round, per switch, per port → value."""
     out = []
     for round_ in rounds:
-        by_switch: Dict[str, Dict[int, float]] = {}
+        by_switch: dict[str, dict[int, float]] = {}
         for (sw, port, _d), value in round_.items():
             by_switch.setdefault(sw, {})[port] = float(value)
         out.append(by_switch)

@@ -31,7 +31,8 @@ schedule, invalidate the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any, Optional
 
 from repro.analysis.consistency import ConsistencyChecker
 from repro.analysis.invariants import LinkAudit
@@ -55,13 +56,13 @@ DEFAULT_KINDS = ["link_down", "link_loss", "link_delay", "queue_squeeze",
 class FaultsConfig:
     seed: int = 42
     #: Expected fault events per (kind, target) over the campaign window.
-    intensities: List[float] = field(
+    intensities: list[float] = field(
         default_factory=lambda: [0.0, 0.25, 0.5, 1.0])
     rounds: int = 12
     interval_ns: int = 5 * MS
     rate_pps: float = 20_000.0
     hosts_per_leaf: int = 1
-    kinds: List[str] = field(default_factory=lambda: list(DEFAULT_KINDS))
+    kinds: list[str] = field(default_factory=lambda: list(DEFAULT_KINDS))
     mean_fault_duration_ns: int = 5 * MS
 
     @classmethod
@@ -72,7 +73,7 @@ class FaultsConfig:
 @dataclass
 class FaultsResult:
     config: FaultsConfig
-    rows: Dict[float, Dict[str, Any]]
+    rows: dict[float, dict[str, Any]]
 
     @property
     def all_audits_ok(self) -> bool:
@@ -127,7 +128,7 @@ def _profile_for(config: FaultsConfig, intensity: float) -> FaultSchedule:
         mean_duration_ns=config.mean_fault_duration_ns)
 
 
-def specs(config: FaultsConfig) -> List[TrialSpec]:
+def specs(config: FaultsConfig) -> list[TrialSpec]:
     """One spec per fault intensity; the compiled schedule rides in the
     params, so the fault profile is part of the cache fingerprint."""
     return [TrialSpec(kind="faults_sweep",
@@ -205,8 +206,9 @@ def assemble(config: FaultsConfig,
                               for r in results})
 
 
-def run(config: FaultsConfig = FaultsConfig(),
+def run(config: Optional[FaultsConfig] = None,
         runner: Optional[TrialRunner] = None) -> FaultsResult:
+    config = config or FaultsConfig()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 

@@ -20,7 +20,8 @@ result).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core import (ControlPlaneConfig, DeploymentConfig, ObserverConfig,
                         SpeedlightDeployment)
@@ -34,7 +35,7 @@ from repro.topology import single_switch
 @dataclass
 class Fig10Config:
     seed: int = 42
-    port_counts: List[int] = field(default_factory=lambda: [4, 8, 16, 32, 64])
+    port_counts: list[int] = field(default_factory=lambda: [4, 8, 16, 32, 64])
     #: Snapshots per probe burst (long enough for backlog growth to show).
     burst: int = 40
     #: Binary-search iterations (resolution ~ range / 2^iters).
@@ -50,7 +51,7 @@ class Fig10Config:
 @dataclass
 class Fig10Result:
     config: Fig10Config
-    max_rate_hz: Dict[int, float]
+    max_rate_hz: dict[int, float]
 
     def report(self) -> str:
         table = TextTable(["Ports/Router", "Max sustained rate (Hz)",
@@ -69,7 +70,7 @@ class Fig10Result:
 # Trial decomposition
 # ----------------------------------------------------------------------
 
-def specs(config: Fig10Config) -> List[TrialSpec]:
+def specs(config: Fig10Config) -> list[TrialSpec]:
     """One spec per port count (one full knee search each)."""
     return [TrialSpec(kind="fig10",
                       params=dict(ports=ports, burst=config.burst,
@@ -98,8 +99,9 @@ def assemble(config: Fig10Config,
                                     for r in results})
 
 
-def run(config: Fig10Config = Fig10Config(),
+def run(config: Optional[Fig10Config] = None,
         runner: Optional[TrialRunner] = None) -> Fig10Result:
+    config = config or Fig10Config()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 

@@ -34,7 +34,8 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core.control_plane import ControlPlaneConfig
 from repro.experiments.harness import TextTable, header
@@ -46,7 +47,7 @@ from repro.sim.clock import PTPConfig
 @dataclass
 class Fig11Config:
     seed: int = 42
-    router_counts: List[int] = field(
+    router_counts: list[int] = field(
         default_factory=lambda: [10, 30, 100, 300, 1000, 3000, 10000])
     ports_per_router: int = 64
     trials: int = 40
@@ -61,7 +62,7 @@ class Fig11Config:
 @dataclass
 class Fig11Result:
     config: Fig11Config
-    avg_sync_ns: Dict[int, float]
+    avg_sync_ns: dict[int, float]
 
     def report(self) -> str:
         table = TextTable(["Routers", "Avg synchronization (us)"])
@@ -81,7 +82,7 @@ class Fig11Result:
 # Trial decomposition
 # ----------------------------------------------------------------------
 
-def specs(config: Fig11Config) -> List[TrialSpec]:
+def specs(config: Fig11Config) -> list[TrialSpec]:
     """One spec per network size."""
     return [TrialSpec(kind="fig11",
                       params=dict(routers=n, trials=config.trials,
@@ -112,8 +113,9 @@ def assemble(config: Fig11Config,
                                     for r in results})
 
 
-def run(config: Fig11Config = Fig11Config(),
+def run(config: Optional[Fig11Config] = None,
         runner: Optional[TrialRunner] = None) -> Fig11Result:
+    config = config or Fig11Config()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 

@@ -24,7 +24,8 @@ campaign, hence an independent trial spec — up to twelve-way parallel.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.analysis.stats import Cdf, balance_stddevs
 from repro.experiments.campaigns import (CampaignSpec, polling_campaign,
@@ -45,7 +46,7 @@ class Fig12Config:
     seed: int = 42
     rounds: int = 60
     interval_ns: int = 5 * MS
-    workloads: Tuple[str, ...] = WORKLOADS
+    workloads: tuple[str, ...] = WORKLOADS
 
     @classmethod
     def quick(cls) -> "Fig12Config":
@@ -56,7 +57,7 @@ class Fig12Config:
 class Fig12Result:
     config: Fig12Config
     #: (workload, balancer, method) -> CDF of balance stddevs (ns).
-    cdfs: Dict[Tuple[str, str, str], Cdf]
+    cdfs: dict[tuple[str, str, str], Cdf]
 
     def report(self) -> str:
         lines = [header("Figure 12 — stddev of uplink load balance",
@@ -87,7 +88,7 @@ class Fig12Result:
 # Trial decomposition
 # ----------------------------------------------------------------------
 
-def specs(config: Fig12Config) -> List[TrialSpec]:
+def specs(config: Fig12Config) -> list[TrialSpec]:
     """One spec per (workload, balancer, method) campaign."""
     out = []
     for workload in config.workloads:
@@ -127,8 +128,9 @@ def assemble(config: Fig12Config,
     return Fig12Result(config=config, cdfs=cdfs)
 
 
-def run(config: Fig12Config = Fig12Config(),
+def run(config: Optional[Fig12Config] = None,
         runner: Optional[TrialRunner] = None) -> Fig12Result:
+    config = config or Fig12Config()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 

@@ -21,7 +21,8 @@ matrices are computed at assembly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.analysis.stats import (CorrelationResult, significant_fraction,
                                   spearman_matrix)
@@ -56,7 +57,7 @@ class Fig13Result:
     snapshots: CorrelationResult
     polling: CorrelationResult
     master_port: str
-    uplink_pairs: List[Tuple[str, str]]
+    uplink_pairs: list[tuple[str, str]]
 
     # ------------------------------------------------------------------
     # Derived metrics (the quantities §8.4 reports)
@@ -81,7 +82,7 @@ class Fig13Result:
         return sum(1 for (a, b) in result.significant(self.config.alpha)
                    if self.master_port in (a, b))
 
-    def ecmp_pair_status(self, method: str) -> List[str]:
+    def ecmp_pair_status(self, method: str) -> list[str]:
         """Per uplink pair: 'positive', 'negative', or 'insignificant'."""
         result = self.snapshots if method == "snapshots" else self.polling
         out = []
@@ -129,7 +130,7 @@ def _campaign_spec(config: Fig13Config) -> CampaignSpec:
                         poll_parallel_switches=False)
 
 
-def specs(config: Fig13Config) -> List[TrialSpec]:
+def specs(config: Fig13Config) -> list[TrialSpec]:
     """One spec per collection method."""
     return [TrialSpec(kind="fig13",
                       params=dict(method=method, rounds=config.rounds,
@@ -161,14 +162,15 @@ def assemble(config: Fig13Config,
         uplink_pairs=uplink_pairs)
 
 
-def run(config: Fig13Config = Fig13Config(),
+def run(config: Optional[Fig13Config] = None,
         runner: Optional[TrialRunner] = None) -> Fig13Result:
+    config = config or Fig13Config()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 
 
-def _series_from_rounds(rounds: List[Round]) -> Dict[str, List[float]]:
-    series: Dict[str, List[float]] = {}
+def _series_from_rounds(rounds: list[Round]) -> dict[str, list[float]]:
+    series: dict[str, list[float]] = {}
     for round_ in rounds:
         for (sw, port, _d), value in round_.items():
             series.setdefault(f"{sw}:{port}", []).append(float(value))
@@ -178,7 +180,7 @@ def _series_from_rounds(rounds: List[Round]) -> Dict[str, List[float]]:
     return series
 
 
-def _context(config: Fig13Config) -> Tuple[str, List[Tuple[str, str]]]:
+def _context(config: Fig13Config) -> tuple[str, list[tuple[str, str]]]:
     """Master port name and uplink pair names, from the topology."""
     network = Network(leaf_spine(), NetworkConfig(seed=config.seed))
     master_leaf = None

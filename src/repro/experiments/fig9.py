@@ -25,7 +25,8 @@ independently (and in parallel under ``--jobs``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.analysis.stats import Cdf
 from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
@@ -96,7 +97,7 @@ class Fig9Result:
 # Trial decomposition
 # ----------------------------------------------------------------------
 
-def specs(config: Fig9Config) -> List[TrialSpec]:
+def specs(config: Fig9Config) -> list[TrialSpec]:
     """One spec per series (the three CDFs are independent trials)."""
     out = []
     for series, offset in SERIES:
@@ -133,8 +134,9 @@ def assemble(config: Fig9Config,
                       sync_cs=cdfs["channel_state"], polling=cdfs["polling"])
 
 
-def run(config: Fig9Config = Fig9Config(),
+def run(config: Optional[Fig9Config] = None,
         runner: Optional[TrialRunner] = None) -> Fig9Result:
+    config = config or Fig9Config()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 
@@ -144,7 +146,7 @@ def run(config: Fig9Config = Fig9Config(),
 # ----------------------------------------------------------------------
 
 def _snapshot_series(config: Fig9Config, channel_state: bool,
-                     seed_offset: int) -> List[int]:
+                     seed_offset: int) -> list[int]:
     network = poisson_network(config.seed + seed_offset,
                               hosts_per_leaf=config.hosts_per_leaf)
     duration = campaign_window(config.rounds, config.interval_ns)
@@ -162,7 +164,7 @@ def _snapshot_series(config: Fig9Config, channel_state: bool,
     return samples
 
 
-def _polling_series(config: Fig9Config, seed_offset: int) -> List[int]:
+def _polling_series(config: Fig9Config, seed_offset: int) -> list[int]:
     network = poisson_network(config.seed + seed_offset,
                               hosts_per_leaf=config.hosts_per_leaf)
     duration = campaign_window(config.rounds, config.interval_ns)

@@ -4,7 +4,7 @@ campaign helpers."""
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.analysis.stats import Cdf
 from repro.core.deployment import SpeedlightDeployment
@@ -16,7 +16,7 @@ class TextTable:
 
     def __init__(self, columns: Sequence[str]) -> None:
         self.columns = list(columns)
-        self.rows: List[List[str]] = []
+        self.rows: list[list[str]] = []
 
     def add(self, *cells) -> None:
         if len(cells) != len(self.columns):
@@ -38,11 +38,11 @@ class TextTable:
         def line(cells: Sequence[str]) -> str:
             return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
         sep = "  ".join("-" * w for w in widths)
-        return "\n".join([line(self.columns), sep] +
-                         [line(r) for r in self.rows])
+        return "\n".join([line(self.columns), sep,
+                          *(line(r) for r in self.rows)])
 
 
-def ascii_cdf(curves: Dict[str, Cdf], width: int = 64, height: int = 12,
+def ascii_cdf(curves: dict[str, Cdf], width: int = 64, height: int = 12,
               log_x: bool = True, x_label: str = "",
               x_scale: float = 1.0) -> str:
     """Render one or more CDFs as an ASCII plot (the paper's figures are
@@ -80,7 +80,7 @@ def ascii_cdf(curves: Dict[str, Cdf], width: int = 64, height: int = 12,
             return min(width - 1, max(0, int(t * (width - 1))))
 
     grid = [[" "] * width for _ in range(height)]
-    for index, (label, cdf) in enumerate(sorted(curves.items())):
+    for index, (_label, cdf) in enumerate(sorted(curves.items())):
         glyph = glyphs[index % len(glyphs)]
         for row in range(height):
             fraction = (row + 0.5) / height  # bottom row ~ small fractions

@@ -27,7 +27,8 @@ gap for both — the motivating failure, quantified.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -72,9 +73,9 @@ class MotivationConfig:
 class MotivationResult:
     config: MotivationConfig
     #: (regime, method) -> mean |depth_x - depth_y| (packets).
-    mean_gap: Dict[Tuple[str, str], float]
+    mean_gap: dict[tuple[str, str], float]
     #: (regime, method) -> mean depth_x + depth_y (load sanity check).
-    mean_total: Dict[Tuple[str, str], float]
+    mean_total: dict[tuple[str, str], float]
 
     def separation(self, method: str) -> float:
         """Measured unbalanced-to-balanced gap ratio: ~1 means the
@@ -143,7 +144,7 @@ def _drive_traffic(network: Network, config: MotivationConfig,
 
 
 def _measure(config: MotivationConfig, alternating: bool,
-             method: str) -> Tuple[float, float]:
+             method: str) -> tuple[float, float]:
     network = Network(single_switch(num_hosts=6,
                                     host_bw_bps=config.host_bw_bps),
                       NetworkConfig(seed=config.seed))
@@ -152,7 +153,7 @@ def _measure(config: MotivationConfig, alternating: bool,
     x_port = network.port_toward("sw0", "server2")
     y_port = network.port_toward("sw0", "server3")
 
-    pairs: List[Tuple[float, float]] = []
+    pairs: list[tuple[float, float]] = []
     if method == "snapshots":
         deployment = SpeedlightDeployment(network, DeploymentConfig(
             metric="queue_depth",
@@ -190,7 +191,7 @@ def _measure(config: MotivationConfig, alternating: bool,
 # Trial decomposition
 # ----------------------------------------------------------------------
 
-def specs(config: MotivationConfig) -> List[TrialSpec]:
+def specs(config: MotivationConfig) -> list[TrialSpec]:
     """One spec per (regime, method) measurement."""
     out = []
     for regime in REGIMES:
@@ -223,8 +224,8 @@ def run_trial(spec: TrialSpec) -> TrialResult:
 
 def assemble(config: MotivationConfig,
              results: Sequence[TrialResult]) -> MotivationResult:
-    mean_gap: Dict[Tuple[str, str], float] = {}
-    mean_total: Dict[Tuple[str, str], float] = {}
+    mean_gap: dict[tuple[str, str], float] = {}
+    mean_total: dict[tuple[str, str], float] = {}
     for r in results:
         key = (r.params["regime"], r.params["method"])
         mean_gap[key] = r.data["mean_gap"]
@@ -233,8 +234,9 @@ def assemble(config: MotivationConfig,
                             mean_total=mean_total)
 
 
-def run(config: MotivationConfig = MotivationConfig(),
+def run(config: Optional[MotivationConfig] = None,
         runner: Optional[TrialRunner] = None) -> MotivationResult:
+    config = config or MotivationConfig()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 

@@ -21,7 +21,8 @@ claims ("control planes are responsible for their own switch").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.analysis.stats import Cdf
 from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
@@ -37,7 +38,7 @@ class ScalingConfig:
     seed: int = 42
     #: Fat-tree arities to instantiate (k=4 -> 20 switches, k=6 -> 45,
     #: k=8 -> 80).
-    arities: List[int] = field(default_factory=lambda: [4, 6, 8])
+    arities: list[int] = field(default_factory=lambda: [4, 6, 8])
     snapshots: int = 15
     interval_ns: int = 10 * MS
 
@@ -60,7 +61,7 @@ class ScalingPoint:
 @dataclass
 class ScalingResult:
     config: ScalingConfig
-    points: Dict[int, ScalingPoint]  # arity -> measurements
+    points: dict[int, ScalingPoint]  # arity -> measurements
 
     def report(self) -> str:
         table = TextTable(["k", "Switches", "Units", "Sync p50 (us)",
@@ -88,7 +89,7 @@ class ScalingResult:
 # Trial decomposition
 # ----------------------------------------------------------------------
 
-def specs(config: ScalingConfig) -> List[TrialSpec]:
+def specs(config: ScalingConfig) -> list[TrialSpec]:
     """One spec per fat-tree arity."""
     return [TrialSpec(kind="scaling",
                       params=dict(arity=arity, snapshots=config.snapshots,
@@ -128,8 +129,9 @@ def assemble(config: ScalingConfig,
     return ScalingResult(config=config, points=points)
 
 
-def run(config: ScalingConfig = ScalingConfig(),
+def run(config: Optional[ScalingConfig] = None,
         runner: Optional[TrialRunner] = None) -> ScalingResult:
+    config = config or ScalingConfig()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 
@@ -139,7 +141,7 @@ def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count",
         observer=ObserverConfig(lead_time_ns=10 * MS)))
-    finish: Dict[int, int] = {}
+    finish: dict[int, int] = {}
     deployment.observer.on_complete(
         lambda snap: finish.setdefault(snap.epoch, network.sim.now))
     epochs = deployment.schedule_campaign(config.snapshots,

@@ -24,7 +24,8 @@ cache like every figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
 from repro.experiments.campaigns import poisson_network, start_poisson
@@ -42,7 +43,7 @@ from repro.sim.engine import MS, US
 class ServiceCostSweepConfig:
     seed: int = 42
     ports: int = 16
-    service_costs_ns: List[int] = field(
+    service_costs_ns: list[int] = field(
         default_factory=lambda: [55 * US, 110 * US, 220 * US, 440 * US])
     burst: int = 25
     search_iterations: int = 7
@@ -55,7 +56,7 @@ class ServiceCostSweepConfig:
 @dataclass
 class ServiceCostSweepResult:
     config: ServiceCostSweepConfig
-    max_rate_hz: Dict[int, float]
+    max_rate_hz: dict[int, float]
 
     def model_rate_hz(self, service_ns: int) -> float:
         """The analytical knee: one CPU, two notifications per port."""
@@ -74,7 +75,7 @@ class ServiceCostSweepResult:
             table.render()])
 
 
-def service_cost_specs(config: ServiceCostSweepConfig) -> List[TrialSpec]:
+def service_cost_specs(config: ServiceCostSweepConfig) -> list[TrialSpec]:
     """One spec per service cost (one full knee search each)."""
     return [TrialSpec(kind="sweep_service_cost",
                       params=dict(cost_ns=cost, ports=config.ports,
@@ -111,8 +112,9 @@ def service_cost_assemble(
 
 
 def run_service_cost_sweep(
-        config: ServiceCostSweepConfig = ServiceCostSweepConfig(),
+        config: Optional[ServiceCostSweepConfig] = None,
         runner: Optional[TrialRunner] = None) -> ServiceCostSweepResult:
+    config = config or ServiceCostSweepConfig()
     runner = runner or TrialRunner()
     return service_cost_assemble(config,
                                  runner.run_batch(service_cost_specs(config)))
@@ -128,7 +130,7 @@ class PtpSweepConfig:
     rounds: int = 30
     interval_ns: int = 2 * MS
     #: From datacenter PTP (1.5 us) up to LAN NTP (1 ms), §2.1's range.
-    residual_sigmas_ns: List[int] = field(
+    residual_sigmas_ns: list[int] = field(
         default_factory=lambda: [1_500, 15_000, 150_000, 1_000_000])
 
     @classmethod
@@ -139,7 +141,7 @@ class PtpSweepConfig:
 @dataclass
 class PtpSweepResult:
     config: PtpSweepConfig
-    sync_median_ns: Dict[int, float]
+    sync_median_ns: dict[int, float]
 
     def report(self) -> str:
         table = TextTable(["Clock residual sigma (us)",
@@ -154,7 +156,7 @@ class PtpSweepResult:
             "the microsecond guarantee, as the paper argues."])
 
 
-def ptp_specs(config: PtpSweepConfig) -> List[TrialSpec]:
+def ptp_specs(config: PtpSweepConfig) -> list[TrialSpec]:
     """One spec per clock-residual sigma."""
     return [TrialSpec(kind="sweep_ptp",
                       params=dict(sigma_ns=sigma, rounds=config.rounds,
@@ -187,8 +189,9 @@ def ptp_assemble(config: PtpSweepConfig,
                         for r in results})
 
 
-def run_ptp_sweep(config: PtpSweepConfig = PtpSweepConfig(),
+def run_ptp_sweep(config: Optional[PtpSweepConfig] = None,
                   runner: Optional[TrialRunner] = None) -> PtpSweepResult:
+    config = config or PtpSweepConfig()
     runner = runner or TrialRunner()
     return ptp_assemble(config, runner.run_batch(ptp_specs(config)))
 
@@ -202,7 +205,7 @@ class RateSweepConfig:
     seed: int = 42
     rounds: int = 25
     interval_ns: int = 2 * MS
-    rates_pps: List[float] = field(
+    rates_pps: list[float] = field(
         default_factory=lambda: [30_000.0, 100_000.0, 300_000.0])
 
     @classmethod
@@ -213,7 +216,7 @@ class RateSweepConfig:
 @dataclass
 class RateSweepResult:
     config: RateSweepConfig
-    sync_median_ns: Dict[float, float]
+    sync_median_ns: dict[float, float]
 
     def report(self) -> str:
         table = TextTable(["Per-pair rate (kpps)",
@@ -227,7 +230,7 @@ class RateSweepResult:
             table.render()])
 
 
-def rate_specs(config: RateSweepConfig) -> List[TrialSpec]:
+def rate_specs(config: RateSweepConfig) -> list[TrialSpec]:
     """One spec per traffic rate."""
     return [TrialSpec(kind="sweep_rate",
                       params=dict(rate_pps=rate, rounds=config.rounds,
@@ -263,8 +266,9 @@ def rate_assemble(config: RateSweepConfig,
                         for r in results})
 
 
-def run_rate_sweep(config: RateSweepConfig = RateSweepConfig(),
+def run_rate_sweep(config: Optional[RateSweepConfig] = None,
                    runner: Optional[TrialRunner] = None) -> RateSweepResult:
+    config = config or RateSweepConfig()
     runner = runner or TrialRunner()
     return rate_assemble(config, runner.run_batch(rate_specs(config)))
 

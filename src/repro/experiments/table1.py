@@ -9,7 +9,8 @@ than 25% of any dedicated resource" utilization claim.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from repro.experiments.harness import TextTable, header
 from repro.resources import TOFINO_1, ResourceReport, Variant, estimate
@@ -18,7 +19,7 @@ from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, tria
 #: The published Table 1 numbers (64-port configuration), used by the
 #: report to show paper-vs-model side by side and by the test suite to
 #: pin the model.
-PAPER_TABLE1: Dict[Variant, Dict[str, float]] = {
+PAPER_TABLE1: dict[Variant, dict[str, float]] = {
     Variant.PACKET_COUNT: dict(stateless_alus=17, stateful_alus=9,
                                table_ids=27, gateways=15, stages=10,
                                sram_kb=606, tcam_kb=42),
@@ -45,7 +46,7 @@ class Table1Config:
 
 @dataclass
 class Table1Result:
-    reports: Dict[Variant, ResourceReport]
+    reports: dict[Variant, ResourceReport]
     report_14port: ResourceReport
 
     def report(self) -> str:
@@ -58,8 +59,8 @@ class Table1Result:
             ("SRAM (KB)", "sram_kb"),
             ("TCAM (KB)", "tcam_kb"),
         ]
-        table = TextTable(["Resource"] + [v.label for v in Variant] +
-                          ["(paper)"])
+        table = TextTable(["Resource", *(v.label for v in Variant),
+                           "(paper)"])
         for label, attr in rows:
             cells = [label]
             for variant in Variant:
@@ -88,19 +89,19 @@ class Table1Result:
 # of the suite so Table 1 caches and batches like every figure)
 # ----------------------------------------------------------------------
 
-def _report_to_data(report: ResourceReport) -> Dict[str, object]:
+def _report_to_data(report: ResourceReport) -> dict[str, object]:
     doc = asdict(report)
     doc["variant"] = report.variant.value
     return doc
 
 
-def _report_from_data(doc: Dict[str, object]) -> ResourceReport:
+def _report_from_data(doc: dict[str, object]) -> ResourceReport:
     doc = dict(doc)
     doc["variant"] = Variant(doc["variant"])
     return ResourceReport(**doc)
 
 
-def specs(config: Table1Config) -> List[TrialSpec]:
+def specs(config: Table1Config) -> list[TrialSpec]:
     return [TrialSpec(kind="table1", params=dict(ports=config.ports),
                       seed=0, label="table1")]
 
@@ -124,8 +125,9 @@ def assemble(config: Table1Config,
         report_14port=_report_from_data(result.data["report_14port"]))
 
 
-def run(config: Table1Config = Table1Config(),
+def run(config: Optional[Table1Config] = None,
         runner: Optional[TrialRunner] = None) -> Table1Result:
+    config = config or Table1Config()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
 

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Any, Optional
 
 from repro.faults.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
 from repro.sim.channel import BernoulliLoss, GilbertElliottLoss, Link
@@ -56,12 +57,12 @@ class FaultInjector:
         self.deployment = deployment
         self.sim = network.sim
         self.rng: Optional[random.Random] = None
-        self.log: List[InjectionRecord] = []
+        self.log: list[InjectionRecord] = []
         self.applied = 0
         self.reverted = 0
         self._armed = False
         #: link name (normalised "a-b") -> Link
-        self._links: Dict[str, Link] = {}
+        self._links: dict[str, Link] = {}
         for link in network.links:
             self._links[link.name] = link
             if "-" in link.name:
@@ -91,7 +92,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Target resolution
     # ------------------------------------------------------------------
-    def _resolve_targets(self, event: FaultEvent) -> List[Any]:
+    def _resolve_targets(self, event: FaultEvent) -> list[Any]:
         layer = FAULT_KINDS[event.kind]
         if event.kind in _CP_KINDS:
             cps = getattr(self.deployment, "control_planes", None)
@@ -136,7 +137,7 @@ class FaultInjector:
     # Apply / revert
     # ------------------------------------------------------------------
     def _apply(self, event: FaultEvent) -> None:
-        revert_fns: List[Callable[[], None]] = []
+        revert_fns: list[Callable[[], None]] = []
         for obj in self._resolve_targets(event):
             revert = getattr(self, f"_apply_{event.kind}")(obj, event)
             if revert is not None:
@@ -149,7 +150,7 @@ class FaultInjector:
                               event, revert_fns)
 
     def _revert(self, event: FaultEvent,
-                revert_fns: List[Callable[[], None]]) -> None:
+                revert_fns: list[Callable[[], None]]) -> None:
         for fn in revert_fns:
             fn()
         self.reverted += 1

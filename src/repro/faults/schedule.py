@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any, Optional
 
 from repro.sim.engine import MS
 
@@ -70,7 +71,7 @@ class FaultEvent:
     kind: str
     target: str = "*"
     duration_ns: int = 0
-    params: Dict[str, Any] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -92,8 +93,8 @@ class FaultEvent:
     def layer(self) -> str:
         return FAULT_KINDS[self.kind]
 
-    def to_jsonable(self) -> Dict[str, Any]:
-        data: Dict[str, Any] = {"at_ns": self.at_ns, "kind": self.kind,
+    def to_jsonable(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"at_ns": self.at_ns, "kind": self.kind,
                                 "target": self.target,
                                 "duration_ns": self.duration_ns}
         if self.params:
@@ -101,7 +102,7 @@ class FaultEvent:
         return data
 
     @classmethod
-    def from_jsonable(cls, data: Dict[str, Any]) -> "FaultEvent":
+    def from_jsonable(cls, data: dict[str, Any]) -> "FaultEvent":
         return cls(at_ns=int(data["at_ns"]), kind=str(data["kind"]),
                    target=str(data.get("target", "*")),
                    duration_ns=int(data.get("duration_ns", 0)),
@@ -116,7 +117,7 @@ class FaultSchedule:
     injector is deterministic regardless of construction order.
     """
 
-    events: List[FaultEvent] = field(default_factory=list)
+    events: list[FaultEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         for event in self.events:
@@ -145,13 +146,13 @@ class FaultSchedule:
     def __iter__(self):
         return iter(self.events)
 
-    def to_jsonable(self) -> List[Dict[str, Any]]:
+    def to_jsonable(self) -> list[dict[str, Any]]:
         """Stable, JSON-ready form — this is what enters the TrialSpec
         cache fingerprint, so equal schedules always hash equal."""
         return [event.to_jsonable() for event in self.events]
 
     @classmethod
-    def from_jsonable(cls, data: Iterable[Dict[str, Any]]) -> "FaultSchedule":
+    def from_jsonable(cls, data: Iterable[dict[str, Any]]) -> "FaultSchedule":
         return cls(events=[FaultEvent.from_jsonable(d) for d in data])
 
 
@@ -216,7 +217,7 @@ def _poisson(rng: random.Random, mean: float) -> int:
     return count
 
 
-def _default_params(kind: str, rng: random.Random) -> Dict[str, Any]:
+def _default_params(kind: str, rng: random.Random) -> dict[str, Any]:
     """Reasonable stochastic parameters for profile-compiled events."""
     if kind == "link_loss":
         return {"model": "gilbert_elliott",

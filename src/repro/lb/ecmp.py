@@ -19,7 +19,6 @@ which decorrelates member choices across hops the same way.
 from __future__ import annotations
 
 import zlib
-from typing import List
 
 from repro.sim.packet import FlowKey, Packet
 
@@ -43,7 +42,7 @@ class EcmpBalancer:
         self.salt = salt
         self.decisions = 0
 
-    def select(self, candidates: List[int], packet: Packet, now_ns: int) -> int:
+    def select(self, candidates: list[int], packet: Packet, now_ns: int) -> int:
         self.decisions += 1
         return candidates[flow_hash(packet.flow, self.salt) % len(candidates)]
 

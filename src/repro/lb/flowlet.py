@@ -17,7 +17,7 @@ into one table entry are faithful to hardware and harmless for balance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.lb.ecmp import flow_hash
 from repro.sim.engine import US
@@ -61,7 +61,7 @@ class FlowletBalancer:
         self.decisions = 0
         self.flowlets_started = 0
 
-    def select(self, candidates: List[int], packet: Packet, now_ns: int) -> int:
+    def select(self, candidates: list[int], packet: Packet, now_ns: int) -> int:
         self.decisions += 1
         index = flow_hash(packet.flow, self.config.salt) % len(self._table)
         entry = self._table[index]

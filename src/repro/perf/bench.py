@@ -39,7 +39,7 @@ import os
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Optional
 
 from repro.sim.engine import MS, Simulator
 
@@ -73,7 +73,7 @@ def calibrate(loops: int = 2_000_000) -> float:
 # Benchmarks
 # ----------------------------------------------------------------------
 
-def bench_event_loop(events: int = 400_000, tickers: int = 32) -> Dict[str, Any]:
+def bench_event_loop(events: int = 400_000, tickers: int = 32) -> dict[str, Any]:
     """Raw engine throughput: ``tickers`` self-rescheduling callbacks."""
     sim = Simulator()
 
@@ -96,7 +96,7 @@ def bench_event_loop(events: int = 400_000, tickers: int = 32) -> Dict[str, Any]
             "events_per_sec": executed / seconds}
 
 
-def bench_timer_churn(timers: int = 150_000, cancel_mod: int = 4) -> Dict[str, Any]:
+def bench_timer_churn(timers: int = 150_000, cancel_mod: int = 4) -> dict[str, Any]:
     """Cancellation-heavy load: 3 of every 4 timers are cancelled."""
     sim = Simulator()
 
@@ -115,7 +115,7 @@ def bench_timer_churn(timers: int = 150_000, cancel_mod: int = 4) -> Dict[str, A
             "timers": timers, "compactions": sim.compactions}
 
 
-def bench_snapshot_round(snapshots: int = 4, rate_pps: float = 40_000.0) -> Dict[str, Any]:
+def bench_snapshot_round(snapshots: int = 4, rate_pps: float = 40_000.0) -> dict[str, Any]:
     """A 4-switch leaf-spine snapshot campaign over Poisson traffic."""
     from repro.core import DeploymentConfig, SpeedlightDeployment
     from repro.sim.network import Network, NetworkConfig
@@ -142,7 +142,7 @@ def bench_snapshot_round(snapshots: int = 4, rate_pps: float = 40_000.0) -> Dict
 
 
 def bench_fig10_knee(ports: int = 16, burst: int = 25,
-                     search_iterations: int = 7) -> Dict[str, Any]:
+                     search_iterations: int = 7) -> dict[str, Any]:
     """One Figure 10 knee search through the trial runtime."""
     from repro.experiments import fig10
     from repro.runtime.runner import execute_spec
@@ -168,12 +168,12 @@ class BenchResult:
     label: str
     quick: bool
     calibration_ops_per_sec: float
-    results: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    results: dict[str, dict[str, Any]] = field(default_factory=dict)
     timestamp: str = ""
     python: str = ""
     machine: str = ""
 
-    def to_json(self) -> Dict[str, Any]:
+    def to_json(self) -> dict[str, Any]:
         return {"label": self.label, "timestamp": self.timestamp,
                 "python": self.python, "machine": self.machine,
                 "quick": self.quick,
@@ -204,10 +204,10 @@ class BenchResult:
         return "\n".join(lines)
 
 
-def _best_of(fn, repeat: int) -> Dict[str, Any]:
+def _best_of(fn, repeat: int) -> dict[str, Any]:
     """Best (minimum-seconds) of ``repeat`` runs — the standard defence
     against scheduler noise for micro-benchmarks."""
-    best: Optional[Dict[str, Any]] = None
+    best: Optional[dict[str, Any]] = None
     for _ in range(repeat):
         run = fn()
         if best is None or run["seconds"] < best["seconds"]:
@@ -264,7 +264,7 @@ def run_suite(label: str = "adhoc", quick: bool = False,
 # History file + regression gate
 # ----------------------------------------------------------------------
 
-def load_history(path: str) -> Dict[str, Any]:
+def load_history(path: str) -> dict[str, Any]:
     if not os.path.exists(path):
         return {"schema": SCHEMA_VERSION, "suite": "core", "entries": []}
     with open(path) as fh:
@@ -285,9 +285,9 @@ def append_entry(path: str, result: BenchResult) -> None:
         fh.write("\n")
 
 
-def baseline_entry(history: Dict[str, Any],
-                   label: Optional[str] = None) -> Optional[Dict[str, Any]]:
-    entries: List[Dict[str, Any]] = history.get("entries", [])
+def baseline_entry(history: dict[str, Any],
+                   label: Optional[str] = None) -> Optional[dict[str, Any]]:
+    entries: list[dict[str, Any]] = history.get("entries", [])
     if label is not None:
         for entry in entries:
             if entry.get("label") == label:
@@ -296,7 +296,7 @@ def baseline_entry(history: Dict[str, Any],
     return entries[-1] if entries else None
 
 
-def check_regression(current: BenchResult, baseline: Dict[str, Any],
+def check_regression(current: BenchResult, baseline: dict[str, Any],
                      max_regression: float = 0.25,
                      bench: str = GATE_BENCH) -> "tuple[bool, str]":
     """Compare normalized scores; ``(ok, human_message)``.
@@ -322,7 +322,7 @@ def check_regression(current: BenchResult, baseline: Dict[str, Any],
 # CLI
 # ----------------------------------------------------------------------
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the discrete-event core micro-benchmark suite")
     parser.add_argument("--quick", action="store_true",

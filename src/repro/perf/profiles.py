@@ -10,7 +10,8 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any, Optional
 
 
 def profile_call(fn: Callable[..., Any], *args: Any, out: str,

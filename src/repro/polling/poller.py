@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.sim.engine import US
 from repro.sim.network import Network
@@ -56,7 +57,7 @@ class PollRound:
     """One sweep over all targets."""
 
     index: int
-    samples: List[PollSample] = field(default_factory=list)
+    samples: list[PollSample] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -77,7 +78,7 @@ class PollRound:
                 return sample.value
         raise KeyError(f"no sample for {target}")
 
-    def values_by_target(self) -> Dict[PollTarget, int]:
+    def values_by_target(self) -> dict[PollTarget, int]:
         return {s.target: s.value for s in self.samples}
 
 
@@ -99,7 +100,7 @@ class PollingConfig:
 class PollingObserver:
     """Drives polling campaigns over a set of targets."""
 
-    def __init__(self, network: Network, targets: List[PollTarget],
+    def __init__(self, network: Network, targets: list[PollTarget],
                  config: Optional[PollingConfig] = None) -> None:
         if not targets:
             raise ValueError("need at least one poll target")
@@ -107,7 +108,7 @@ class PollingObserver:
         self.targets = list(targets)
         self.config = config or PollingConfig()
         self.rng = random.Random(self.config.seed)
-        self.rounds: List[PollRound] = []
+        self.rounds: list[PollRound] = []
         self._campaign_remaining = 0
         for target in self.targets:
             unit = self._unit(target)
@@ -134,7 +135,7 @@ class PollingObserver:
         round_ = PollRound(index=len(self.rounds))
         self.rounds.append(round_)
 
-        by_switch: Dict[str, List[PollTarget]] = {}
+        by_switch: dict[str, list[PollTarget]] = {}
         for target in self.targets:
             by_switch.setdefault(target.switch, []).append(target)
 
@@ -160,7 +161,7 @@ class PollingObserver:
             mgmt.send(start_chain)
         return round_
 
-    def _poll_chain(self, chain: List[PollTarget], index: int,
+    def _poll_chain(self, chain: list[PollTarget], index: int,
                     round_: PollRound, chain_done: Callable[[], None]) -> None:
         if index >= len(chain):
             chain_done()
@@ -195,7 +196,7 @@ class PollingObserver:
         self._campaign_remaining -= 1
 
     @property
-    def complete_rounds(self) -> List[PollRound]:
+    def complete_rounds(self) -> list[PollRound]:
         """Rounds in which every target produced a sample."""
         want = len(self.targets)
         return [r for r in self.rounds if len(r.samples) == want]

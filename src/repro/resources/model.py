@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
 
 
 class Variant(enum.Enum):
@@ -83,7 +82,7 @@ _WA_SRAM_SLOPE = 2.2
 _PC_TCAM_SLOPE = 0.40
 _WA_TCAM_SLOPE = 0.55
 
-_MODELS: Dict[Variant, _VariantModel] = {
+_MODELS: dict[Variant, _VariantModel] = {
     Variant.PACKET_COUNT: _VariantModel(
         stateless_alus=17, stateful_alus=9, table_ids=27, gateways=15,
         stages=10,
@@ -142,7 +141,7 @@ class ResourceReport:
     sram_kb: float
     tcam_kb: float
 
-    def utilization(self, capacity: TofinoCapacity = TOFINO_1) -> Dict[str, float]:
+    def utilization(self, capacity: TofinoCapacity = TOFINO_1) -> dict[str, float]:
         """Fraction of each dedicated resource consumed."""
         return {
             "stateless_alus": self.stateless_alus / capacity.stateless_alus,

@@ -18,7 +18,6 @@ explains the per-port growth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.resources.model import Variant
 
@@ -52,7 +51,7 @@ class PipelineTable:
 #: tables.  The base build is the Packet Count variant; wraparound adds
 #: rollover-detection logic in the comparison stages; channel state adds
 #: two more stages for the Last Seen array and in-flight crediting.
-PIPELINE: List[PipelineTable] = [
+PIPELINE: list[PipelineTable] = [
     # ----- ingress (Figure 4) -----
     PipelineTable("parse_snapshot_header", "ingress", 0, 2, 1, 2, 0),
     PipelineTable("update_counter", "ingress", 1, 1, 0, 1, 1),
@@ -87,13 +86,13 @@ PIPELINE: List[PipelineTable] = [
 ]
 
 
-def tables_for(variant: Variant) -> List[PipelineTable]:
+def tables_for(variant: Variant) -> list[PipelineTable]:
     """The tables the given variant compiles, in stage order."""
     return sorted((t for t in PIPELINE if t.included_in(variant)),
                   key=lambda t: (t.stage, t.plane, t.name))
 
 
-def totals_for(variant: Variant) -> Dict[str, int]:
+def totals_for(variant: Variant) -> dict[str, int]:
     """Aggregate computational/control-flow totals for a variant.
 
     These are exactly the top five rows of Table 1; tests pin them to
@@ -140,7 +139,7 @@ class RegisterArray:
         return self.entry_bytes * self.entries(ports, slots)
 
 
-REGISTERS: List[RegisterArray] = [
+REGISTERS: list[RegisterArray] = [
     RegisterArray("target_counter", 8, "per_unit"),
     RegisterArray("snapshot_id", 2, "per_unit"),
     RegisterArray("snapshot_value", 4, "per_slot"),

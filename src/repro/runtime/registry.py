@@ -17,14 +17,14 @@ execute any spec that the parent enqueued.
 from __future__ import annotations
 
 import importlib
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from repro.runtime.result import TrialResult
 from repro.runtime.spec import TrialSpec
 
 TrialFn = Callable[[TrialSpec], TrialResult]
 
-_REGISTRY: Dict[str, TrialFn] = {}
+_REGISTRY: dict[str, TrialFn] = {}
 
 #: Modules that register trial kinds as an import side effect.  Kept as
 #: import paths (not imports) so ``repro.runtime`` stays import-light
@@ -70,5 +70,5 @@ def resolve(kind: str) -> TrialFn:
     return fn
 
 
-def registered_kinds() -> List[str]:
+def registered_kinds() -> list[str]:
     return sorted(_REGISTRY)

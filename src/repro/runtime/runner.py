@@ -20,7 +20,8 @@ import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Optional
 
 from repro.runtime import registry
 from repro.runtime.cache import TrialCache
@@ -55,7 +56,7 @@ class BatchStats:
     #: (cached hits are absent — they cost no simulation time).  Timing
     #: lives here, never inside :class:`TrialResult`, so result JSON
     #: stays byte-identical across machines and runs.
-    trial_seconds: Dict[str, float] = field(default_factory=dict)
+    trial_seconds: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         return (f"{self.total} trials: {self.executed} executed, "
@@ -101,11 +102,11 @@ class TrialRunner:
         if self.progress is not None:
             self.progress(message)
 
-    def run_batch(self, specs: Sequence[TrialSpec]) -> List[TrialResult]:
+    def run_batch(self, specs: Sequence[TrialSpec]) -> list[TrialResult]:
         """Execute ``specs``, returning results in spec order."""
         started = time.monotonic()
-        results: List[Optional[TrialResult]] = [None] * len(specs)
-        misses: List[int] = []
+        results: list[Optional[TrialResult]] = [None] * len(specs)
+        misses: list[int] = []
         for index, spec in enumerate(specs):
             hit = (self.cache.get(spec.fingerprint())
                    if self.cache is not None and self.profile_dir is None
@@ -148,7 +149,7 @@ class TrialRunner:
         return [r for r in results if r is not None]
 
     def _run_profiled(self, miss_specs: Sequence[TrialSpec],
-                      stats: BatchStats) -> List[TrialResult]:
+                      stats: BatchStats) -> list[TrialResult]:
         """Serial execution with one cProfile dump per trial."""
         from repro.perf.profiles import profile_call
 

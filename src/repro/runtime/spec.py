@@ -24,7 +24,8 @@ import hashlib
 import json
 import numbers
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 
 def canonical(obj: Any) -> Any:
@@ -43,7 +44,7 @@ def canonical(obj: Any) -> Any:
     if isinstance(obj, numbers.Real):
         return float(obj)
     if isinstance(obj, Mapping):
-        out: Dict[str, Any] = {}
+        out: dict[str, Any] = {}
         for key in obj:
             if not isinstance(key, str):
                 raise TypeError(f"spec dict keys must be str, got {key!r}")
@@ -106,11 +107,11 @@ class TrialSpec:
         return self.label or f"{self.kind}[{self.fingerprint()[:8]}]"
 
 
-def spec_batch(kind: str, param_sets: List[Mapping[str, Any]], *,
-               seed: int, label_key: str = "") -> List[TrialSpec]:
+def spec_batch(kind: str, param_sets: list[Mapping[str, Any]], *,
+               seed: int, label_key: str = "") -> list[TrialSpec]:
     """Convenience constructor for sweep-shaped batches: one spec per
     parameter set, labelled by ``label_key`` when given."""
-    out = []
+    out: list[TrialSpec] = []
     for params in param_sets:
         label = f"{kind}/{params[label_key]}" if label_key else ""
         out.append(TrialSpec(kind=kind, params=params, seed=seed,

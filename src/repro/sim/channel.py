@@ -21,7 +21,8 @@ and :class:`ScriptedLoss` lets tests drop specific packets.
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Protocol, Set
+from collections.abc import Callable
+from typing import Optional, Protocol
 
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
@@ -126,11 +127,11 @@ class ScriptedLoss(LossModel):
     initiation message and verify the control plane re-initiates").
     """
 
-    def __init__(self, drop_uids: Optional[Set[int]] = None,
+    def __init__(self, drop_uids: Optional[set[int]] = None,
                  predicate: Optional[Callable[[Packet], bool]] = None) -> None:
         self.drop_uids = drop_uids or set()
         self.predicate = predicate
-        self.dropped: List[Packet] = []
+        self.dropped: list[Packet] = []
 
     def should_drop(self, packet: Packet) -> bool:
         drop = packet.uid in self.drop_uids or (
@@ -194,7 +195,7 @@ class Link:
         #: id(receiver) -> earliest allowed delivery time for the next
         #: packet in that direction (only populated during/after spikes).
         self._fifo_floor: dict = {}
-        self._endpoints: List[Optional[LinkEndpoint]] = [None, None]
+        self._endpoints: list[Optional[LinkEndpoint]] = [None, None]
         #: id(sender) -> receiver, built once both ends are attached so
         #: ``transmit`` avoids the identity-check chain per packet.
         self._peer_cache: dict = {}

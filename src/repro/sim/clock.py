@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Optional
 
 from repro.sim.engine import Simulator, S
 
@@ -134,12 +134,12 @@ class PTPService:
         self.sim = sim
         self.rng = rng
         self.config = config or PTPConfig()
-        self.clocks: Dict[str, Clock] = {}
+        self.clocks: dict[str, Clock] = {}
         self._started = False
         #: Clocks in holdover (fault injection): sync rounds skip them, so
         #: their drift accumulates undisciplined — the "PTP daemon died /
         #: grandmaster unreachable" failure mode.
-        self._holdover: Set[str] = set()
+        self._holdover: set[str] = set()
 
     def attach(self, name: str, clock: Optional[Clock] = None) -> Clock:
         """Register a clock under ``name``; creates one if not given."""
@@ -212,5 +212,5 @@ class PTPService:
         """
         if not self.clocks:
             return 0
-        readings: List[int] = [c.local_time(self.sim.now) for c in self.clocks.values()]
+        readings: list[int] = [c.local_time(self.sim.now) for c in self.clocks.values()]
         return max(readings) - min(readings)

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import numbers
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable, List, Optional, Set, Tuple
+from collections.abc import Callable
+from typing import Any, Optional
 
 #: One nanosecond, the base time unit.
 NS = 1
@@ -130,12 +131,13 @@ class Simulator:
     def __init__(self) -> None:
         self.now: int = 0
         #: Heap of (time, seq, fn, args) tuples.
-        self._heap: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+        self._heap: list[tuple[int, int, Callable[..., Any],
+                               tuple[Any, ...]]] = []
         self._seq: int = 0
         self._events_run: int = 0
         self._running: bool = False
         #: Seqs of cancelled-but-still-heaped events (the side table).
-        self._cancelled: Set[int] = set()
+        self._cancelled: set[int] = set()
         self._cancellations: int = 0  # lifetime count, for stats
         self._compactions: int = 0
         #: (time, seq) of the most recently executed event; lets

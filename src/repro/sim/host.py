@@ -18,7 +18,8 @@ pops the header before the packet reaches the host link.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from collections.abc import Callable
+from typing import Optional
 
 from repro.sim.engine import Simulator, exact_ns
 from repro.sim.channel import Link
@@ -53,7 +54,7 @@ class Host:
         self.link: Optional[Link] = None
         self._nic = _EgressQueue(sim, transmit=self._transmit,
                                  ser_fn=self._serialization_ns)
-        self.received: Dict[FlowKey, FlowRecord] = {}
+        self.received: dict[FlowKey, FlowRecord] = {}
         self.packets_received = 0
         self.bytes_received = 0
         self.packets_sent = 0
@@ -63,7 +64,7 @@ class Host:
         #: Destination-port listeners (transport endpoints); a packet
         #: whose dport has a listener is delivered to it after the
         #: generic accounting/callback.
-        self._listeners: Dict[int, Callable[[Packet], None]] = {}
+        self._listeners: dict[int, Callable[[Packet], None]] = {}
 
     # -- LinkEndpoint protocol -----------------------------------------
     @property

@@ -15,7 +15,8 @@ polling synchronises so poorly in Figure 9.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.sim.engine import Simulator, US
 

@@ -11,9 +11,13 @@ real deployment would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.engine import Simulator, US
+
+if TYPE_CHECKING:  # import cycle: switch imports nothing from here,
+    from repro.sim.switch import EgressUnit  # but keep runtime lazy anyway
 
 
 @dataclass
@@ -33,7 +37,7 @@ class PeriodicSampler:
         self.fn = fn
         self.period_ns = period_ns
         self.name = name
-        self.samples: List[Sample] = []
+        self.samples: list[Sample] = []
         self._running = False
 
     def start(self, stop_ns: Optional[int] = None) -> None:
@@ -59,7 +63,7 @@ class PeriodicSampler:
     # Series queries
     # ------------------------------------------------------------------
     @property
-    def values(self) -> List[float]:
+    def values(self) -> list[float]:
         return [s.value for s in self.samples]
 
     def max(self) -> float:
@@ -93,13 +97,14 @@ class LinkLoadMonitor:
     counters approximate.
     """
 
-    def __init__(self, sim: Simulator, egress_unit, bandwidth_bps: int,
+    def __init__(self, sim: Simulator, egress_unit: "EgressUnit",
+                 bandwidth_bps: int,
                  window_ns: int = 100 * US) -> None:
         self.sim = sim
         self.egress = egress_unit
         self.bandwidth_bps = bandwidth_bps
         self.window_ns = window_ns
-        self.utilization: List[Tuple[int, float]] = []
+        self.utilization: list[tuple[int, float]] = []
         self._last_bytes = 0
         self._running = False
 

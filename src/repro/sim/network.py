@@ -14,7 +14,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from collections.abc import Callable
+from typing import Optional
 
 from repro.sim.engine import Simulator, US
 from repro.sim.clock import PTPConfig, PTPService
@@ -59,15 +60,15 @@ class Network:
         self.mgmt = ManagementPlane(self.sim, self._child_rng("mgmt"),
                                     self.config.mgmt_base_latency_ns,
                                     self.config.mgmt_jitter_ns)
-        self.switches: Dict[str, Switch] = {}
-        self.hosts: Dict[str, Host] = {}
-        self.links: List[Link] = []
+        self.switches: dict[str, Switch] = {}
+        self.hosts: dict[str, Host] = {}
+        self.links: list[Link] = []
         #: device name -> {neighbor name -> local port index}
-        self.port_map: Dict[str, Dict[str, int]] = {}
+        self.port_map: dict[str, dict[str, int]] = {}
         #: All TraceEvents, in time order (populated when
         #: ``config.enable_tracing`` is set; consumed by the
         #: causal-consistency checker).
-        self.trace_log: List["TraceEvent"] = []
+        self.trace_log: list["TraceEvent"] = []
         self._build()
         self._install_routes()
         if self.config.enable_tracing:
@@ -137,7 +138,7 @@ class Network:
         """Local port index on ``device`` facing ``neighbor``."""
         return self.port_map[device][neighbor]
 
-    def uplink_ports(self, leaf: str) -> List[int]:
+    def uplink_ports(self, leaf: str) -> list[int]:
         """Ports of ``leaf`` that face other switches (the "uplinks" whose
         balance Figure 12 studies)."""
         ports = []
@@ -146,7 +147,7 @@ class Network:
                 ports.append(port)
         return sorted(ports)
 
-    def peer_of_port(self, switch_name: str, port: int) -> Tuple[str, NodeKind]:
+    def peer_of_port(self, switch_name: str, port: int) -> tuple[str, NodeKind]:
         """Name and kind of the device at the far end of a switch port."""
         for neighbor, p in self.port_map[switch_name].items():
             if p == port:
@@ -156,7 +157,7 @@ class Network:
     # ------------------------------------------------------------------
     # Snapshot-deployment support
     # ------------------------------------------------------------------
-    def feasible_channels(self, switch_name: str) -> Set[Tuple[int, int]]:
+    def feasible_channels(self, switch_name: str) -> set[tuple[int, int]]:
         """All (ingress port, egress port) pairs that routing can use.
 
         A packet arriving at switch ``S`` from neighbor ``X`` is headed
@@ -172,7 +173,7 @@ class Network:
         topo = self.topology
         graph = topo.to_networkx()
         switch = self.switches[switch_name]
-        dist_cache: Dict[str, Dict[str, int]] = {}
+        dist_cache: dict[str, dict[str, int]] = {}
 
         def dist(a: str, b: str) -> Optional[int]:
             lengths = dist_cache.get(a)
@@ -180,7 +181,7 @@ class Network:
                 lengths = dist_cache[a] = nx.single_source_shortest_path_length(graph, a)
             return lengths.get(b)
 
-        pairs: Set[Tuple[int, int]] = set()
+        pairs: set[tuple[int, int]] = set()
         for neighbor, in_port in self.port_map[switch_name].items():
             from_host = topo.kind(neighbor) is NodeKind.HOST
             for dst, out_ports in switch.routes.items():

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, ClassVar, Optional
 
 
 class PacketType(enum.IntEnum):
@@ -81,7 +81,7 @@ class SnapshotHeader:
 
 #: Free list of stripped headers.  Bounded so a pathological workload
 #: cannot pin memory; per-process, so worker processes stay independent.
-_HEADER_POOL: List[SnapshotHeader] = []
+_HEADER_POOL: list[SnapshotHeader] = []
 _HEADER_POOL_MAX = 1024
 
 
@@ -120,7 +120,7 @@ class FlowKey:
 
     __slots__ = ("src", "dst", "sport", "dport", "proto", "_hash")
 
-    _intern: Dict[Tuple[str, str, int, int, int], "FlowKey"] = {}
+    _intern: ClassVar[dict[tuple[str, str, int, int, int], "FlowKey"]] = {}
     _INTERN_MAX = 65536
 
     def __new__(cls, src: str, dst: str, sport: int, dport: int,
@@ -155,7 +155,7 @@ class FlowKey:
                 and self.sport == other.sport and self.dport == other.dport
                 and self.proto == other.proto)
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[type, tuple[str, str, int, int, int]]:
         # Re-intern on unpickle (the default __slots__ path would bypass
         # __new__'s required arguments).
         return (FlowKey, (self.src, self.dst, self.sport, self.dport,

@@ -27,7 +27,8 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Protocol
+from collections.abc import Callable
+from typing import Optional, Protocol
 
 from repro.sim.engine import Simulator, US
 from repro.sim.channel import Link
@@ -139,7 +140,7 @@ class CounterSet:
     """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, "CounterLike"] = {}
+        self._counters: dict[str, "CounterLike"] = {}
 
     def add(self, name: str, counter: "CounterLike") -> None:
         if name in self._counters:
@@ -152,14 +153,14 @@ class CounterSet:
     def __contains__(self, name: str) -> bool:
         return name in self._counters
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return sorted(self._counters)
 
     def update_all(self, packet: Packet, now_ns: int) -> None:
         for counter in self._counters.values():
             counter.update(packet, now_ns)
 
-    def read(self, name: str):
+    def read(self, name: str) -> int:
         """Read a counter's current value (the control-plane register read
         used by the polling baseline)."""
         return self._counters[name].read()
@@ -171,7 +172,7 @@ class CounterLike(Protocol):
     def update(self, packet: Packet, now_ns: int) -> None:
         ...  # pragma: no cover - protocol definition
 
-    def read(self):
+    def read(self) -> int:
         ...  # pragma: no cover - protocol definition
 
 
@@ -226,10 +227,10 @@ class _EgressQueue:
         self.ser_fn = ser_fn
         self.num_cos = num_cos
         self.capacity_packets = capacity_packets
-        self._lanes: List[Deque[Packet]] = [deque() for _ in range(num_cos)]
+        self._lanes: list[deque[Packet]] = [deque() for _ in range(num_cos)]
         #: Single-lane fast path: with one CoS (the paper's base model)
         #: lane selection and strict-priority scanning collapse away.
-        self._only_lane: Optional[Deque[Packet]] = (
+        self._only_lane: Optional[deque[Packet]] = (
             self._lanes[0] if num_cos == 1 else None)
         #: Waiting packets across all lanes (excludes the in-service one);
         #: maintained incrementally so depth checks are O(1).
@@ -360,7 +361,7 @@ class _ProcessingUnit:
                 is_data=header.packet_type is _DATA,
                 size_bytes=packet.size_bytes))
 
-    def read_counter(self, name: str):
+    def read_counter(self, name: str) -> int:
         return self.counters.read(name)
 
 
@@ -577,14 +578,14 @@ class Port:
 class LoadBalancer(Protocol):
     """Picks one egress port from an ECMP group (see :mod:`repro.lb`)."""
 
-    def select(self, candidates: List[int], packet: Packet, now_ns: int) -> int:
+    def select(self, candidates: list[int], packet: Packet, now_ns: int) -> int:
         ...  # pragma: no cover - protocol definition
 
 
 class _FirstPortBalancer:
     """Degenerate balancer: always the first candidate (deterministic)."""
 
-    def select(self, candidates: List[int], packet: Packet, now_ns: int) -> int:
+    def select(self, candidates: list[int], packet: Packet, now_ns: int) -> int:
         return candidates[0]
 
 
@@ -613,8 +614,8 @@ class Switch:
         #: (see ``SwitchControlPlane.inject_probes``); used to tell a
         #: locally injected probe from one that crossed the wire.
         self._cpu_src = f"{name}-cpu"
-        self.ports: List[Port] = [Port(self, i) for i in range(self.config.num_ports)]
-        self.routes: Dict[str, List[int]] = {}
+        self.ports: list[Port] = [Port(self, i) for i in range(self.config.num_ports)]
+        self.routes: dict[str, list[int]] = {}
         self.lb: LoadBalancer = lb or _FirstPortBalancer()
         self.packets_unroutable = 0
         #: FIB versioning for forwarding-state snapshots (§10): every
@@ -622,8 +623,8 @@ class Switch:
         #: the last version matched at each ingress is a data-plane
         #: register the snapshot primitive can capture.
         self.fib_generation = 0
-        self.route_version: Dict[str, int] = {}
-        self.last_matched_version: List[int] = [0] * self.config.num_ports
+        self.route_version: dict[str, int] = {}
+        self.last_matched_version: list[int] = [0] * self.config.num_ports
         #: Callback used by snapshot agents to ship notifications to the
         #: local control plane; installed by the control plane at attach.
         self.notification_sink: Optional[Callable[[object], None]] = None
@@ -634,7 +635,7 @@ class Switch:
     # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
-    def install_route(self, dst: str, ports: List[int]) -> None:
+    def install_route(self, dst: str, ports: list[int]) -> None:
         """Install or update the route for ``dst``.
 
         Every install bumps the FIB generation and tags the rule with it
@@ -687,17 +688,17 @@ class Switch:
         p = self.ports[port]
         return p.ingress if direction is Direction.INGRESS else p.egress
 
-    def all_units(self) -> List[_ProcessingUnit]:
-        units: List[_ProcessingUnit] = []
+    def all_units(self) -> list[_ProcessingUnit]:
+        units: list[_ProcessingUnit] = []
         for port in self.ports:
             units.append(port.ingress)
             units.append(port.egress)
         return units
 
-    def snapshot_units(self) -> List[_ProcessingUnit]:
+    def snapshot_units(self) -> list[_ProcessingUnit]:
         return [u for u in self.all_units() if u.snapshot_enabled]
 
-    def connected_ports(self) -> List[int]:
+    def connected_ports(self) -> list[int]:
         return [p.index for p in self.ports if p.link is not None]
 
     def send_notification(self, notification: object) -> None:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.sim.engine import MS, Simulator
 from repro.sim.network import Network
@@ -82,7 +82,7 @@ class ReliableFlow:
 
         # Receiver state.
         self._expected = 0
-        self.delivered: List[int] = []
+        self.delivered: list[int] = []
 
         self.dst_host.listen(self.dport, self._on_data)
         self.src_host.listen(self.sport, self._on_ack)

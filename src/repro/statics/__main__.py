@@ -1,0 +1,6 @@
+"""``python -m repro.statics`` entry point."""
+
+from repro.statics.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

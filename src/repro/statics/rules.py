@@ -1,0 +1,692 @@
+"""The statics rule set: this repository's determinism contracts as AST
+checks.
+
+Each rule is the *static* complement of a contract the codebase already
+relies on dynamically (see docs/DETERMINISM.md for the full rationale):
+
+========  ============================================================
+DET001    seeded ``random.Random`` only — no global-RNG calls in the
+          simulation layers (``sim``/``core``/``faults``/``workloads``)
+DET002    no wall-clock reads outside the ``runtime``/``perf`` layers
+DET003    no iteration over bare ``set``s in ``sim``/``core`` (hash-seed
+          dependent order can reach scheduling and serialization)
+DET004    no builtin ``hash()``/``id()`` in ordering keys
+SIM001    no float-producing expressions flowing into
+          ``schedule()``/``schedule_at()``/``schedule_fast()``/``Event``
+          time arguments (static complement of ``exact_ns``)
+SIM002    ``__slots__`` classes must not assign undeclared attributes
+TRIAL001  ``@trial`` functions must not mutate module-level state
+========  ============================================================
+
+Rules are deliberately syntactic and local — no cross-module inference.
+Where a rule cannot see that a use is safe (an order-insensitive
+reduction over a set, say), the fix is a reasoned
+``# statics: allow[RULE]`` pragma, which keeps the exception reviewable
+at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+from typing import Optional
+
+from repro.statics.engine import FileContext, Rule
+from repro.statics.findings import Finding
+
+# ----------------------------------------------------------------------
+# Shared import tracking
+# ----------------------------------------------------------------------
+
+
+class ImportMap:
+    """Local names bound by imports, for resolving ``random.x`` et al."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: local alias -> dotted module path (``import random as rnd``)
+        self.modules: dict[str, str] = {}
+        #: local name -> (module, original) (``from time import time``)
+        self.names: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        node.module, alias.name)
+
+    def module_alias(self, name: str, module: str) -> bool:
+        return self.modules.get(name) == module
+
+    def from_import(self, name: str, module: str) -> Optional[str]:
+        entry = self.names.get(name)
+        if entry is not None and entry[0] == module:
+            return entry[1]
+        return None
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """Peel attribute/subscript chains down to the base ``Name``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+# ----------------------------------------------------------------------
+# DET001 — global RNG
+# ----------------------------------------------------------------------
+
+_GLOBAL_RNG_FNS = {
+    "random", "uniform", "triangular", "randint", "randrange", "choice",
+    "choices", "sample", "shuffle", "seed", "getrandbits", "randbytes",
+    "gauss", "normalvariate", "lognormvariate", "expovariate",
+    "vonmisesvariate", "gammavariate", "betavariate", "paretovariate",
+    "weibullvariate", "binomialvariate", "getstate", "setstate",
+}
+
+
+class GlobalRandomRule(Rule):
+    """No calls to the module-level ``random`` functions in the
+    simulation layers: they share one hidden global Mersenne state, so
+    any import-order or call-order change anywhere in the process
+    perturbs every trial.  ``random.Random(seed)`` instances, threaded
+    from the spec, are the only approved randomness source."""
+
+    id = "DET001"
+    title = "no global-RNG calls in simulation layers"
+    hint = ("use a seeded random.Random instance threaded from the "
+            "spec/config instead of the shared module-level state")
+    scopes = frozenset({"sim", "core", "faults", "workloads"})
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        imports = ImportMap(ctx.tree)
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _GLOBAL_RNG_FNS
+                    and isinstance(func.value, ast.Name)
+                    and imports.module_alias(func.value.id, "random")):
+                out.append(self.finding(
+                    ctx, node,
+                    f"global-RNG call random.{func.attr}() in scope "
+                    f"'{ctx.scope}'"))
+            elif isinstance(func, ast.Name):
+                orig = imports.from_import(func.id, "random")
+                if orig in _GLOBAL_RNG_FNS:
+                    out.append(self.finding(
+                        ctx, node,
+                        f"global-RNG call {func.id}() (random.{orig}) in "
+                        f"scope '{ctx.scope}'"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# DET002 — wall clock
+# ----------------------------------------------------------------------
+
+_WALL_TIME_FNS = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "clock_gettime",
+}
+_WALL_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+class WallClockRule(Rule):
+    """No wall-clock reads in simulation/analysis code.  Simulated time
+    comes from ``Simulator.now``/``Clock``; host time is allowed only in
+    the ``runtime`` (trial timing) and ``perf`` (benchmarks) layers."""
+
+    id = "DET002"
+    title = "no wall-clock outside runtime/perf"
+    hint = ("take time from Simulator.now or sim.clock.Clock; wall-clock "
+            "reads belong in the runtime/perf layers only")
+    excluded_scopes = frozenset({"runtime", "perf"})
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        imports = ImportMap(ctx.tree)
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                value = func.value
+                # time.<fn>()
+                if (func.attr in _WALL_TIME_FNS
+                        and isinstance(value, ast.Name)
+                        and imports.module_alias(value.id, "time")):
+                    out.append(self.finding(
+                        ctx, node, f"wall-clock read time.{func.attr}() in "
+                                   f"scope '{ctx.scope}'"))
+                # datetime.datetime.now() / datetime.date.today()
+                elif (func.attr in _WALL_DATETIME_FNS
+                      and isinstance(value, ast.Attribute)
+                      and value.attr in ("datetime", "date")
+                      and isinstance(value.value, ast.Name)
+                      and imports.module_alias(value.value.id, "datetime")):
+                    out.append(self.finding(
+                        ctx, node,
+                        f"wall-clock read datetime.{value.attr}."
+                        f"{func.attr}()"))
+                # from datetime import datetime; datetime.now()
+                elif (func.attr in _WALL_DATETIME_FNS
+                      and isinstance(value, ast.Name)
+                      and imports.from_import(value.id, "datetime")
+                      in ("datetime", "date")):
+                    out.append(self.finding(
+                        ctx, node,
+                        f"wall-clock read {value.id}.{func.attr}()"))
+            elif isinstance(func, ast.Name):
+                orig = imports.from_import(func.id, "time")
+                if orig in _WALL_TIME_FNS:
+                    out.append(self.finding(
+                        ctx, node,
+                        f"wall-clock read {func.id}() (time.{orig})"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered set iteration
+# ----------------------------------------------------------------------
+
+_SET_METHODS = {"union", "intersection", "difference",
+                "symmetric_difference", "copy"}
+#: Consumers that materialize iteration order (flagged); ``min``/``max``/
+#: ``sum``/``len``/``any``/``all``/``sorted`` are order-insensitive.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "iter", "enumerate"}
+
+
+class UnorderedIterationRule(Rule):
+    """No iteration over bare ``set``s in ``sim``/``core``.
+
+    Set iteration order depends on PYTHONHASHSEED and insertion history;
+    when it reaches a ``schedule()`` loop, a serialized report, or a
+    fingerprint, two identical runs diverge.  (``dict``s are
+    insertion-ordered on every supported interpreter, so the rule
+    tracks sets — the genuinely unordered container.)  Wrap the
+    iterable in ``sorted(...)``, or pragma-allow with a reason when the
+    consumer is provably order-insensitive.
+    """
+
+    id = "DET003"
+    title = "no bare-set iteration in sim/core"
+    hint = ("wrap the set in sorted(...) (or use an ordered container); "
+            "pragma-allow with a reason only for order-insensitive "
+            "consumers")
+    scopes = frozenset({"sim", "core"})
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out: list[Finding] = []
+        self._scan(ctx.tree, ctx, out)
+        return out
+
+    # -- set-expression classification ---------------------------------
+    def _is_set_expr(self, node: ast.AST, env: dict[str, bool]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return env.get(node.id, False)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _SET_METHODS
+                    and self._is_set_expr(func.value, env)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return (self._is_set_expr(node.left, env)
+                    or self._is_set_expr(node.right, env))
+        return False
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr) -> bool:
+        if isinstance(annotation, ast.Subscript):
+            annotation = annotation.value
+        return (isinstance(annotation, ast.Name)
+                and annotation.id in ("set", "frozenset", "Set",
+                                      "FrozenSet", "AbstractSet"))
+
+    def _scan(self, root: ast.AST, ctx: FileContext,
+              out: list[Finding]) -> None:
+        # First pass: names bound to set expressions or set annotations
+        # anywhere in the file.  (One flat namespace is an approximation
+        # — good enough for a local, syntactic rule; a false positive is
+        # one reasoned pragma away.)
+        local_env: dict[str, bool] = {}
+        for node in ast.walk(root):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if self._is_set_expr(node.value, local_env):
+                        local_env[target.id] = True
+            elif (isinstance(node, ast.AnnAssign)
+                  and isinstance(node.target, ast.Name)
+                  and self._is_set_annotation(node.annotation)):
+                local_env[node.target.id] = True
+            elif isinstance(node, ast.arg):
+                if (node.annotation is not None
+                        and self._is_set_annotation(node.annotation)):
+                    local_env[node.arg] = True
+        for node in ast.walk(root):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter, local_env):
+                    out.append(self.finding(
+                        ctx, node.iter,
+                        "for-loop iterates a bare set (order is "
+                        "hash-seed dependent)"))
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp, ast.SetComp)):
+                for gen in node.generators:
+                    if self._is_set_expr(gen.iter, local_env):
+                        out.append(self.finding(
+                            ctx, gen.iter,
+                            "comprehension iterates a bare set (order is "
+                            "hash-seed dependent)"))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Name)
+                        and func.id in _ORDER_SENSITIVE_CALLS
+                        and node.args
+                        and self._is_set_expr(node.args[0], local_env)):
+                    out.append(self.finding(
+                        ctx, node,
+                        f"{func.id}() materializes a bare set's iteration "
+                        "order"))
+                elif (isinstance(func, ast.Attribute)
+                      and func.attr == "join" and node.args
+                      and self._is_set_expr(node.args[0], local_env)):
+                    out.append(self.finding(
+                        ctx, node,
+                        "str.join() serializes a bare set's iteration "
+                        "order"))
+
+
+# ----------------------------------------------------------------------
+# DET004 — hash()/id() in ordering keys
+# ----------------------------------------------------------------------
+
+
+class HashIdOrderingRule(Rule):
+    """No builtin ``hash()``/``id()`` inside ordering keys.  ``hash()``
+    of str/bytes varies with PYTHONHASHSEED and ``id()`` with allocation
+    history, so both differ across worker processes and re-runs —
+    sorting or heap-ordering by them silently reorders ties."""
+
+    id = "DET004"
+    title = "no hash()/id() in ordering keys"
+    hint = ("order by a stable field (name, sequence number, "
+            "fingerprint string) instead of hash()/id()")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            sort_like = (
+                (isinstance(func, ast.Name)
+                 and func.id in ("sorted", "min", "max"))
+                or (isinstance(func, ast.Attribute) and func.attr == "sort"))
+            if sort_like:
+                for keyword in node.keywords:
+                    if keyword.arg == "key":
+                        out.extend(self._flag_hash_id(ctx, keyword.value,
+                                                      "ordering key"))
+            heappush = (
+                (isinstance(func, ast.Name) and func.id == "heappush")
+                or (isinstance(func, ast.Attribute)
+                    and func.attr == "heappush"))
+            if heappush and len(node.args) >= 2:
+                out.extend(self._flag_hash_id(ctx, node.args[1],
+                                              "heap entry"))
+        return out
+
+    def _flag_hash_id(self, ctx: FileContext, subtree: ast.AST,
+                      where: str) -> list[Finding]:
+        out = []
+        for node in ast.walk(subtree):
+            if isinstance(node, ast.Name) and node.id in ("hash", "id"):
+                out.append(self.finding(
+                    ctx, node,
+                    f"builtin {node.id}() used in a {where} "
+                    "(PYTHONHASHSEED / allocation-order hazard)"))
+        return out
+
+
+# ----------------------------------------------------------------------
+# SIM001 — float time arguments
+# ----------------------------------------------------------------------
+
+_SCHEDULE_FNS = {"schedule", "schedule_at", "schedule_fast"}
+
+
+class FloatTimeRule(Rule):
+    """No float-producing expressions flowing into simulation time
+    arguments.  The engine's ``exact_ns`` rejects fractional times at
+    runtime (and ``schedule_fast`` skips even that); this rule moves the
+    check to before execution: true division, float literals, ``time.*``
+    reads and ``float()`` casts may not appear in the time argument of
+    ``schedule()``/``schedule_at()``/``schedule_fast()``/``Event()``."""
+
+    id = "SIM001"
+    title = "no float expressions in simulation time arguments"
+    hint = ("use integer ns arithmetic (//, and the US/MS/S constants) "
+            "or coerce explicitly with exact_ns() at the boundary")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        imports = ImportMap(ctx.tree)
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            time_arg: Optional[ast.expr] = None
+            if name in _SCHEDULE_FNS or name == "Event":
+                if node.args:
+                    time_arg = node.args[0]
+                else:
+                    for keyword in node.keywords:
+                        if keyword.arg in ("delay", "time"):
+                            time_arg = keyword.value
+                            break
+            if time_arg is None:
+                continue
+            for sub in ast.walk(time_arg):
+                reason = self._float_reason(sub, imports)
+                if reason is not None:
+                    out.append(self.finding(
+                        ctx, sub,
+                        f"{reason} flows into the time argument of "
+                        f"{name}()"))
+        return out
+
+    def _float_reason(self, node: ast.AST,
+                      imports: ImportMap) -> Optional[str]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return "true division (/)"
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return f"float literal {node.value!r}"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "float":
+                return "float() cast"
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and imports.module_alias(func.value.id, "time")):
+                return f"wall-clock time.{func.attr}()"
+        return None
+
+
+# ----------------------------------------------------------------------
+# SIM002 — __slots__ integrity
+# ----------------------------------------------------------------------
+
+
+def _walk_pruning_classes(root: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but does not descend into nested ClassDefs
+    (their methods answer to their *own* __slots__, not the outer
+    class's)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.ClassDef):
+                stack.append(child)
+
+
+class SlotsIntegrityRule(Rule):
+    """``__slots__`` classes must not assign attributes they do not
+    declare.  On a slotted class such an assignment raises
+    ``AttributeError`` only when the code path finally runs — in a
+    simulation, possibly hours in; this rule finds it at review time.
+    Only classes whose full base chain is resolvable in the same module
+    (or ``object``) are enforced — an imported base may contribute a
+    ``__dict__``, which makes the assignment legal."""
+
+    id = "SIM002"
+    title = "__slots__ classes assign only declared attributes"
+    hint = "declare the attribute in __slots__ (or drop the assignment)"
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        classes: dict[str, ast.ClassDef] = {
+            node.name: node for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)}
+        out: list[Finding] = []
+        for cls in classes.values():
+            slots = self._literal_slots(cls)
+            if slots is None:
+                continue
+            allowed = self._resolve_chain(cls, classes)
+            if allowed is None:     # unresolvable base: may have __dict__
+                continue
+            self._check_class(ctx, cls, slots, allowed, out)
+        return out
+
+    def _literal_slots(self, cls: ast.ClassDef) -> Optional[set[str]]:
+        """The class's own literal __slots__ declaration, if any."""
+        for stmt in cls.body:
+            targets = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    names: set[str] = set()
+                    elements: Sequence[ast.expr]
+                    if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                        elements = value.elts
+                    elif (isinstance(value, ast.Constant)
+                          and isinstance(value.value, str)):
+                        elements = [value]
+                    else:
+                        return None       # computed __slots__: skip class
+                    for element in elements:
+                        if (isinstance(element, ast.Constant)
+                                and isinstance(element.value, str)):
+                            names.add(element.value)
+                        else:
+                            return None
+                    return names
+        return None
+
+    def _resolve_chain(self, cls: ast.ClassDef,
+                       classes: dict[str, ast.ClassDef]
+                       ) -> Optional[set[str]]:
+        """Union of slots plus property-setter names over the same-module
+        base chain; None when any base is unresolvable."""
+        allowed: set[str] = set()
+        stack = [cls]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if node.name in seen:
+                return None               # inheritance cycle: bail out
+            seen.add(node.name)
+            slots = self._literal_slots(node)
+            if slots is None:
+                return None               # un-slotted base contributes __dict__
+            allowed |= slots
+            allowed |= self._setter_names(node)
+            for base in node.bases:
+                if isinstance(base, ast.Name) and base.id == "object":
+                    continue
+                if isinstance(base, ast.Name) and base.id in classes:
+                    stack.append(classes[base.id])
+                else:
+                    return None           # imported / dynamic base
+        return allowed
+
+    def _setter_names(self, cls: ast.ClassDef) -> set[str]:
+        names = set()
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef):
+                for deco in stmt.decorator_list:
+                    if (isinstance(deco, ast.Attribute)
+                            and deco.attr == "setter"):
+                        names.add(stmt.name)
+        return names
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef,
+                     slots: set[str], allowed: set[str],
+                     out: list[Finding]) -> None:
+        for stmt in cls.body:
+            # Class-level name colliding with a slot → ValueError at
+            # class creation time.
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (isinstance(target, ast.Name)
+                            and target.id in slots):
+                        out.append(self.finding(
+                            ctx, target,
+                            f"class attribute {target.id!r} collides with "
+                            f"its own __slots__ entry",
+                            hint="a name cannot be both a slot and a "
+                                 "class attribute"))
+            if not isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if any(isinstance(deco, ast.Name)
+                   and deco.id in ("classmethod", "staticmethod")
+                   for deco in stmt.decorator_list):
+                continue          # no instance receiver to check
+            if not stmt.args.args:
+                continue
+            self_name = stmt.args.args[0].arg
+            for node in _walk_pruning_classes(stmt):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Store)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == self_name
+                        and node.attr not in allowed):
+                    out.append(self.finding(
+                        ctx, node,
+                        f"assignment to {self_name}.{node.attr} is not "
+                        f"declared in __slots__ of {cls.name} (raises "
+                        "AttributeError at runtime)"))
+
+
+# ----------------------------------------------------------------------
+# TRIAL001 — @trial functions must not mutate module globals
+# ----------------------------------------------------------------------
+
+_MUTATORS = {"append", "extend", "insert", "add", "update", "remove",
+             "discard", "pop", "popitem", "clear", "setdefault", "sort",
+             "reverse", "appendleft", "extendleft"}
+
+
+class TrialGlobalMutationRule(Rule):
+    """``@trial``-registered functions must be pure: under ``--jobs N``
+    they run in worker processes, so a module-global mutation is
+    invisible to the parent (and to cached replays) — results would
+    silently depend on the execution mode.  Flags ``global``
+    declarations, stores through module-level names, and mutating method
+    calls on module-level names inside any ``@trial`` function."""
+
+    id = "TRIAL001"
+    title = "@trial functions do not mutate module-level state"
+    hint = ("return data via TrialResult and thread inputs through the "
+            "spec; module state does not survive worker boundaries")
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        module_names = self._module_level_names(ctx.tree)
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and self._is_trial(node)):
+                self._check_fn(ctx, node, module_names, out)
+        return out
+
+    def _module_level_names(self, tree: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for stmt in getattr(tree, "body", []):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (isinstance(stmt, ast.AnnAssign)
+                  and isinstance(stmt.target, ast.Name)):
+                names.add(stmt.target.id)
+        return names
+
+    def _is_trial(self, fn: ast.AST) -> bool:
+        for deco in getattr(fn, "decorator_list", []):
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if isinstance(target, ast.Name) and target.id == "trial":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "trial":
+                return True
+        return False
+
+    def _check_fn(self, ctx: FileContext, fn: ast.AST,
+                  module_names: set[str], out: list[Finding]) -> None:
+        local_names = {arg.arg for arg in fn.args.args
+                       + fn.args.kwonlyargs + fn.args.posonlyargs}
+        if fn.args.vararg:
+            local_names.add(fn.args.vararg.arg)
+        if fn.args.kwarg:
+            local_names.add(fn.args.kwarg.arg)
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                local_names.add(node.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for target in ast.walk(node.target):
+                    if isinstance(target, ast.Name):
+                        local_names.add(target.id)
+        shadowed = module_names - local_names
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                out.append(self.finding(
+                    ctx, node,
+                    f"@trial function declares global "
+                    f"{', '.join(node.names)}"))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        root = _root_name(target)
+                        if root in shadowed:
+                            out.append(self.finding(
+                                ctx, target,
+                                f"@trial function stores into "
+                                f"module-level {root!r}"))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATORS):
+                    root = _root_name(func.value)
+                    if root in shadowed:
+                        out.append(self.finding(
+                            ctx, node,
+                            f"@trial function mutates module-level "
+                            f"{root!r} via .{func.attr}()"))
+
+
+#: The default rule set, in documentation order.
+ALL_RULES: tuple[Rule, ...] = (
+    GlobalRandomRule(),
+    WallClockRule(),
+    UnorderedIterationRule(),
+    HashIdOrderingRule(),
+    FloatTimeRule(),
+    SlotsIntegrityRule(),
+    TrialGlobalMutationRule(),
+)
+
+ALL_RULE_IDS: tuple[str, ...] = tuple(rule.id for rule in ALL_RULES)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Optional
 
 import networkx as nx
 
@@ -42,8 +42,8 @@ class Topology:
 
     def __init__(self, name: str = "topology") -> None:
         self.name = name
-        self._kinds: Dict[str, NodeKind] = {}
-        self._links: List[LinkSpec] = []
+        self._kinds: dict[str, NodeKind] = {}
+        self._links: list[LinkSpec] = []
         self._graph = nx.Graph()
 
     # ------------------------------------------------------------------
@@ -81,25 +81,25 @@ class Topology:
     # Queries
     # ------------------------------------------------------------------
     @property
-    def nodes(self) -> List[str]:
+    def nodes(self) -> list[str]:
         return sorted(self._kinds)
 
     @property
-    def switches(self) -> List[str]:
+    def switches(self) -> list[str]:
         return sorted(n for n, k in self._kinds.items() if k is NodeKind.SWITCH)
 
     @property
-    def hosts(self) -> List[str]:
+    def hosts(self) -> list[str]:
         return sorted(n for n, k in self._kinds.items() if k is NodeKind.HOST)
 
     @property
-    def links(self) -> List[LinkSpec]:
+    def links(self) -> list[LinkSpec]:
         return list(self._links)
 
     def kind(self, name: str) -> NodeKind:
         return self._kinds[name]
 
-    def neighbors(self, name: str) -> List[str]:
+    def neighbors(self, name: str) -> list[str]:
         return sorted(self._graph.neighbors(name))
 
     def degree(self, name: str) -> int:
@@ -115,7 +115,7 @@ class Topology:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def ecmp_next_hops(self, switch: str, dst_host: str) -> List[str]:
+    def ecmp_next_hops(self, switch: str, dst_host: str) -> list[str]:
         """All equal-cost next hops from ``switch`` toward ``dst_host``.
 
         Hop count is the metric (standard for leaf-spine/fat-tree ECMP).

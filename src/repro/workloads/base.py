@@ -16,7 +16,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.sim.engine import S, Simulator
 from repro.sim.network import Network
@@ -34,7 +34,7 @@ class WorkloadConfig:
     #: Simulation time after which no new packets are emitted.
     stop_ns: int = 1 * S
     #: Hosts participating; None means every host in the network.
-    hosts: Optional[List[str]] = None
+    hosts: Optional[list[str]] = None
 
 
 class Workload(abc.ABC):
@@ -53,7 +53,7 @@ class Workload(abc.ABC):
         return self.network.sim
 
     @property
-    def hosts(self) -> List[str]:
+    def hosts(self) -> list[str]:
         if self.config.hosts is not None:
             return list(self.config.hosts)
         return sorted(self.network.hosts)

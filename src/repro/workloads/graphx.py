@@ -31,7 +31,7 @@ Figure 13 analysis, and all three are modelled explicitly:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.sim.engine import MS, US
 from repro.workloads.base import Workload, WorkloadConfig
@@ -73,7 +73,7 @@ class GraphXPageRankWorkload(Workload):
         self._intensity = 1.0
 
     @property
-    def workers(self) -> List[str]:
+    def workers(self) -> list[str]:
         return [h for h in self.hosts if h != self.config.master]
 
     def _begin(self) -> None:
@@ -129,7 +129,7 @@ class GraphXPageRankWorkload(Workload):
                       dport=7077, size_bytes=self.config.control_size_bytes)
         self.sim.schedule(self.config.iteration_ns, self._iteration)
 
-    def _worker_wave(self, src: str, workers: List[str]) -> None:
+    def _worker_wave(self, src: str, workers: list[str]) -> None:
         if not self.active:
             return
         for dst in workers:

@@ -19,7 +19,7 @@ hosts (several logical tasks share a server, as in the testbed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.sim.engine import MS, US
 from repro.workloads.base import Workload, WorkloadConfig
@@ -45,7 +45,7 @@ class HadoopTerasortWorkload(Workload):
     def __init__(self, network, config: Optional[HadoopConfig] = None) -> None:
         super().__init__(network, config or HadoopConfig())
         self.config: HadoopConfig
-        self.transfers: List[Tuple[str, str, int]] = []
+        self.transfers: list[tuple[str, str, int]] = []
 
     def _assign_tasks(self) -> None:
         hosts = self.hosts

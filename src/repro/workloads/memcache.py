@@ -20,7 +20,7 @@ well as flowlets in Figure 12c).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.sim.engine import US
 from repro.workloads.base import Workload, WorkloadConfig
@@ -29,7 +29,7 @@ from repro.workloads.base import Workload, WorkloadConfig
 @dataclass
 class MemcacheConfig(WorkloadConfig):
     #: Hosts acting as clients; remaining participants are servers.
-    clients: Optional[List[str]] = None
+    clients: Optional[list[str]] = None
     #: Keys per multi-get (mc-crusher's default workload uses 50).
     keys_per_multiget: int = 50
     #: Mean gap between multi-gets per client (closed-ish loop).
@@ -49,13 +49,13 @@ class MemcacheWorkload(Workload):
         self.requests_sent = 0
 
     @property
-    def clients(self) -> List[str]:
+    def clients(self) -> list[str]:
         if self.config.clients is not None:
             return list(self.config.clients)
         return self.hosts[:1]  # first host drives the load by default
 
     @property
-    def servers(self) -> List[str]:
+    def servers(self) -> list[str]:
         clients = set(self.clients)
         return [h for h in self.hosts if h not in clients]
 

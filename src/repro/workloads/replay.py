@@ -18,7 +18,8 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import Optional, Union
 
 from repro.sim.network import Network
 from repro.sim.packet import FlowKey, Packet
@@ -37,7 +38,7 @@ class TraceEntry:
     dport: int = 80
     cos: int = 0
 
-    def to_row(self) -> List[str]:
+    def to_row(self) -> list[str]:
         return [str(self.time_ns), self.src, self.dst,
                 str(self.size_bytes), str(self.sport), str(self.dport),
                 str(self.cos)]
@@ -63,9 +64,9 @@ def save_trace(entries: Iterable[TraceEntry],
     return count
 
 
-def load_trace(path: Union[str, Path]) -> List[TraceEntry]:
+def load_trace(path: Union[str, Path]) -> list[TraceEntry]:
     """Load a CSV trace, validating ordering (replay needs sorted input)."""
-    entries: List[TraceEntry] = []
+    entries: list[TraceEntry] = []
     with open(path, newline="") as handle:
         for line_number, row in enumerate(csv.reader(handle), start=1):
             if not row:
@@ -73,7 +74,8 @@ def load_trace(path: Union[str, Path]) -> List[TraceEntry]:
             try:
                 entries.append(TraceEntry.from_row(row))
             except (ValueError, IndexError) as exc:
-                raise ValueError(f"{path}:{line_number}: bad record: {exc}")
+                raise ValueError(
+                    f"{path}:{line_number}: bad record: {exc}") from exc
     if any(b.time_ns < a.time_ns for a, b in zip(entries, entries[1:])):
         entries.sort(key=lambda e: e.time_ns)
     return entries
@@ -119,14 +121,14 @@ class ReplayWorkload(Workload):
 
 
 def record_trace(workload: Workload, network: Network,
-                 until_ns: int) -> List[TraceEntry]:
+                 until_ns: int) -> list[TraceEntry]:
     """Run ``workload`` and capture its emissions as a replayable trace.
 
     Hooks the workload's emit path, runs the simulation to ``until_ns``,
     and returns the observed entries — a convenient way to freeze a
     stochastic workload into a deterministic trace.
     """
-    captured: List[TraceEntry] = []
+    captured: list[TraceEntry] = []
     original_emit = workload.emit
 
     def capturing_emit(src: str, dst: str, **kwargs) -> None:

@@ -8,7 +8,7 @@ same primitives with application-specific structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from repro.sim.engine import MS, US
 from repro.workloads.base import Workload, WorkloadConfig
@@ -22,7 +22,7 @@ class PoissonConfig(WorkloadConfig):
     rate_pps: float = 10_000.0
     size_bytes: int = 1000
     #: Explicit pairs; None means all-to-all among participating hosts.
-    pairs: Optional[List[Tuple[str, str]]] = None
+    pairs: Optional[list[tuple[str, str]]] = None
     #: Draw a fresh source port for every packet, so the ECMP hash
     #: spreads each pair's traffic over all equal-cost members (models
     #: connection churn; without it each pair pins one member).
@@ -40,7 +40,7 @@ class PoissonWorkload(Workload):
         super().__init__(network, config or PoissonConfig())
         self.config: PoissonConfig
 
-    def _pairs(self) -> List[Tuple[str, str]]:
+    def _pairs(self) -> list[tuple[str, str]]:
         if self.config.pairs is not None:
             return list(self.config.pairs)
         hosts = self.hosts
@@ -73,7 +73,7 @@ class OnOffConfig(WorkloadConfig):
     #: Packet gap while "on" (burst rate).
     on_gap_ns: int = 10 * US
     size_bytes: int = 1500
-    pairs: Optional[List[Tuple[str, str]]] = None
+    pairs: Optional[list[tuple[str, str]]] = None
 
 
 class OnOffWorkload(Workload):
@@ -88,7 +88,7 @@ class OnOffWorkload(Workload):
         super().__init__(network, config or OnOffConfig())
         self.config: OnOffConfig
 
-    def _pairs(self) -> List[Tuple[str, str]]:
+    def _pairs(self) -> list[tuple[str, str]]:
         if self.config.pairs is not None:
             return list(self.config.pairs)
         hosts = self.hosts

@@ -345,7 +345,7 @@ class TestCrashRecovery:
         cp = deployment.control_planes["sw0"]
         epochs = deployment.schedule_campaign(count=3, interval_ns=5 * MS)
         # Dead from before the first initiation until after the last.
-        net.sim.schedule_at(int(0.5 * MS), cp.crash)
+        net.sim.schedule_at(MS // 2, cp.crash)
         net.sim.schedule_at(20 * MS, cp.restart)
         net.run(until=60 * MS)
         for epoch in epochs:

@@ -5,7 +5,6 @@ Monte-Carlo) so worker processes resolve it through the standard
 registry exactly as the CLI does.
 """
 
-from typing import List
 
 import pytest
 
@@ -14,7 +13,7 @@ from repro.runtime import (TrialCache, TrialRunner, TrialSpec, make_result,
                            registered_kinds, resolve, trial)
 
 
-def _fig11_specs(counts: List[int]) -> List[TrialSpec]:
+def _fig11_specs(counts: list[int]) -> list[TrialSpec]:
     return fig11.specs(fig11.Fig11Config(router_counts=counts, trials=5))
 
 

@@ -61,7 +61,7 @@ class TestScheduling:
     def test_integral_float_delay_rounds_exactly(self, sim):
         # 2.0 is an exact nanosecond count: accepted, never truncated.
         seen = []
-        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.schedule(2.0, lambda: seen.append(sim.now))  # statics: allow[SIM001] exercises exact_ns integral-float acceptance
         sim.run()
         assert seen == [2]
 
@@ -69,15 +69,15 @@ class TestScheduling:
         # Silent truncation (int(2.7) == 2) used to reorder events; a
         # fractional nanosecond is now a hard error.
         with pytest.raises(ValueError, match="integral nanosecond"):
-            sim.schedule(2.7, lambda: None)
+            sim.schedule(2.7, lambda: None)  # statics: allow[SIM001] exercises exact_ns fractional rejection
 
     def test_fractional_schedule_at_rejected(self, sim):
         with pytest.raises(ValueError, match="integral nanosecond"):
-            sim.schedule_at(10.5, lambda: None)
+            sim.schedule_at(10.5, lambda: None)  # statics: allow[SIM001] exercises exact_ns fractional rejection
 
     def test_integral_float_schedule_at_exact(self, sim):
         seen = []
-        sim.schedule_at(1e9, lambda: seen.append(sim.now))
+        sim.schedule_at(1e9, lambda: seen.append(sim.now))  # statics: allow[SIM001] exercises exact_ns integral-float acceptance
         sim.run()
         assert seen == [1_000_000_000]
 
@@ -85,7 +85,7 @@ class TestScheduling:
         # 2**53 is representable; 2**53 + 1 is not (would silently land
         # on a neighbouring nanosecond under truncation).
         seen = []
-        sim.schedule_at(float(2 ** 53), lambda: seen.append(sim.now))
+        sim.schedule_at(float(2 ** 53), lambda: seen.append(sim.now))  # statics: allow[SIM001] exercises exact_ns float-precision boundary
         sim.run()
         assert seen == [2 ** 53]
 

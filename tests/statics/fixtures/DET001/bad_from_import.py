@@ -1,0 +1,6 @@
+# statics-fixture-scope: faults
+from random import shuffle
+
+
+def scramble(targets: list) -> None:
+    shuffle(targets)

@@ -1,0 +1,6 @@
+# statics-fixture-scope: sim
+import random
+
+
+def jitter_ns() -> int:
+    return int(random.random() * 100)

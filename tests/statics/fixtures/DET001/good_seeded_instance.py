@@ -1,0 +1,10 @@
+# statics-fixture-scope: sim
+import random
+
+
+def jitter_ns(rng: random.Random) -> int:
+    return int(rng.random() * 100)
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

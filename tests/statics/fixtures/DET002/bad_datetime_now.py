@@ -1,0 +1,6 @@
+# statics-fixture-scope: analysis
+import datetime
+
+
+def today() -> str:
+    return datetime.datetime.now().isoformat()

@@ -1,0 +1,6 @@
+# statics-fixture-scope: core
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

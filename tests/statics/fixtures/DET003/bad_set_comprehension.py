@@ -1,0 +1,4 @@
+# statics-fixture-scope: core
+def devices(records: list) -> list:
+    names = {record.device for record in records}
+    return [name for name in names]

@@ -1,0 +1,4 @@
+# statics-fixture-scope: sim
+def drain(pending: set) -> None:
+    for unit in pending:
+        unit.flush()

@@ -1,0 +1,3 @@
+# statics-fixture-scope: core
+def label(parts: frozenset) -> str:
+    return ",".join(parts)

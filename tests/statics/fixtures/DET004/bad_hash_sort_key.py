@@ -1,0 +1,3 @@
+# statics-fixture-scope: experiments
+def order(nodes: list) -> list:
+    return sorted(nodes, key=lambda node: hash(node.name))

@@ -1,0 +1,6 @@
+# statics-fixture-scope: core
+import heapq
+
+
+def enqueue(heap: list, item: object) -> None:
+    heapq.heappush(heap, (id(item), item))

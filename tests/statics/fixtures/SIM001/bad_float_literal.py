@@ -1,0 +1,3 @@
+# statics-fixture-scope: experiments
+def arm(sim: object, fn: object) -> None:
+    sim.schedule_fast(1.5, fn)

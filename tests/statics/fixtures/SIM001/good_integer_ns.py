@@ -1,0 +1,3 @@
+# statics-fixture-scope: sim
+def arm(sim: object, interval_ns: int, fn: object) -> None:
+    sim.schedule(interval_ns // 2, fn)

@@ -1,0 +1,5 @@
+# statics-fixture-scope: sim
+class Token:
+    __slots__ = ("value",)
+
+    value = 0

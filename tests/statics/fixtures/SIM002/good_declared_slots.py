@@ -1,0 +1,7 @@
+# statics-fixture-scope: sim
+class Token:
+    __slots__ = ("value", "extra")
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self.extra = value + 1

@@ -1,0 +1,10 @@
+# statics-fixture-scope: experiments
+from repro.runtime import trial
+
+COUNTER = 0
+
+
+@trial("fixture-bad-global")
+def run_trial(spec: object) -> None:
+    global COUNTER
+    COUNTER = 1

@@ -1,0 +1,9 @@
+# statics-fixture-scope: experiments
+from repro.runtime import trial
+
+RESULTS: list = []
+
+
+@trial("fixture-bad-mutation")
+def run_trial(spec: object) -> None:
+    RESULTS.append(spec)

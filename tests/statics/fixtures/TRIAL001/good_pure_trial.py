@@ -1,0 +1,11 @@
+# statics-fixture-scope: experiments
+from repro.runtime import trial
+
+DEFAULTS = {"duration_ns": 1000}
+
+
+@trial("fixture-good-pure")
+def run_trial(spec: object) -> dict:
+    params = dict(DEFAULTS)
+    params["spec"] = spec
+    return params

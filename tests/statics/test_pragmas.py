@@ -1,0 +1,95 @@
+"""Pragma semantics: suppression is per-rule, per-line, and audited."""
+
+from __future__ import annotations
+
+from repro.statics import ALL_RULES, check_source
+
+BAD_LINE = "import random\nx = random.random(){pragma}\n"
+
+
+class TestSuppression:
+    def test_trailing_pragma_suppresses_named_rule(self):
+        src = BAD_LINE.format(
+            pragma="  # statics: allow[DET001] fixture exercises suppression")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_standalone_pragma_targets_next_line(self):
+        src = ("import random\n"
+               "# statics: allow[DET001] seeded upstream, audited\n"
+               "x = random.random()\n")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_pragma_suppresses_exactly_its_named_rule(self):
+        # Two different violations on one line; only the named rule is
+        # suppressed, the other still fires.
+        src = ("import random\n"
+               "sim.schedule(random.random() / 2, fn)"
+               "  # statics: allow[SIM001] testing per-rule suppression\n")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        rules = {f.rule for f in report.findings}
+        assert rules == {"DET001"}
+        assert report.suppressed >= 1
+
+    def test_multi_rule_pragma(self):
+        src = ("import random\n"
+               "sim.schedule(random.random() / 2, fn)"
+               "  # statics: allow[SIM001,DET001] both sides audited\n")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert report.ok
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        src = ("import random\n"
+               "y = 1  # statics: allow[DET001] wrong line\n"
+               "\n"
+               "x = random.random()\n")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        rules = {f.rule for f in report.findings}
+        # The violation still fires and the stray pragma is unused.
+        assert rules == {"DET001", "PRAGMA002"}
+
+
+class TestPragmaAuditing:
+    def test_reasonless_pragma_is_reported_and_inert(self):
+        src = BAD_LINE.format(pragma="  # statics: allow[DET001]")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["DET001", "PRAGMA001"]
+        assert report.suppressed == 0
+
+    def test_unknown_rule_pragma_is_reported(self):
+        src = BAD_LINE.format(
+            pragma="  # statics: allow[NOPE999] not a rule")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["DET001", "PRAGMA001"]
+
+    def test_unused_pragma_is_reported(self):
+        src = "x = 1  # statics: allow[DET001] nothing to suppress here\n"
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert [f.rule for f in report.findings] == ["PRAGMA002"]
+
+    def test_unused_reporting_disabled_for_rule_subsets(self):
+        # A partial --rules run must not misreport pragmas for rules it
+        # did not execute.
+        subset = [r for r in ALL_RULES if r.id == "SIM001"]
+        src = BAD_LINE.format(
+            pragma="  # statics: allow[DET001] suppressed under full set")
+        report = check_source(src, "x.py", subset, scope="sim",
+                              report_unused_pragmas=False,
+                              known_rules={r.id for r in ALL_RULES})
+        assert report.ok
+
+    def test_docstring_pragma_examples_are_inert(self):
+        src = ('"""Docs.\n'
+               "\n"
+               "    x = 1  # statics: allow[DET001] example only\n"
+               '"""\n'
+               "import random\n"
+               "x = random.random()\n")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        # The docstring example neither suppresses nor counts as unused.
+        assert [f.rule for f in report.findings] == ["DET001"]

@@ -42,7 +42,7 @@ class TestReplay:
 
     def test_entries_past_stop_skipped(self):
         net = _net()
-        entries = _trace() + [TraceEntry(2 * S, "server0", "server1")]
+        entries = [*_trace(), TraceEntry(2 * S, "server0", "server1")]
         wl = ReplayWorkload(net, entries, WorkloadConfig(stop_ns=1 * S))
         wl.start()
         net.run(until=3 * S)
