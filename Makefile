@@ -52,16 +52,25 @@ bench-experiments:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Snapshots-under-failure smoke (docs/FAULTS.md): the quick fault
-# sweep, uncached; fails if any completed-and-consistent snapshot
-# violates the link non-negativity or conservation audits.
+# sweep, the correlated rack-loss scenario, and the quick recovery
+# sweep, all uncached; fails if any completed-and-consistent snapshot
+# violates the link non-negativity or conservation audits, or if the
+# recovery sweep leaves any profile without a Pareto frontier.
 chaos-smoke:
 	$(PYTHON) -c "import sys; \
-	from repro.experiments import faults; \
+	from repro.experiments import faults, recovery; \
 	from repro.runtime import TrialRunner; \
-	result = faults.run(faults.FaultsConfig.quick(), \
-	                    TrialRunner(jobs=$(JOBS))); \
-	print(result.report()); \
-	sys.exit(0 if result.all_audits_ok else 1)"
+	runner = TrialRunner(jobs=$(JOBS)); \
+	sweep = faults.run(faults.FaultsConfig.quick(), runner); \
+	print(sweep.report()); \
+	correlated = faults.run(faults.FaultsConfig.correlated(), runner); \
+	print(); print(correlated.report()); \
+	rec = recovery.run(recovery.RecoveryConfig.quick(), runner); \
+	print(); print(rec.report()); \
+	frontiers = all(rec.frontier(prof) \
+	                for prof in {p for (_, p) in rec.rows}); \
+	sys.exit(0 if sweep.all_audits_ok and correlated.all_audits_ok \
+	         and frontiers else 1)"
 
 # cProfile one experiment end-to-end: one .prof per trial under
 # profiles/, then print the hottest functions of each.

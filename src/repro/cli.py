@@ -9,7 +9,12 @@ Commands:
     ``--list`` prints the available experiments instead of running.
 ``run <name> [--quick] [--jobs N] [--no-cache] [--cache-dir DIR]``
     Run one experiment (``table1``, ``fig9`` … ``fig13``,
-    ``ablation-ideal``, ``sweep-ptp`` …) and print its report.
+    ``ablation-ideal``, ``sweep-ptp``, ``faults``, ``recovery``,
+    ``scaling`` …) and print its report.  The fault-aware experiments
+    accept ``--fault-profile <json|file>`` with a serialized
+    :class:`~repro.faults.FaultProfile` (see docs/FAULTS.md; the flag is
+    not called ``--profile`` because that already selects cProfile
+    output).
 ``metrics``
     List the snapshot-capable metrics and whether they support channel
     state.
@@ -80,6 +85,55 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         help="dump one cProfile .prof file per trial into "
                              "DIR (forces serial, bypasses the cache; "
                              "inspect with python -m repro.perf.profiles)")
+    # Named --fault-profile (not --profile, which already means cProfile
+    # output above) — see docs/FAULTS.md.
+    parser.add_argument("--fault-profile", metavar="JSON|FILE", default=None,
+                        help="serialized FaultProfile (inline JSON or a "
+                             "path to a .json file) applied to the "
+                             "fault-aware experiments: faults and scaling "
+                             "run it as their scenario, recovery sweeps "
+                             "its policies against it")
+
+
+def _load_fault_profile(text: str) -> Optional[dict]:
+    """Parse ``--fault-profile``: inline JSON or a path to a JSON file.
+    Validates by round-tripping through FaultProfile.from_jsonable.
+    Returns None (after printing the reason) on bad input."""
+    import json
+    import os
+
+    from repro.faults import FaultProfile
+
+    raw = text
+    if os.path.exists(text):
+        with open(text, encoding="utf-8") as handle:
+            raw = handle.read()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"--fault-profile is neither a file nor valid JSON: {exc}",
+              file=sys.stderr)
+        return None
+    try:
+        return FaultProfile.from_jsonable(data).to_jsonable()
+    except (ValueError, TypeError) as exc:
+        print(f"invalid fault profile: {exc}", file=sys.stderr)
+        return None
+
+
+def _apply_fault_profile(configs: dict, profile_json: dict) -> list[str]:
+    """Thread a serialized profile into every config that understands
+    one: ``profile`` (faults, scaling) or ``profiles`` (recovery, which
+    then sweeps its policies against just this profile)."""
+    applied = []
+    for name, config in configs.items():
+        if hasattr(config, "profile"):
+            config.profile = profile_json
+            applied.append(name)
+        elif hasattr(config, "profiles"):
+            config.profiles = {"cli-profile": profile_json}
+            applied.append(name)
+    return applied
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -107,6 +161,18 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     # sees every trial at once, so --jobs fans out across experiments.
     runner = _make_runner(args)
     configs = {name: reg[name].config(quick=args.quick) for name in names}
+    if args.fault_profile:
+        profile_json = _load_fault_profile(args.fault_profile)
+        if profile_json is None:
+            return 2
+        applied = _apply_fault_profile(configs, profile_json)
+        if not applied:
+            print("--fault-profile: none of the selected experiments "
+                  "accept a fault profile (try faults, scaling, recovery)",
+                  file=sys.stderr)
+            return 2
+        print(f"[fault profile applied to: {', '.join(applied)}]",
+              file=sys.stderr)
     batches = {name: reg[name].specs(configs[name]) for name in names}
     flat = [spec for name in names for spec in batches[name]]
     results = runner.run_batch(flat)
@@ -145,7 +211,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 2
     exp = reg[args.name]
     runner = _make_runner(args)
-    result = exp.run(exp.config(quick=args.quick), runner=runner)
+    config = exp.config(quick=args.quick)
+    if args.fault_profile:
+        profile_json = _load_fault_profile(args.fault_profile)
+        if profile_json is None:
+            return 2
+        applied = _apply_fault_profile({args.name: config}, profile_json)
+        if not applied:
+            print(f"--fault-profile: {args.name} does not accept a fault "
+                  "profile (try faults, scaling, recovery)", file=sys.stderr)
+            return 2
+        print(f"[fault profile applied to: {', '.join(applied)}]",
+              file=sys.stderr)
+    result = exp.run(config, runner=runner)
     print(result.report())
     print(f"\n[{runner.last_stats.summary()}]", file=sys.stderr)
     return 0

@@ -34,6 +34,11 @@ from repro.core.control_plane import (
     UnitSnapshotRecord,
 )
 from repro.core.observer import ObserverConfig, SnapshotObserver
+from repro.core.recovery import (
+    RECOVERY_PRESETS,
+    RecoveryPolicy,
+    recovery_preset,
+)
 from repro.core.campaign import CampaignConfig, ConsistentCampaign
 from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
 from repro.core.deployment import (
@@ -55,6 +60,9 @@ __all__ = [
     "UnitSnapshotRecord",
     "ObserverConfig",
     "SnapshotObserver",
+    "RECOVERY_PRESETS",
+    "RecoveryPolicy",
+    "recovery_preset",
     "CampaignConfig",
     "ConsistentCampaign",
     "GlobalSnapshot",

@@ -129,6 +129,11 @@ class ControlPlaneConfig:
     #: Seen entries promptly (0 disables; liveness then relies on the
     #: re-initiation path).
     probe_delay_ns: int = 2 * MS
+    #: Proactively poll the data-plane registers at this cadence,
+    #: recovering from dropped notifications without waiting for any
+    #: timeout (§6; 0 disables — the paper's default).  Tuned via
+    #: :class:`~repro.core.recovery.RecoveryPolicy`.
+    register_poll_interval_ns: int = 0
     seed: int = 11
 
 
@@ -366,10 +371,19 @@ class SwitchControlPlane:
         self._initiated: dict[int, int] = {}
         self.initiations_sent = 0
         self.reinitiations_sent = 0
+        #: Recovery-overhead telemetry (probe packets injected, register
+        #: polls performed) — the cost side of the recovery frontier.
+        self.probes_sent = 0
+        self.polls_performed = 0
         #: Crash-fault state (see :meth:`crash` / :meth:`restart`).
         self._crashed = False
         self.crashes = 0
         self.notifications_lost_to_crash = 0
+        if self.config.register_poll_interval_ns > 0:
+            # Periodic proactive polls (RecoveryPolicy-driven): strictly
+            # opt-in, so the default configuration schedules nothing.
+            self.sim.schedule(self.config.register_poll_interval_ns,
+                              self._periodic_poll)
 
     # ------------------------------------------------------------------
     # Registration (deployment wiring)
@@ -495,14 +509,24 @@ class SwitchControlPlane:
                                created_ns=self.sim.now, payload=ttl)
                 probe.snapshot = SnapshotHeader(sid=agent.sid,
                                                 packet_type=PacketType.PROBE)
+                self.probes_sent += 1
                 self.sim.schedule(self.switch.config.asic_cpu_latency_ns,
                                   port.ingress.handle_packet, probe)
+
+    def _periodic_poll(self) -> None:
+        """Recurring register poll at the RecoveryPolicy's cadence.  A
+        crashed CP skips the poll but keeps the timer running — the
+        process that restarts it re-inherits the cadence."""
+        self.poll_registers()
+        self.sim.schedule(self.config.register_poll_interval_ns,
+                          self._periodic_poll)
 
     def poll_registers(self) -> None:
         """Proactively resync the control-plane view from the data plane,
         recovering from dropped notifications (§6)."""
         if self._crashed:
             return
+        self.polls_performed += 1
         for tracker in self.trackers.values():
             agent = tracker.agent
             now = self.sim.now

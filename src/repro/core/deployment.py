@@ -29,7 +29,7 @@ unit gates on every connected ingress port of its switch except its own
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Callable
 from typing import Optional
 
@@ -39,6 +39,7 @@ from repro.core.dataplane import SpeedlightUnit
 from repro.core.ideal import IdealUnit
 from repro.core.ids import IdSpace
 from repro.core.observer import ObserverConfig, SnapshotObserver
+from repro.core.recovery import RecoveryPolicy
 from repro.counters import (FibVersionCounter, QueueDepthCounter,
                             QueueHighWatermark, make_counter)
 from repro.sim.network import Network
@@ -87,6 +88,10 @@ class DeploymentConfig:
     cos_classes: Optional[list[int]] = None
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
     observer: ObserverConfig = field(default_factory=ObserverConfig)
+    #: Recovery policy overlay: when set, its §6 recovery fields are
+    #: applied over ``control_plane``/``observer`` (which keep supplying
+    #: every non-recovery field, e.g. transport or lead time).
+    recovery: Optional[RecoveryPolicy] = None
 
 
 class SpeedlightDeployment:
@@ -99,6 +104,12 @@ class SpeedlightDeployment:
             config = DeploymentConfig(**config_kwargs)
         elif config_kwargs:
             raise TypeError("pass either a DeploymentConfig or kwargs, not both")
+        if config.recovery is not None:
+            config = replace(
+                config,
+                control_plane=config.recovery.control_plane_config(
+                    config.control_plane),
+                observer=config.recovery.observer_config(config.observer))
         self.network = network
         self.config = config
         if config.channel_state and config.metric in GAUGE_METRICS:

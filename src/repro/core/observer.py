@@ -191,9 +191,18 @@ class SnapshotObserver:
             self.sim.schedule(self.config.retry_timeout_ns,
                               self._check_progress, epoch)
             return
-        # Out of retries: exclude devices that never reported anything.
-        # Sorted so the exclusion order (and any log/audit keyed on it)
-        # is independent of the hash seed.
+        # Out of retries.  "If a device fails, it may timeout and be
+        # excluded" (§6) — but only after the full device timeout has
+        # elapsed since the snapshot's scheduled instant, so a slow
+        # device is not confused with a dead one.  The deadline check
+        # runs at most once: when it fires, now >= deadline.
+        deadline = snapshot.requested_wall_ns + self.config.device_timeout_ns
+        if self.sim.now < deadline:
+            self.sim.schedule_at(deadline, self._check_progress, epoch)
+            return
+        # Exclude devices that never reported anything.  Sorted so the
+        # exclusion order (and any log/audit keyed on it) is independent
+        # of the hash seed.
         silent = {u.device for u in snapshot.missing_units}
         reported = {u.device for u in snapshot.records}
         for device in sorted(silent - reported):

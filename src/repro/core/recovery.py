@@ -1,0 +1,167 @@
+"""Recovery policies — the §6 liveness machinery as a first-class spec.
+
+The paper's recovery knobs (control-plane re-initiation timeouts,
+liveness-probe delay, register polls, digest flush timers, observer
+retry/device timeouts) used to be hard-coded fields scattered across
+:class:`~repro.core.control_plane.ControlPlaneConfig` and
+:class:`~repro.core.observer.ObserverConfig`.  A :class:`RecoveryPolicy`
+gathers exactly those knobs into one frozen, JSON-round-trippable spec
+that can be
+
+* handed to :class:`~repro.core.deployment.DeploymentConfig` via its
+  ``recovery`` field (the deployment derives the CP/observer configs),
+* swept by :mod:`repro.experiments.recovery` against
+  :class:`~repro.faults.FaultProfile`\\ s to map the
+  completion-vs-overhead frontier, and
+* embedded in trial params (so the policy is part of the trial cache
+  fingerprint).
+
+``register_poll_interval_ns`` adds the one §6 mechanism that previously
+existed only as a manual call: periodic proactive register polls that
+recover from dropped notifications without waiting for re-initiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Mapping
+from typing import Any, Optional
+
+from repro.core.control_plane import ControlPlaneConfig
+from repro.core.observer import ObserverConfig
+from repro.sim.engine import MS, US
+
+__all__ = ["RECOVERY_PRESETS", "RecoveryPolicy", "recovery_preset"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Every §6 recovery/liveness tunable, in one declarative object.
+
+    The defaults reproduce the paper-calibrated values that were
+    previously hard-coded, so ``RecoveryPolicy()`` is behaviourally
+    neutral.
+    """
+
+    name: str = "paper-default"
+    #: Control plane: re-send initiations for locally incomplete epochs.
+    reinitiation_timeout_ns: int = 20 * MS
+    max_reinitiations: int = 3
+    #: Control plane: idle-channel probe injection after each initiation
+    #: (0 disables; liveness then rides on re-initiation alone).
+    probe_delay_ns: int = 2 * MS
+    #: Control plane: periodic proactive register polls (0 disables) —
+    #: recovers from dropped notifications without waiting for timeouts.
+    register_poll_interval_ns: int = 0
+    #: Control plane (digest transport only): flush timer.
+    digest_timeout_ns: int = 500 * US
+    #: Observer: re-register initiations for incomplete snapshots.
+    retry_timeout_ns: int = 50 * MS
+    max_retries: int = 2
+    #: Observer: exclude silent devices only after this grace period.
+    device_timeout_ns: int = 250 * MS
+
+    def __post_init__(self) -> None:
+        for field_name in ("reinitiation_timeout_ns", "probe_delay_ns",
+                           "register_poll_interval_ns", "digest_timeout_ns",
+                           "retry_timeout_ns", "device_timeout_ns"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(
+                    f"{field_name} must be >= 0, "
+                    f"got {getattr(self, field_name)}")
+        if self.max_reinitiations < 0:
+            raise ValueError(
+                f"max_reinitiations must be >= 0, "
+                f"got {self.max_reinitiations}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_timeout_ns <= 0:
+            raise ValueError(
+                f"retry_timeout_ns must be > 0, got {self.retry_timeout_ns}")
+
+    # ------------------------------------------------------------------
+    # Threading into the core configs
+    # ------------------------------------------------------------------
+    def control_plane_config(
+            self, base: Optional[ControlPlaneConfig] = None,
+    ) -> ControlPlaneConfig:
+        """The control-plane config with this policy's recovery fields
+        applied over ``base`` (every non-recovery field is preserved)."""
+        return replace(
+            base if base is not None else ControlPlaneConfig(),
+            reinitiation_timeout_ns=self.reinitiation_timeout_ns,
+            max_reinitiations=self.max_reinitiations,
+            probe_delay_ns=self.probe_delay_ns,
+            register_poll_interval_ns=self.register_poll_interval_ns,
+            digest_timeout_ns=self.digest_timeout_ns)
+
+    def observer_config(
+            self, base: Optional[ObserverConfig] = None) -> ObserverConfig:
+        """The observer config with this policy's retry/exclusion fields
+        applied over ``base``."""
+        return replace(
+            base if base is not None else ObserverConfig(),
+            retry_timeout_ns=self.retry_timeout_ns,
+            max_retries=self.max_retries,
+            device_timeout_ns=self.device_timeout_ns)
+
+    # ------------------------------------------------------------------
+    # Serialization (trial params / CLI)
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "reinitiation_timeout_ns": self.reinitiation_timeout_ns,
+            "max_reinitiations": self.max_reinitiations,
+            "probe_delay_ns": self.probe_delay_ns,
+            "register_poll_interval_ns": self.register_poll_interval_ns,
+            "digest_timeout_ns": self.digest_timeout_ns,
+            "retry_timeout_ns": self.retry_timeout_ns,
+            "max_retries": self.max_retries,
+            "device_timeout_ns": self.device_timeout_ns,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "RecoveryPolicy":
+        return cls(**dict(data))
+
+
+def _presets() -> dict[str, RecoveryPolicy]:
+    return {
+        # The hard-coded values of PRs past, now merely a default.
+        "paper-default": RecoveryPolicy(),
+        # Spend control messages freely for fast, robust completion.
+        "eager": RecoveryPolicy(
+            name="eager",
+            reinitiation_timeout_ns=5 * MS, max_reinitiations=5,
+            probe_delay_ns=1 * MS, register_poll_interval_ns=5 * MS,
+            retry_timeout_ns=20 * MS, max_retries=4,
+            device_timeout_ns=120 * MS),
+        # Minimal overhead: one late re-initiation, slow probes, no
+        # polls, a single observer retry.
+        "patient": RecoveryPolicy(
+            name="patient",
+            reinitiation_timeout_ns=60 * MS, max_reinitiations=1,
+            probe_delay_ns=10 * MS, register_poll_interval_ns=0,
+            retry_timeout_ns=100 * MS, max_retries=1,
+            device_timeout_ns=400 * MS),
+        # Paper defaults plus periodic register polls — isolates what
+        # proactive polling buys on top of the timeout machinery.
+        "polling": RecoveryPolicy(
+            name="polling", register_poll_interval_ns=10 * MS),
+    }
+
+
+#: Named policies for sweeps and the CLI; see :func:`recovery_preset`.
+RECOVERY_PRESETS: dict[str, RecoveryPolicy] = _presets()
+
+
+def recovery_preset(name: str) -> RecoveryPolicy:
+    """Look up a named policy preset (raises with the known names)."""
+    try:
+        return RECOVERY_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery preset {name!r} "
+            f"(known: {', '.join(sorted(RECOVERY_PRESETS))})") from None

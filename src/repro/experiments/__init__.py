@@ -78,8 +78,8 @@ def registry() -> dict[str, Experiment]:
     commands like ``metrics``) stay cheap.
     """
     from repro.experiments import (ablations, faults, fig9, fig10, fig11,
-                                   fig12, fig13, motivation, scaling, sweeps,
-                                   table1)
+                                   fig12, fig13, motivation, recovery,
+                                   scaling, sweeps, table1)
 
     entries = [
         Experiment("motivation", "Figure 1: balanced vs. alternating queues",
@@ -123,6 +123,10 @@ def registry() -> dict[str, Experiment]:
                    scaling.ScalingConfig, scaling.specs, scaling.assemble),
         Experiment("faults", "snapshot health vs. fault intensity (chaos)",
                    faults.FaultsConfig, faults.specs, faults.assemble),
+        Experiment("recovery",
+                   "completion-vs-overhead frontier of recovery policies",
+                   recovery.RecoveryConfig, recovery.specs,
+                   recovery.assemble),
     ]
     return {e.name: e for e in entries}
 

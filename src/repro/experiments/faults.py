@@ -1,31 +1,36 @@
-"""Snapshots under failure: fault intensity vs. snapshot health.
+"""Snapshots under failure: fault scenarios vs. snapshot health.
 
 The paper's robustness story (§4.2, §6) is qualitative: dropped packets,
 dropped notifications and slow control planes delay snapshots or mark
 them inconsistent, but never corrupt them.  This experiment makes the
 story quantitative.  Each trial runs a full snapshot campaign on the
 leaf-spine testbed while a :class:`~repro.faults.FaultInjector` replays
-a deterministic fault profile (link flaps, Gilbert–Elliott burst loss,
-latency spikes, buffer squeezes, unit stalls, control-plane crashes /
-overflows / slowdowns, clock holdover and steps) compiled from a scalar
-*intensity* — expected fault events per target over the campaign.
+a deterministic :class:`~repro.faults.FaultProfile` — by default the
+classic :class:`~repro.faults.IndependentFaults` intensity sweep, or any
+serialized profile (correlated rack loss, maintenance windows,
+cascades, composites) via :attr:`FaultsConfig.profile` or the
+``--fault-profile`` CLI flag.
 
-Reported per intensity:
+Reported per scenario:
 
 * **completion rate** — fraction of campaign epochs fully assembled;
 * **time-to-complete** — median capture-to-read span of completed
   snapshots (faults stretch it via retries and recovery polls);
 * **fraction marked inconsistent** — the protocol being *honest* about
   epochs whose channel state it could not guarantee;
+* **per-epoch attribution** — which fault spans overlapped each
+  degraded epoch's collection window
+  (:mod:`repro.faults.attribution`), so a flagged epoch traces to the
+  link flap or CP crash that caused it;
 * **audit verdicts** — every completed-and-consistent snapshot must
   pass :class:`~repro.analysis.invariants.LinkAudit` (non-negative link
   discrepancies) and the ground-truth conservation law
   (:class:`~repro.analysis.consistency.ConsistencyChecker`).  Faults may
   stall or degrade snapshots; they must never make one silently wrong.
 
-The fault profile is embedded in each TrialSpec's params (its JSON
-form), so it participates in the cache fingerprint: change the
-schedule, invalidate the cache.
+The fault profile and its compiled schedule are embedded in each
+TrialSpec's params (their JSON forms), so they participate in the cache
+fingerprint: change the scenario, invalidate the cache.
 """
 
 from __future__ import annotations
@@ -39,12 +44,23 @@ from repro.analysis.invariants import LinkAudit
 from repro.core import DeploymentConfig, SpeedlightDeployment
 from repro.experiments.campaigns import campaign_window, start_poisson
 from repro.experiments.harness import TextTable, header
-from repro.faults import FaultInjector, FaultSchedule, compile_profile
+from repro.faults import (CorrelatedGroup, FaultInjector, FaultProfile,
+                          FaultSchedule, IndependentFaults, ProfileContext)
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
 from repro.topology import leaf_spine
-from repro.topology.graph import NodeKind
+
+__all__ = [
+    "DEFAULT_KINDS",
+    "FaultsConfig",
+    "FaultsResult",
+    "assemble",
+    "run",
+    "run_faults_trial",
+    "scenarios",
+    "specs",
+]
 
 #: Default fault mix: every kind the injector supports.
 DEFAULT_KINDS = ["link_down", "link_loss", "link_delay", "queue_squeeze",
@@ -55,7 +71,9 @@ DEFAULT_KINDS = ["link_down", "link_loss", "link_delay", "queue_squeeze",
 @dataclass
 class FaultsConfig:
     seed: int = 42
-    #: Expected fault events per (kind, target) over the campaign window.
+    #: Expected fault events per (kind, target) over the campaign window
+    #: (the default IndependentFaults sweep; ignored when ``profile`` is
+    #: set).
     intensities: list[float] = field(
         default_factory=lambda: [0.0, 0.25, 0.5, 1.0])
     rounds: int = 12
@@ -64,16 +82,53 @@ class FaultsConfig:
     hosts_per_leaf: int = 1
     kinds: list[str] = field(default_factory=lambda: list(DEFAULT_KINDS))
     mean_fault_duration_ns: int = 5 * MS
+    #: Serialized :class:`~repro.faults.FaultProfile`
+    #: (``profile.to_jsonable()``).  When set, the experiment runs this
+    #: single scenario instead of the intensity sweep.
+    profile: Optional[dict] = None
 
     @classmethod
     def quick(cls) -> "FaultsConfig":
         return cls(intensities=[0.0, 0.5], rounds=6)
 
+    @classmethod
+    def correlated(cls) -> "FaultsConfig":
+        """A correlated scenario: rack power loss (all fabric links + CP
+        of one switch) on top of a mild independent background.  The
+        group is pinned mid-campaign so it demonstrably lands on live
+        epochs instead of wherever the uniform draw happens to fall."""
+        profile = (CorrelatedGroup(at_ns=25 * MS)
+                   | IndependentFaults(intensity=0.25,
+                                       kinds=("link_delay", "cp_slow")))
+        return cls(rounds=8, profile=profile.to_jsonable())
+
+
+def scenarios(config: FaultsConfig) -> list[tuple[str, FaultProfile]]:
+    """The (label, profile) pairs this config sweeps."""
+    if config.profile is not None:
+        profile = FaultProfile.from_jsonable(config.profile)
+        return [(f"profile-{profile.profile_type}", profile)]
+    return [(f"iid-{intensity:g}",
+             IndependentFaults(intensity=intensity,
+                               kinds=tuple(config.kinds),
+                               mean_duration_ns=config.mean_fault_duration_ns))
+            for intensity in config.intensities]
+
+
+def _context_for(config: FaultsConfig) -> ProfileContext:
+    """The compile context for the leaf-spine testbed: fabric links,
+    switches, clocks; the campaign lead-in is left fault-free so epoch 1
+    always has a clean initiation to recover from."""
+    topo = leaf_spine(hosts_per_leaf=config.hosts_per_leaf)
+    return ProfileContext.for_topology(
+        topo, horizon_ns=config.rounds * config.interval_ns,
+        start_ns=10 * MS, seed=config.seed)
+
 
 @dataclass
 class FaultsResult:
     config: FaultsConfig
-    rows: dict[float, dict[str, Any]]
+    rows: dict[str, dict[str, Any]]  # scenario label -> trial data
 
     @property
     def all_audits_ok(self) -> bool:
@@ -81,19 +136,19 @@ class FaultsResult:
                    for row in self.rows.values())
 
     def report(self) -> str:
-        table = TextTable(["Intensity", "Faults", "Completion",
+        table = TextTable(["Scenario", "Faults", "Completion",
                            "Median TTC (ms)", "Inconsistent", "Audits"])
-        for intensity in sorted(self.rows):
-            row = self.rows[intensity]
+        for label in sorted(self.rows):
+            row = self.rows[label]
             ttc = row["median_ttc_ns"]
-            table.add(intensity, row["faults_applied"],
+            table.add(label, row["faults_applied"],
                       f"{row['completion_rate']:.2f}",
                       f"{ttc / 1e6:.2f}" if ttc is not None else "-",
                       f"{row['inconsistent_fraction']:.2f}",
                       "OK" if row["audit_ok"] and row["consistency_ok"]
                       else "VIOLATED")
         lines = [
-            header("Snapshots under failure — fault intensity sweep",
+            header("Snapshots under failure — fault scenario sweep",
                    "completion / latency / honesty of snapshots as the "
                    "chaos layer turns up (docs/FAULTS.md)"),
             table.render(),
@@ -102,46 +157,55 @@ class FaultsResult:
             "conservation law; inconsistent epochs are *flagged*, "
             "never silently wrong.",
         ]
+        attribution = self._attribution_lines()
+        if attribution:
+            lines.append("per-epoch attribution (degraded epochs and the "
+                         "fault spans overlapping their windows):")
+            lines.extend(attribution)
         if not self.all_audits_ok:
             lines.append("*** AUDIT VIOLATIONS — see per-row details ***")
         return "\n".join(lines)
 
-
-def _profile_for(config: FaultsConfig, intensity: float) -> FaultSchedule:
-    """Compile the deterministic fault profile for one sweep point.
-
-    Targets: switch-to-switch links (host links would just throttle the
-    workload), every switch, every clock.  The campaign lead-in is left
-    fault-free so epoch 1 always has a clean initiation to recover from.
-    """
-    topo = leaf_spine(hosts_per_leaf=config.hosts_per_leaf)
-    switches = sorted(topo.switches)
-    fabric_links = sorted(
-        f"{spec.a}-{spec.b}" for spec in topo.links
-        if topo.kind(spec.a) is NodeKind.SWITCH
-        and topo.kind(spec.b) is NodeKind.SWITCH)
-    horizon = config.rounds * config.interval_ns
-    return compile_profile(
-        intensity=intensity, horizon_ns=horizon, start_ns=10 * MS,
-        links=fabric_links, switches=switches, clocks=switches,
-        kinds=config.kinds, seed=config.seed,
-        mean_duration_ns=config.mean_fault_duration_ns)
+    def _attribution_lines(self) -> list[str]:
+        lines = []
+        for label in sorted(self.rows):
+            for att in self.rows[label].get("attribution", []):
+                if att["complete"] and att["consistent"] \
+                        and not att["excluded_devices"]:
+                    continue
+                state = []
+                if not att["complete"]:
+                    state.append("incomplete")
+                if not att["consistent"]:
+                    state.append("flagged inconsistent")
+                if att["excluded_devices"]:
+                    state.append(
+                        "excluded " + ",".join(att["excluded_devices"]))
+                culprits = ", ".join(
+                    f"{s['kind']}({s['target']})"
+                    for s in att["overlapping"]) or "no overlapping fault"
+                lines.append(f"  {label}: epoch {att['epoch']} "
+                             f"{' + '.join(state)} <- {culprits}")
+        return lines
 
 
 def specs(config: FaultsConfig) -> list[TrialSpec]:
-    """One spec per fault intensity; the compiled schedule rides in the
-    params, so the fault profile is part of the cache fingerprint."""
+    """One spec per fault scenario; profile and compiled schedule both
+    ride in the params, so the scenario is part of the cache
+    fingerprint."""
+    context = _context_for(config)
     return [TrialSpec(kind="faults_sweep",
-                      params=dict(intensity=intensity,
-                                  schedule=_profile_for(config,
-                                                        intensity).to_jsonable(),
+                      params=dict(scenario=label,
+                                  profile=profile.to_jsonable(),
+                                  schedule=profile.compile(
+                                      context).to_jsonable(),
                                   rounds=config.rounds,
                                   interval_ns=config.interval_ns,
                                   rate_pps=config.rate_pps,
                                   hosts_per_leaf=config.hosts_per_leaf),
                       seed=config.seed,
-                      label=f"faults/intensity-{intensity:g}")
-            for intensity in config.intensities]
+                      label=f"faults/{label}")
+            for label, profile in scenarios(config)]
 
 
 @trial("faults_sweep")
@@ -173,6 +237,9 @@ def run_faults_trial(spec: TrialSpec) -> TrialResult:
         for s in completed)
     median_ttc = spans[len(spans) // 2] if spans else None
 
+    # Per-epoch attribution: which fault spans overlapped which epoch.
+    attribution = injector.attribution(snapshots, horizon_ns=duration)
+
     # Verification: completed+consistent snapshots must pass both audits.
     link_audit = LinkAudit(network).audit_completed(snapshots)
     checker = ConsistencyChecker(deployment.ids, metric="packet_count")
@@ -190,6 +257,9 @@ def run_faults_trial(spec: TrialSpec) -> TrialResult:
         "faults_applied": injector.applied,
         "faults_reverted": injector.reverted,
         "cp_crashes": crashes,
+        "attribution": [a.to_jsonable() for a in attribution],
+        "epochs_faulted": sum(1 for a in attribution if a.faulted),
+        "epochs_degraded": sum(1 for a in attribution if not a.clean),
         "audit_ok": link_audit.ok,
         "audit_summary": str(link_audit),
         "negative_discrepancies": len(link_audit.negative_discrepancies),
@@ -202,7 +272,7 @@ def run_faults_trial(spec: TrialSpec) -> TrialResult:
 def assemble(config: FaultsConfig,
              results: Sequence[TrialResult]) -> FaultsResult:
     return FaultsResult(config=config,
-                        rows={r.params["intensity"]: dict(r.data)
+                        rows={r.params["scenario"]: dict(r.data)
                               for r in results})
 
 

@@ -1,0 +1,244 @@
+"""Recovery-policy sweep: the completion-vs-overhead frontier.
+
+§6's recovery machinery has knobs on both sides of the management plane
+— control-plane re-initiation timeouts, liveness-probe delay, periodic
+register polls, observer retry/device timeouts — and the paper tunes
+them once, for one deployment.  This experiment asks the operator's
+question instead: across fault profiles of increasing nastiness, *what
+does each extra recovery message buy?*
+
+Each trial runs one (policy, profile) cell on the leaf-spine testbed:
+a channel-state snapshot campaign over Poisson traffic, the profile's
+compiled fault schedule armed, and the
+:class:`~repro.core.recovery.RecoveryPolicy` threaded through the
+deployment.  Reported per cell:
+
+* **usable rate** — fraction of campaign epochs that completed *and*
+  stayed consistent (what an operator can actually chart);
+* **completion rate** — epochs fully assembled, consistent or not;
+* **overhead/epoch** — recovery messages per epoch: re-initiations +
+  liveness probes + proactive register polls + observer-driven retry
+  re-registrations.  Plain initiations are excluded: every policy pays
+  those.
+
+The report marks, per profile, the policies on the Pareto frontier
+(no other policy has both strictly better usable rate and lower
+overhead) — the completion-vs-overhead frontier the ROADMAP asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import Any, Optional
+
+from repro.core import DeploymentConfig, RecoveryPolicy, SpeedlightDeployment
+from repro.core.recovery import RECOVERY_PRESETS
+from repro.experiments.campaigns import campaign_window, start_poisson
+from repro.experiments.harness import TextTable, header
+from repro.faults import (CorrelatedGroup, FaultInjector, FaultProfile,
+                          FaultSchedule, IndependentFaults, ProfileContext)
+from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
+from repro.sim.engine import MS
+from repro.sim.network import Network, NetworkConfig
+from repro.topology import leaf_spine
+
+__all__ = [
+    "RecoveryConfig",
+    "RecoveryResult",
+    "assemble",
+    "default_profiles",
+    "run",
+    "run_recovery_trial",
+    "specs",
+]
+
+
+def default_profiles() -> dict[str, dict]:
+    """The standard fault ladder: clean baseline, independent chaos,
+    correlated rack loss (pinned mid-campaign so it hits live epochs)."""
+    return {
+        "clean": IndependentFaults(intensity=0.0).to_jsonable(),
+        "iid-0.5": IndependentFaults(
+            intensity=0.5,
+            kinds=("link_down", "link_loss", "cp_crash", "cp_overflow",
+                   "cp_slow")).to_jsonable(),
+        "rack-loss": (CorrelatedGroup(at_ns=25 * MS)
+                      | IndependentFaults(
+                          intensity=0.25,
+                          kinds=("link_delay", "cp_slow"))).to_jsonable(),
+    }
+
+
+@dataclass
+class RecoveryConfig:
+    seed: int = 42
+    #: Serialized :class:`RecoveryPolicy` objects to sweep (named
+    #: presets by default; any JSON policy works).
+    policies: list[dict] = field(default_factory=lambda: [
+        RECOVERY_PRESETS[name].to_jsonable()
+        for name in ("paper-default", "eager", "patient", "polling")])
+    #: Fault-profile label -> serialized :class:`FaultProfile`.
+    profiles: dict[str, dict] = field(default_factory=default_profiles)
+    rounds: int = 10
+    interval_ns: int = 5 * MS
+    rate_pps: float = 20_000.0
+    hosts_per_leaf: int = 1
+
+    @classmethod
+    def quick(cls) -> "RecoveryConfig":
+        return cls(policies=[RECOVERY_PRESETS[name].to_jsonable()
+                             for name in ("paper-default", "eager",
+                                          "patient")],
+                   rounds=6)
+
+
+@dataclass
+class RecoveryResult:
+    config: RecoveryConfig
+    #: (policy name, profile label) -> trial data.
+    rows: dict[tuple[str, str], dict[str, Any]]
+
+    def frontier(self, profile: str) -> set[str]:
+        """Policies on the usable-vs-overhead Pareto frontier for one
+        profile: no other policy is strictly better on one axis and at
+        least as good on the other."""
+        cells = {policy: row for (policy, prof), row in self.rows.items()
+                 if prof == profile}
+        frontier = set()
+        for name, row in cells.items():
+            dominated = any(
+                (other["usable_rate"] >= row["usable_rate"]
+                 and other["overhead_per_epoch"] < row["overhead_per_epoch"])
+                or (other["usable_rate"] > row["usable_rate"]
+                    and other["overhead_per_epoch"]
+                    <= row["overhead_per_epoch"])
+                for other_name, other in cells.items() if other_name != name)
+            if not dominated:
+                frontier.add(name)
+        return frontier
+
+    def report(self) -> str:
+        table = TextTable(["Profile", "Policy", "Usable", "Complete",
+                           "Median TTC (ms)", "Overhead/epoch", "Frontier"])
+        profiles = sorted({prof for (_p, prof) in self.rows})
+        for profile in profiles:
+            frontier = self.frontier(profile)
+            for (policy, prof) in sorted(self.rows):
+                if prof != profile:
+                    continue
+                row = self.rows[(policy, prof)]
+                ttc = row["median_ttc_ns"]
+                table.add(profile, policy,
+                          f"{row['usable_rate']:.2f}",
+                          f"{row['completion_rate']:.2f}",
+                          f"{ttc / 1e6:.2f}" if ttc is not None else "-",
+                          f"{row['overhead_per_epoch']:.1f}",
+                          "*" if policy in frontier else "")
+        return "\n".join([
+            header("Recovery policies — completion vs. overhead frontier",
+                   "what each extra §6 recovery message buys, per fault "
+                   "profile (docs/FAULTS.md)"),
+            table.render(),
+            "overhead counts re-initiations + probes + register polls + "
+            "observer retries per epoch; '*' marks the Pareto frontier "
+            "(no policy with strictly better usable rate at no more "
+            "overhead).",
+        ])
+
+
+def specs(config: RecoveryConfig) -> list[TrialSpec]:
+    """One spec per (policy, profile) cell; both specs ride in the
+    params, so policy and profile are part of the cache fingerprint."""
+    topo = leaf_spine(hosts_per_leaf=config.hosts_per_leaf)
+    context = ProfileContext.for_topology(
+        topo, horizon_ns=config.rounds * config.interval_ns,
+        start_ns=10 * MS, seed=config.seed)
+    result = []
+    for policy_json in config.policies:
+        policy = RecoveryPolicy.from_jsonable(policy_json)
+        for label, profile_json in sorted(config.profiles.items()):
+            profile = FaultProfile.from_jsonable(profile_json)
+            result.append(TrialSpec(
+                kind="recovery_sweep",
+                params=dict(policy=policy.to_jsonable(),
+                            profile_label=label,
+                            schedule=profile.compile(context).to_jsonable(),
+                            rounds=config.rounds,
+                            interval_ns=config.interval_ns,
+                            rate_pps=config.rate_pps,
+                            hosts_per_leaf=config.hosts_per_leaf),
+                seed=config.seed,
+                label=f"recovery/{policy.name}/{label}"))
+    return result
+
+
+@trial("recovery_sweep")
+def run_recovery_trial(spec: TrialSpec) -> TrialResult:
+    p = spec.params
+    policy = RecoveryPolicy.from_jsonable(p["policy"])
+    schedule = FaultSchedule.from_jsonable(p["schedule"])
+    network = Network(leaf_spine(hosts_per_leaf=p["hosts_per_leaf"]),
+                      NetworkConfig(seed=spec.seed))
+    duration = campaign_window(p["rounds"], p["interval_ns"])
+    start_poisson(network, seed=spec.seed + 1, rate_pps=p["rate_pps"],
+                  stop_ns=duration)
+    deployment = SpeedlightDeployment(network, DeploymentConfig(
+        metric="packet_count", channel_state=True, recovery=policy))
+    injector = FaultInjector(network, schedule, deployment=deployment)
+    injector.arm()
+    epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])
+    network.run(until=duration)
+
+    observer = deployment.observer
+    snapshots = [observer.snapshot(epoch) for epoch in epochs]
+    completed = [s for s in snapshots if s.complete]
+    usable = [s for s in completed if s.consistent and not s.excluded_devices]
+    spans = sorted(
+        max(r.read_ns for r in s.records.values())
+        - min(r.captured_ns for r in s.records.values())
+        for s in completed if s.records)
+    median_ttc = spans[len(spans) // 2] if spans else None
+
+    reinitiations = sum(cp.reinitiations_sent
+                        for cp in deployment.control_planes.values())
+    probes = sum(cp.probes_sent
+                 for cp in deployment.control_planes.values())
+    polls = sum(cp.polls_performed
+                for cp in deployment.control_planes.values())
+    retries = sum(s.retries for s in snapshots)
+    overhead = (reinitiations + probes + polls + retries) / len(snapshots)
+    return make_result(spec, {
+        "policy": policy.name,
+        "profile": p["profile_label"],
+        "total": len(snapshots),
+        "completed": len(completed),
+        "completion_rate": len(completed) / len(snapshots),
+        "usable_rate": len(usable) / len(snapshots),
+        "median_ttc_ns": median_ttc,
+        "reinitiations": reinitiations,
+        "probes": probes,
+        "register_polls": polls,
+        "observer_retries": retries,
+        "overhead_per_epoch": overhead,
+        "faults_applied": injector.applied,
+    })
+
+
+def assemble(config: RecoveryConfig,
+             results: Sequence[TrialResult]) -> RecoveryResult:
+    return RecoveryResult(
+        config=config,
+        rows={(r.data["policy"], r.data["profile"]): dict(r.data)
+              for r in results})
+
+
+def run(config: Optional[RecoveryConfig] = None,
+        runner: Optional[TrialRunner] = None) -> RecoveryResult:
+    config = config or RecoveryConfig()
+    runner = runner or TrialRunner()
+    return assemble(config, runner.run_batch(specs(config)))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run(RecoveryConfig.quick()).report())

@@ -26,11 +26,23 @@ from typing import Optional
 
 from repro.analysis.stats import Cdf
 from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
+from repro.experiments.campaigns import start_poisson
 from repro.experiments.harness import TextTable, header
+from repro.faults import FaultInjector, FaultProfile, ProfileContext
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
 from repro.topology import fat_tree
+
+__all__ = [
+    "ScalingConfig",
+    "ScalingPoint",
+    "ScalingResult",
+    "assemble",
+    "run",
+    "run_trial",
+    "specs",
+]
 
 
 @dataclass
@@ -41,6 +53,18 @@ class ScalingConfig:
     arities: list[int] = field(default_factory=lambda: [4, 6, 8])
     snapshots: int = 15
     interval_ns: int = 10 * MS
+    #: Serialized :class:`~repro.faults.FaultProfile`.  When set, each
+    #: arity compiles it against that fat-tree's own target inventory
+    #: (fixed per-target intensity, growing target count), the
+    #: deployment collects channel state over Poisson traffic, and the
+    #: flagged-inconsistent fraction per arity becomes part of the
+    #: reported curve.
+    profile: Optional[dict] = None
+    #: Aggregate Poisson traffic rate while a fault profile is active
+    #: (channel state needs in-flight packets to be worth flagging).
+    #: Divided evenly across all host pairs, so the *offered load* — and
+    #: the simulation cost — stays constant as the fat-tree grows.
+    rate_pps: float = 50_000.0
 
     @classmethod
     def quick(cls) -> "ScalingConfig":
@@ -56,6 +80,10 @@ class ScalingPoint:
     completed: int
     expected: int
     notifications_per_switch: float
+    #: Fraction of completed epochs flagged inconsistent (fault-profile
+    #: runs only; None for clean protocol-scaling runs).
+    inconsistent_fraction: Optional[float] = None
+    faults_applied: int = 0
 
 
 @dataclass
@@ -64,25 +92,40 @@ class ScalingResult:
     points: dict[int, ScalingPoint]  # arity -> measurements
 
     def report(self) -> str:
-        table = TextTable(["k", "Switches", "Units", "Sync p50 (us)",
-                           "Sync max (us)", "Completion p50 (ms)",
-                           "Complete", "Notifs/switch"])
+        faulted = any(p.inconsistent_fraction is not None
+                      for p in self.points.values())
+        columns = ["k", "Switches", "Units", "Sync p50 (us)",
+                   "Sync max (us)", "Completion p50 (ms)",
+                   "Complete", "Notifs/switch"]
+        if faulted:
+            columns += ["Inconsistent", "Faults"]
+        table = TextTable(columns)
         for arity in sorted(self.points):
             p = self.points[arity]
-            table.add(arity, p.switches, p.units, p.sync.median / 1e3,
-                      p.sync.max / 1e3, p.completion_latency_ns / 1e6,
-                      f"{p.completed}/{p.expected}",
-                      f"{p.notifications_per_switch:.0f}")
+            row = [arity, p.switches, p.units, p.sync.median / 1e3,
+                   p.sync.max / 1e3, p.completion_latency_ns / 1e6,
+                   f"{p.completed}/{p.expected}",
+                   f"{p.notifications_per_switch:.0f}"]
+            if faulted:
+                row += ["-" if p.inconsistent_fraction is None
+                        else f"{p.inconsistent_fraction:.2f}",
+                        p.faults_applied]
+            table.add(*row)
+        closing = ("with a fault profile at fixed per-target intensity, "
+                   "the flagged-inconsistent fraction per arity is the "
+                   "curve of interest: honesty scales with the fabric."
+                   if faulted else
+                   "expected: completion stays total; sync grows only via "
+                   "the max-over-more-samples tail; per-switch load tracks "
+                   "that switch's port count (2 notifications/port/"
+                   "snapshot), not the network size (§8.2: 'control planes "
+                   "are responsible for their own switch').")
         return "\n".join([
             header("Scaling — the full protocol on growing fat-trees",
                    "end-to-end runs (not Monte-Carlo); every epoch must "
                    "complete on every unit"),
             table.render(),
-            "expected: completion stays total; sync grows only via the "
-            "max-over-more-samples tail; per-switch load tracks that "
-            "switch's port count (2 notifications/port/snapshot), not "
-            "the network size (§8.2: 'control planes are responsible "
-            "for their own switch')."])
+            closing])
 
 
 # ----------------------------------------------------------------------
@@ -90,10 +133,15 @@ class ScalingResult:
 # ----------------------------------------------------------------------
 
 def specs(config: ScalingConfig) -> list[TrialSpec]:
-    """One spec per fat-tree arity."""
+    """One spec per fat-tree arity.  The fault profile (if any) rides in
+    the params, so it is part of the cache fingerprint; it is compiled
+    per arity inside the trial, against that fat-tree's own targets."""
+    params: dict = dict(snapshots=config.snapshots,
+                        interval_ns=config.interval_ns)
+    if config.profile is not None:
+        params.update(profile=config.profile, rate_pps=config.rate_pps)
     return [TrialSpec(kind="scaling",
-                      params=dict(arity=arity, snapshots=config.snapshots,
-                                  interval_ns=config.interval_ns),
+                      params=dict(params, arity=arity),
                       seed=config.seed, label=f"scaling/k{arity}")
             for arity in config.arities]
 
@@ -103,7 +151,9 @@ def run_trial(spec: TrialSpec) -> TrialResult:
     p = spec.params
     config = ScalingConfig(seed=spec.seed, arities=[p["arity"]],
                            snapshots=p["snapshots"],
-                           interval_ns=p["interval_ns"])
+                           interval_ns=p["interval_ns"],
+                           profile=p.get("profile"),
+                           rate_pps=p.get("rate_pps", 5_000.0))
     point = _measure(config, p["arity"])
     return make_result(spec, {
         "switches": point.switches,
@@ -113,6 +163,8 @@ def run_trial(spec: TrialSpec) -> TrialResult:
         "completed": point.completed,
         "expected": point.expected,
         "notifications_per_switch": point.notifications_per_switch,
+        "inconsistent_fraction": point.inconsistent_fraction,
+        "faults_applied": point.faults_applied,
     })
 
 
@@ -125,7 +177,9 @@ def assemble(config: ScalingConfig,
             sync=Cdf(r.data["sync_samples"]),
             completion_latency_ns=r.data["completion_latency_ns"],
             completed=r.data["completed"], expected=r.data["expected"],
-            notifications_per_switch=r.data["notifications_per_switch"])
+            notifications_per_switch=r.data["notifications_per_switch"],
+            inconsistent_fraction=r.data.get("inconsistent_fraction"),
+            faults_applied=r.data.get("faults_applied", 0))
     return ScalingResult(config=config, points=points)
 
 
@@ -137,17 +191,35 @@ def run(config: Optional[ScalingConfig] = None,
 
 
 def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
-    network = Network(fat_tree(k=arity), NetworkConfig(seed=config.seed))
+    topo = fat_tree(k=arity)
+    network = Network(topo, NetworkConfig(seed=config.seed))
+    duration = 30 * MS + config.snapshots * config.interval_ns + 500 * MS
+    injector = None
+    if config.profile is not None:
+        # Same per-target profile, bigger fabric: the compiled schedule
+        # grows with the arity while each target's exposure stays fixed.
+        profile = FaultProfile.from_jsonable(config.profile)
+        context = ProfileContext.for_topology(
+            topo, horizon_ns=config.snapshots * config.interval_ns,
+            start_ns=10 * MS, seed=config.seed)
+        schedule = profile.compile(context)
+        hosts = len(topo.hosts)
+        pairs = max(1, hosts * (hosts - 1))
+        start_poisson(network, seed=config.seed + 1,
+                      rate_pps=config.rate_pps / pairs, stop_ns=duration)
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count",
+        channel_state=config.profile is not None,
         observer=ObserverConfig(lead_time_ns=10 * MS)))
+    if config.profile is not None:
+        injector = FaultInjector(network, schedule, deployment=deployment)
+        injector.arm()
     finish: dict[int, int] = {}
     deployment.observer.on_complete(
         lambda snap: finish.setdefault(snap.epoch, network.sim.now))
     epochs = deployment.schedule_campaign(config.snapshots,
                                           config.interval_ns)
-    network.run(until=30 * MS + config.snapshots * config.interval_ns
-                + 500 * MS)
+    network.run(until=duration)
     spreads = [deployment.sync_spread_ns(e) for e in epochs]
     sync = Cdf([s for s in spreads if s is not None])
     latencies = sorted(
@@ -157,12 +229,20 @@ def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
     num_switches = len(network.switches)
     units = sum(2 * len(network.switch(s).connected_ports())
                 for s in network.switches)
+    inconsistent_fraction = None
+    if injector is not None:
+        snaps = [deployment.observer.snapshot(e) for e in epochs]
+        done = [s for s in snaps if s.complete]
+        flagged = [s for s in done if not s.consistent]
+        inconsistent_fraction = (len(flagged) / len(done)) if done else 0.0
     return ScalingPoint(
         switches=num_switches, units=units, sync=sync,
         completion_latency_ns=(latencies[len(latencies) // 2]
                                if latencies else float("nan")),
         completed=len(finish), expected=len(epochs),
-        notifications_per_switch=stats["processed"] / num_switches)
+        notifications_per_switch=stats["processed"] / num_switches,
+        inconsistent_fraction=inconsistent_fraction,
+        faults_applied=injector.applied if injector is not None else 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -90,6 +90,16 @@ class FaultInjector:
         return len(self.schedule)
 
     # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    def attribution(self, snapshots, *, horizon_ns: int):
+        """Join this injector's audit log with snapshot outcomes — which
+        fault span overlapped which epoch's collection window.  See
+        :func:`repro.faults.attribution.attribute_epochs`."""
+        from repro.faults.attribution import attribute_epochs
+        return attribute_epochs(self.log, snapshots, horizon_ns=horizon_ns)
+
+    # ------------------------------------------------------------------
     # Target resolution
     # ------------------------------------------------------------------
     def _resolve_targets(self, event: FaultEvent) -> list[Any]:

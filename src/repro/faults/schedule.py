@@ -18,10 +18,12 @@ Determinism contract
   from the streams driving workloads, PTP, or control planes — injecting
   faults perturbs the simulation through the faults themselves, not
   through RNG stream pollution.
-* Stochastic fault *placement* is done ahead of time by
-  :func:`compile_profile`, which maps ``(intensity, seed)`` to a concrete
-  schedule with its own derived RNG — same arguments, same schedule,
-  on every machine.
+* Stochastic fault *placement* is done ahead of time by the
+  :mod:`repro.faults.profile` spec layer, which maps ``(profile, seed)``
+  to a concrete schedule through derived per-stream RNGs — same spec,
+  same context, same schedule, on every machine.  (The legacy
+  :func:`compile_profile` entry point survives as a deprecated shim over
+  :class:`~repro.faults.profile.IndependentFaults`.)
 """
 
 from __future__ import annotations
@@ -164,46 +166,33 @@ def compile_profile(*, intensity: float, horizon_ns: int,
                     seed: int = 0,
                     start_ns: int = 0,
                     mean_duration_ns: int = 5 * MS) -> FaultSchedule:
-    """Deterministically expand a scalar fault *intensity* into a schedule.
+    """Deprecated shim over the :mod:`repro.faults.profile` spec API.
 
-    ``intensity`` is the expected number of fault events per target per
-    ``horizon_ns`` window (0 compiles to an empty schedule without
-    drawing any randomness).  Event times are uniform over
-    ``[start_ns, start_ns + horizon_ns)``; durations are exponential
-    with mean ``mean_duration_ns`` (clamped into the window).  Each
-    eligible (kind, target) pair draws from a :class:`random.Random`
-    seeded by ``f"{seed}/faults/{kind}/{target}"``, so adding a target
-    or kind never reshuffles the events of the others.
+    ``compile_profile(intensity=…, links=…, …)`` is exactly
+    ``IndependentFaults(intensity=…).compile(ProfileContext(…))`` —
+    same RNG streams, schedule-for-schedule identical — and new code
+    should say so directly (the spec form composes with correlated
+    groups, maintenance windows and cascades; see docs/FAULTS.md for
+    the migration note).
     """
+    import warnings
+
+    from repro.faults.profile import IndependentFaults, ProfileContext
+
+    warnings.warn(
+        "compile_profile is deprecated; build an IndependentFaults spec "
+        "and compile it against a ProfileContext instead "
+        "(see docs/FAULTS.md)", DeprecationWarning, stacklevel=2)
     if intensity < 0:
         raise ValueError(f"intensity must be >= 0, got {intensity}")
-    if horizon_ns <= 0:
-        raise ValueError(f"horizon_ns must be > 0, got {horizon_ns}")
-    schedule = FaultSchedule()
-    if intensity == 0:
-        return schedule
-    chosen = list(kinds) if kinds is not None else sorted(FAULT_KINDS)
-    targets_of = {"link": list(links), "switch": list(switches),
-                  "clock": list(clocks)}
-    for kind in chosen:
-        if kind not in FAULT_KINDS:
-            raise ValueError(f"unknown fault kind {kind!r}")
-        for target in targets_of[FAULT_KINDS[kind]]:
-            rng = random.Random(f"{seed}/faults/{kind}/{target}")
-            # Poisson count with mean = intensity, via inversion (small
-            # means; avoids numpy so the schedule layer stays stdlib).
-            count = _poisson(rng, intensity)
-            for _ in range(count):
-                at = start_ns + int(rng.random() * horizon_ns)
-                if kind in INSTANT_KINDS:
-                    duration = 0
-                else:
-                    duration = 1 + int(rng.expovariate(1.0 / mean_duration_ns))
-                    duration = min(duration, start_ns + horizon_ns - at)
-                schedule.add(kind, at, target=target,
-                             duration_ns=max(duration, 0),
-                             **_default_params(kind, rng))
-    return schedule
+    context = ProfileContext(horizon_ns=horizon_ns, links=tuple(links),
+                             switches=tuple(switches), clocks=tuple(clocks),
+                             start_ns=start_ns, seed=seed)
+    profile = IndependentFaults(
+        intensity=intensity,
+        kinds=None if kinds is None else tuple(kinds),
+        mean_duration_ns=mean_duration_ns)
+    return profile.compile(context)
 
 
 def _poisson(rng: random.Random, mean: float) -> int:

@@ -118,6 +118,73 @@ class TestScaling:
         assert "fat-trees" in result.report()
 
 
+class TestScalingWithProfile:
+    def test_faulted_run_reports_inconsistent_fraction(self):
+        from repro.experiments import scaling
+        from repro.faults import IndependentFaults
+        profile = IndependentFaults(
+            intensity=0.5,
+            kinds=("link_down", "link_loss", "cp_crash")).to_jsonable()
+        config = scaling.ScalingConfig(arities=[4], snapshots=6,
+                                       profile=profile)
+        result = scaling.run(config)
+        point = result.points[4]
+        assert point.inconsistent_fraction is not None
+        assert 0.0 <= point.inconsistent_fraction <= 1.0
+        assert point.faults_applied > 0
+        report = result.report()
+        assert "Inconsistent" in report and "Faults" in report
+
+    def test_clean_run_keeps_the_protocol_only_report(self):
+        from repro.experiments import scaling
+        result = scaling.run(scaling.ScalingConfig(arities=[4], snapshots=6))
+        assert result.points[4].inconsistent_fraction is None
+        assert "Inconsistent" not in result.report()
+
+
+class TestFaultsExperiment:
+    def test_correlated_scenario_degrades_epochs_with_attribution(self):
+        from repro.experiments import faults
+        result = faults.run(faults.FaultsConfig.correlated())
+        assert set(result.rows) == {"profile-compose"}
+        row = result.rows["profile-compose"]
+        assert result.all_audits_ok
+        assert row["epochs_faulted"] > 0
+        assert row["epochs_degraded"] > 0
+        report = result.report()
+        assert "per-epoch attribution" in report
+        assert "link_down" in report or "cp_crash" in report
+
+
+class TestRecoveryExperiment:
+    def test_quick_frontier_spans_policies_and_profiles(self):
+        from repro.experiments import recovery
+        config = recovery.RecoveryConfig.quick()
+        result = recovery.run(config)
+        policies = {p for (p, _prof) in result.rows}
+        profiles = {prof for (_p, prof) in result.rows}
+        assert len(policies) >= 3 and len(profiles) >= 3
+        assert len(result.rows) == len(policies) * len(profiles)
+        for profile in profiles:
+            frontier = result.frontier(profile)
+            assert frontier, f"every profile has a Pareto frontier: {profile}"
+            assert frontier <= policies
+        for row in result.rows.values():
+            assert 0.0 <= row["usable_rate"] <= row["completion_rate"] <= 1.0
+            assert row["overhead_per_epoch"] >= 0.0
+        report = result.report()
+        assert "Frontier" in report and "*" in report
+
+    def test_clean_profile_is_cheap_and_complete(self):
+        from repro.experiments import recovery
+        config = recovery.RecoveryConfig.quick()
+        result = recovery.run(config)
+        for (policy, profile), row in result.rows.items():
+            if profile == "clean":
+                assert row["completion_rate"] == 1.0
+                assert row["faults_applied"] == 0
+
+
 class TestAblations:
     def test_ideal_absorbs_skips_speedlight_marks(self):
         result = run_ideal_vs_speedlight(IdealVsSpeedlightConfig.quick())

@@ -74,52 +74,38 @@ class TestFaultSchedule:
             FaultSchedule(events=["link_down"])
 
 
-class TestCompileProfile:
-    def _compile(self, **overrides):
-        kwargs = dict(intensity=1.0, horizon_ns=50 * MS,
-                      links=["sw0-sw1"], switches=["sw0", "sw1"],
-                      clocks=["sw0", "sw1"], seed=7, start_ns=10 * MS)
-        kwargs.update(overrides)
-        return compile_profile(**kwargs)
+class TestCompileProfileShim:
+    """`compile_profile` survives only as a deprecated shim over
+    `IndependentFaults`; behavioral coverage of the compiler itself
+    lives in tests/faults/test_profile.py."""
 
-    def test_zero_intensity_compiles_empty(self):
-        assert not self._compile(intensity=0.0)
+    _KWARGS = dict(intensity=1.0, horizon_ns=50 * MS,
+                   links=["sw0-sw1"], switches=["sw0", "sw1"],
+                   clocks=["sw0", "sw1"], seed=7, start_ns=10 * MS)
+
+    def test_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="compile_profile"):
+            compile_profile(**self._KWARGS)
+
+    def test_matches_independent_faults_exactly(self):
+        from repro.faults import IndependentFaults, ProfileContext
+
+        with pytest.warns(DeprecationWarning):
+            legacy = compile_profile(**self._KWARGS)
+        context = ProfileContext(horizon_ns=50 * MS, links=("sw0-sw1",),
+                                 switches=("sw0", "sw1"),
+                                 clocks=("sw0", "sw1"),
+                                 start_ns=10 * MS, seed=7)
+        spec = IndependentFaults(intensity=1.0).compile(context)
+        assert legacy.to_jsonable() == spec.to_jsonable()
 
     def test_negative_intensity_rejected(self):
-        with pytest.raises(ValueError, match="intensity"):
-            self._compile(intensity=-0.5)
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="intensity"):
+            compile_profile(**dict(self._KWARGS, intensity=-0.5))
 
     def test_unknown_kind_rejected(self):
-        with pytest.raises(ValueError, match="unknown fault kind"):
-            self._compile(kinds=["link_down", "bitrot"])
-
-    def test_deterministic(self):
-        assert self._compile().to_jsonable() == self._compile().to_jsonable()
-
-    def test_seed_changes_schedule(self):
-        a = self._compile(intensity=3.0)
-        b = self._compile(intensity=3.0, seed=8)
-        assert a.to_jsonable() != b.to_jsonable()
-
-    def test_adding_a_target_never_reshuffles_others(self):
-        # Per-(kind, target) RNG streams: sw0-sw1's events are identical
-        # whether or not a second link exists.
-        one = self._compile(intensity=2.0, links=["sw0-sw1"])
-        two = self._compile(intensity=2.0, links=["sw0-sw1", "sw1-sw2"])
-        keep = [e.to_jsonable() for e in one if e.target == "sw0-sw1"]
-        both = [e.to_jsonable() for e in two if e.target == "sw0-sw1"]
-        assert keep == both
-
-    def test_events_inside_window_and_durations_clamped(self):
-        start, horizon = 10 * MS, 50 * MS
-        schedule = self._compile(intensity=4.0)
-        assert len(schedule) > 0
-        for event in schedule:
-            assert start <= event.at_ns < start + horizon
-            assert event.at_ns + event.duration_ns <= start + horizon
-            if event.kind in INSTANT_KINDS:
-                assert event.duration_ns == 0
-
-    def test_kind_subset_respected(self):
-        schedule = self._compile(intensity=5.0, kinds=["cp_crash"])
-        assert schedule and all(e.kind == "cp_crash" for e in schedule)
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(ValueError, match="unknown fault kind"):
+            compile_profile(**dict(self._KWARGS,
+                                   kinds=["link_down", "bitrot"]))

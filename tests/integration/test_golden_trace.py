@@ -37,7 +37,7 @@ GOLDEN_EVENTS = 38735
 GOLDEN_TOTALS = [2006, 6008, 10000]
 
 
-def _run_golden_scenario(arm_empty_fault_schedule: bool = False):
+def _run_golden_scenario(arm_empty_fault_schedule=False, fault_schedule=None):
     """The pinned two-switch scenario; returns (network, deployment,
     hexdigest)."""
     network = Network(linear(num_switches=2, hosts_per_switch=2),
@@ -48,7 +48,9 @@ def _run_golden_scenario(arm_empty_fault_schedule: bool = False):
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count", channel_state=True))
     if arm_empty_fault_schedule:
-        injector = FaultInjector(network, FaultSchedule(),
+        fault_schedule = FaultSchedule()
+    if fault_schedule is not None:
+        injector = FaultInjector(network, fault_schedule,
                                  deployment=deployment)
         assert injector.arm() == 0
     deployment.schedule_campaign(count=3, interval_ns=10 * MS)
@@ -77,5 +79,27 @@ def test_empty_fault_schedule_preserves_golden_trace():
     FaultSchedule schedules nothing, draws no RNG, and reproduces the
     reference event stream byte-for-byte (docs/FAULTS.md)."""
     network, _, digest = _run_golden_scenario(arm_empty_fault_schedule=True)
+    assert network.sim.events_run == GOLDEN_EVENTS
+    assert digest == GOLDEN_SHA256
+
+
+def test_all_zero_composite_profile_preserves_golden_trace():
+    """The profile-algebra analogue: a composite whose every part is
+    inert compiles to an *empty* schedule, and arming it is
+    byte-identical to no injector at all (docs/FAULTS.md)."""
+    from repro.faults import (Compose, IndependentFaults, MaintenanceWindow,
+                              ProfileContext)
+    from repro.topology import linear as linear_topo
+
+    topo = linear_topo(num_switches=2, hosts_per_switch=2)
+    context = ProfileContext.for_topology(topo, horizon_ns=30 * MS,
+                                          start_ns=10 * MS, seed=7)
+    composite = (IndependentFaults(intensity=0.0)
+                 | MaintenanceWindow(targets=())
+                 | Compose(parts=(IndependentFaults(intensity=0.0,
+                                                    stream="other"),)))
+    schedule = composite.compile(context)
+    assert not schedule
+    network, _, digest = _run_golden_scenario(fault_schedule=schedule)
     assert network.sim.events_run == GOLDEN_EVENTS
     assert digest == GOLDEN_SHA256

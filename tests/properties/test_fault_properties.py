@@ -15,12 +15,11 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import ConsistencyChecker, LinkAudit
 from repro.core import DeploymentConfig, SpeedlightDeployment
-from repro.faults import FaultInjector, compile_profile
+from repro.faults import FaultInjector, IndependentFaults, ProfileContext
 from repro.sim.channel import BernoulliLoss, GilbertElliottLoss, ScriptedLoss
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
 from repro.topology import leaf_spine, linear
-from repro.topology.graph import NodeKind
 from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
 
 ROUNDS = 3
@@ -66,15 +65,11 @@ def test_link_audit_non_negative_under_arbitrary_loss(params):
         metric="packet_count", channel_state=True))
 
     if params["fault_intensity"]:
-        switches = sorted(topo.switches)
-        fabric = sorted(f"{s.a}-{s.b}" for s in topo.links
-                        if topo.kind(s.a) is NodeKind.SWITCH
-                        and topo.kind(s.b) is NodeKind.SWITCH)
-        schedule = compile_profile(
-            intensity=params["fault_intensity"],
-            horizon_ns=ROUNDS * INTERVAL_NS, start_ns=5 * MS,
-            links=fabric, switches=switches, clocks=switches,
+        context = ProfileContext.for_topology(
+            topo, horizon_ns=ROUNDS * INTERVAL_NS, start_ns=5 * MS,
             seed=params["seed"])
+        schedule = IndependentFaults(
+            intensity=params["fault_intensity"]).compile(context)
         FaultInjector(network, schedule, deployment=deployment).arm()
 
     epochs = deployment.schedule_campaign(ROUNDS, INTERVAL_NS)

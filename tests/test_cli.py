@@ -66,6 +66,43 @@ class TestRun:
         assert "0 executed, 5 from cache" in capsys.readouterr().err
 
 
+class TestFaultProfileFlag:
+    PROFILE = ('{"type": "compose", "parts": ['
+               '{"type": "correlated", "at_ns": 25000000}, '
+               '{"type": "independent", "intensity": 0.25, '
+               '"kinds": ["link_delay"]}]}')
+
+    def test_inline_json_profile_reaches_the_experiment(self, capsys):
+        assert main(["run", "faults", "--quick", "--no-cache",
+                     "--fault-profile", self.PROFILE]) == 0
+        captured = capsys.readouterr()
+        assert "[fault profile applied to: faults]" in captured.err
+        # The single-profile scenario replaces the intensity sweep.
+        assert "profile-compose" in captured.out
+
+    def test_profile_file_accepted(self, capsys, tmp_path):
+        path = tmp_path / "profile.json"
+        path.write_text(self.PROFILE)
+        assert main(["run", "faults", "--quick", "--no-cache",
+                     "--fault-profile", str(path)]) == 0
+        assert "profile-compose" in capsys.readouterr().out
+
+    def test_bad_json_fails_cleanly(self, capsys):
+        assert main(["run", "faults", "--quick", "--no-cache",
+                     "--fault-profile", "{not json"]) == 2
+        assert "valid JSON" in capsys.readouterr().err
+
+    def test_invalid_profile_fails_cleanly(self, capsys):
+        assert main(["run", "faults", "--quick", "--no-cache",
+                     "--fault-profile", '{"type": "gremlins"}']) == 2
+        assert "unknown fault profile type" in capsys.readouterr().err
+
+    def test_experiment_without_profile_support_fails_cleanly(self, capsys):
+        assert main(["run", "table1", "--no-cache",
+                     "--fault-profile", self.PROFILE]) == 2
+        assert "does not accept a fault profile" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_demo_runs_end_to_end(self, capsys):
         assert main(["demo"]) == 0
