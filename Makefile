@@ -34,18 +34,21 @@ typecheck:
 static-checks: statics typecheck lint
 
 # Hot-path micro-suite (docs/PERF.md): records a labelled entry in
-# BENCH_core.json and fails on >25% normalized event-loop regression
-# against the committed post-optimization baseline.
+# BENCH_core.json and fails on >25% normalized event-loop or
+# sharded-core (shard_smoke) regression against the committed
+# sharded-core baseline.
 bench:
 	$(PYTHON) -m repro.perf.bench --label $(BENCH_LABEL) \
 	    --out BENCH_core.json --check-against BENCH_core.json \
-	    --baseline-label post-optimization --max-regression 0.25
+	    --baseline-label sharded-core --max-regression 0.25
 
 # CI-sized variant: quick iteration counts, no history rewrite.
+# Includes the 2-shard fat-tree smoke of the space-parallel core
+# (docs/SHARDING.md).
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --quick --label ci-smoke \
 	    --out bench-smoke.json --check-against BENCH_core.json \
-	    --baseline-label post-optimization --max-regression 0.25
+	    --baseline-label sharded-core --max-regression 0.25
 
 # The full experiment regeneration benchmarks (pytest-benchmark).
 bench-experiments:
@@ -65,12 +68,14 @@ chaos-smoke:
 	print(sweep.report()); \
 	correlated = faults.run(faults.FaultsConfig.correlated(), runner); \
 	print(); print(correlated.report()); \
+	partial = faults.partial_invariance(runner=runner); \
+	print(); print(partial.report()); \
 	rec = recovery.run(recovery.RecoveryConfig.quick(), runner); \
 	print(); print(rec.report()); \
 	frontiers = all(rec.frontier(prof) \
 	                for prof in {p for (_, p) in rec.rows}); \
 	sys.exit(0 if sweep.all_audits_ok and correlated.all_audits_ok \
-	         and frontiers else 1)"
+	         and partial.ok and frontiers else 1)"
 
 # cProfile one experiment end-to-end: one .prof per trial under
 # profiles/, then print the hottest functions of each.

@@ -14,14 +14,18 @@ Commands:
     accept ``--fault-profile <json|file>`` with a serialized
     :class:`~repro.faults.FaultProfile` (see docs/FAULTS.md; the flag is
     not called ``--profile`` because that already selects cProfile
-    output).
+    output).  ``--shards N`` partitions each trial's network across N
+    worker processes for experiments that support space-parallel
+    simulation (docs/SHARDING.md; currently ``scaling``).
 ``metrics``
     List the snapshot-capable metrics and whether they support channel
     state.
-``statics [paths] [--json] [--rules A,B] [--list-rules]``
+``statics [paths] [--json] [--rules A,B] [--list-rules] [--profile P]``
     Run the determinism & simulation-invariant static analysis pass
     (docs/DETERMINISM.md) over ``src tests`` or the given paths; exits
     non-zero on findings.  CI gates on ``repro statics src tests``.
+    ``--profile external`` audits out-of-tree simulation models with
+    the repo-convention rules (DET002, TRIAL001) dropped.
 ``demo``
     A 30-second tour: build the testbed, take snapshots, print results.
 
@@ -93,6 +97,13 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                              "fault-aware experiments: faults and scaling "
                              "run it as their scenario, recovery sweeps "
                              "its policies against it")
+    parser.add_argument("--shards", type=_positive_int, default=None,
+                        metavar="N",
+                        help="space-parallel simulation shards for the "
+                             "experiments that support them (currently "
+                             "scaling); each trial partitions its network "
+                             "across N worker processes — see "
+                             "docs/SHARDING.md")
 
 
 def _load_fault_profile(text: str) -> Optional[dict]:
@@ -136,6 +147,17 @@ def _apply_fault_profile(configs: dict, profile_json: dict) -> list[str]:
     return applied
 
 
+def _apply_shards(configs: dict, shards: int) -> list[str]:
+    """Thread a shard count into every config that understands one
+    (a ``shards`` attribute — currently scaling)."""
+    applied = []
+    for name, config in configs.items():
+        if hasattr(config, "shards"):
+            config.shards = shards
+            applied.append(name)
+    return applied
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import registry
 
@@ -172,6 +194,14 @@ def cmd_experiments(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         print(f"[fault profile applied to: {', '.join(applied)}]",
+              file=sys.stderr)
+    if args.shards:
+        applied = _apply_shards(configs, args.shards)
+        if not applied:
+            print("--shards: none of the selected experiments support "
+                  "sharded simulation (try scaling)", file=sys.stderr)
+            return 2
+        print(f"[{args.shards} shards applied to: {', '.join(applied)}]",
               file=sys.stderr)
     batches = {name: reg[name].specs(configs[name]) for name in names}
     flat = [spec for name in names for spec in batches[name]]
@@ -223,6 +253,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         print(f"[fault profile applied to: {', '.join(applied)}]",
               file=sys.stderr)
+    if args.shards:
+        applied = _apply_shards({args.name: config}, args.shards)
+        if not applied:
+            print(f"--shards: {args.name} does not support sharded "
+                  "simulation (try scaling)", file=sys.stderr)
+            return 2
+        print(f"[{args.shards} shards applied to: {args.name}]",
+              file=sys.stderr)
     result = exp.run(config, runner=runner)
     print(result.report())
     print(f"\n[{runner.last_stats.summary()}]", file=sys.stderr)
@@ -253,6 +291,8 @@ def cmd_statics(args: argparse.Namespace) -> int:
         argv.extend(["--rules", args.rules])
     if args.list_rules:
         argv.append("--list-rules")
+    if args.profile != "default":
+        argv.extend(["--profile", args.profile])
     return statics_main(argv)
 
 
@@ -317,6 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="run only these rule ids")
     statics_parser.add_argument("--list-rules", action="store_true",
                                 help="list the rules and exit")
+    statics_parser.add_argument("--profile",
+                                choices=("default", "external"),
+                                default="default",
+                                help="'external' audits out-of-tree "
+                                     "simulation models (drops DET002/"
+                                     "TRIAL001, forces the 'sim' scope, "
+                                     "requires explicit paths)")
 
     sub.add_parser("demo", help="a 30-second end-to-end tour")
     return parser

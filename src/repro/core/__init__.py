@@ -46,6 +46,10 @@ from repro.core.deployment import (
     SpeedlightDeployment,
     GAUGE_METRICS,
 )
+from repro.core.sharded import (
+    RemoteControlPlane,
+    ShardedSpeedlightDeployment,
+)
 
 __all__ = [
     "IdSpace",
@@ -70,4 +74,6 @@ __all__ = [
     "DeploymentConfig",
     "SpeedlightDeployment",
     "GAUGE_METRICS",
+    "RemoteControlPlane",
+    "ShardedSpeedlightDeployment",
 ]

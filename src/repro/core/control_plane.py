@@ -445,6 +445,7 @@ class SwitchControlPlane:
                                         created_ns=self.sim.now)
         # The message crosses the CPU→ASIC channel, then enters the
         # ingress unit like any packet (Figure 6, path 3).
+        # statics: allow[SIM003] models the switch-internal CPU port: the CPU→ASIC channel is inside one switch, not a network link
         self.sim.schedule(self.switch.config.asic_cpu_latency_ns,
                           self.switch.ports[port].ingress.handle_packet,
                           packet)
@@ -510,6 +511,7 @@ class SwitchControlPlane:
                 probe.snapshot = SnapshotHeader(sid=agent.sid,
                                                 packet_type=PacketType.PROBE)
                 self.probes_sent += 1
+                # statics: allow[SIM003] probes enter via the switch-internal CPU port, same modeled path as initiations
                 self.sim.schedule(self.switch.config.asic_cpu_latency_ns,
                                   port.ingress.handle_packet, probe)
 

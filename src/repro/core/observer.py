@@ -26,9 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Callable
-from typing import Optional
+from typing import Optional, Protocol
 
-from repro.core.control_plane import SwitchControlPlane, UnitSnapshotRecord
+from repro.core.control_plane import UnitSnapshotRecord
 from repro.core.ids import IdSpace
 from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
 from repro.sim.engine import Simulator, MS
@@ -51,6 +51,17 @@ class ObserverConfig:
     device_timeout_ns: int = 250 * MS
 
 
+class InitiationTarget(Protocol):
+    """What the observer requires of a registered device: a way to
+    register an initiation.  Satisfied by
+    :class:`~repro.core.control_plane.SwitchControlPlane` directly, and
+    by :class:`~repro.core.sharded.RemoteControlPlane` proxies that
+    forward the call across a shard boundary."""
+
+    def schedule_initiation(self, epoch: int, at_wall_ns: int) -> None:
+        ...  # pragma: no cover - protocol definition
+
+
 class SnapshotObserver:
     """Coordinates network-wide snapshots from a host vantage point."""
 
@@ -61,7 +72,7 @@ class SnapshotObserver:
         self.mgmt = mgmt
         self.ids = id_space
         self.config = config or ObserverConfig()
-        self.control_planes: dict[str, SwitchControlPlane] = {}
+        self.control_planes: dict[str, InitiationTarget] = {}
         self._device_units: dict[str, set[UnitId]] = {}
         self.snapshots: dict[int, GlobalSnapshot] = {}
         self._next_epoch = 1  # epoch 0 is the power-on state, never taken
@@ -70,7 +81,7 @@ class SnapshotObserver:
     # ------------------------------------------------------------------
     # Device registration (including live node attachment, §6)
     # ------------------------------------------------------------------
-    def register_device(self, name: str, control_plane: SwitchControlPlane,
+    def register_device(self, name: str, control_plane: InitiationTarget,
                         units: set[UnitId]) -> None:
         """Add a device to the active set.  Devices registered after a
         snapshot was initiated join from the *next* snapshot on."""

@@ -52,10 +52,13 @@ from repro.sim.network import Network, NetworkConfig
 from repro.topology import leaf_spine
 
 __all__ = [
+    "DATAPLANE_KINDS",
     "DEFAULT_KINDS",
     "FaultsConfig",
     "FaultsResult",
+    "PartialInvariance",
     "assemble",
+    "partial_invariance",
     "run",
     "run_faults_trial",
     "scenarios",
@@ -66,6 +69,12 @@ __all__ = [
 DEFAULT_KINDS = ["link_down", "link_loss", "link_delay", "queue_squeeze",
                  "unit_stall", "cp_crash", "cp_overflow", "cp_slow",
                  "clock_holdover", "clock_step"]
+
+#: Fault mix for devices with no control plane (non-deployed switches in
+#: a partial deployment): everything except the ``cp_*`` kinds, whose
+#: targets would be unresolvable at arm() time.
+DATAPLANE_KINDS = ["link_down", "link_loss", "link_delay", "queue_squeeze",
+                   "unit_stall", "clock_holdover", "clock_step"]
 
 
 @dataclass
@@ -86,10 +95,28 @@ class FaultsConfig:
     #: (``profile.to_jsonable()``).  When set, the experiment runs this
     #: single scenario instead of the intensity sweep.
     profile: Optional[dict] = None
+    #: Participating switches (§10 partial deployment); None = all.
+    deploy_switches: Optional[list[str]] = None
+    #: Restrict fault targets to these switches: switch/clock faults on
+    #: members only, link faults on fabric links with a member endpoint.
+    #: None = the full inventory.
+    fault_switches: Optional[list[str]] = None
 
     @classmethod
     def quick(cls) -> "FaultsConfig":
         return cls(intensities=[0.0, 0.5], rounds=6)
+
+    @classmethod
+    def partial_spine(cls, intensity: float = 1.0) -> "FaultsConfig":
+        """The §10 partial-deployment scenario: Speedlight on the leaves
+        only, chaos aimed at the spines (which carry no snapshot state).
+        Channels toward non-participating neighbors are excluded from
+        gating, so spine failures may drop or delay traffic but must
+        never flag an epoch — :func:`partial_invariance` asserts it."""
+        return cls(intensities=[0.0, intensity], rounds=6,
+                   kinds=list(DATAPLANE_KINDS),
+                   deploy_switches=["leaf0", "leaf1"],
+                   fault_switches=["spine0", "spine1"])
 
     @classmethod
     def correlated(cls) -> "FaultsConfig":
@@ -118,11 +145,27 @@ def scenarios(config: FaultsConfig) -> list[tuple[str, FaultProfile]]:
 def _context_for(config: FaultsConfig) -> ProfileContext:
     """The compile context for the leaf-spine testbed: fabric links,
     switches, clocks; the campaign lead-in is left fault-free so epoch 1
-    always has a clean initiation to recover from."""
+    always has a clean initiation to recover from.  With
+    ``fault_switches`` set, the inventory is narrowed to those devices
+    (and the fabric links touching them)."""
     topo = leaf_spine(hosts_per_leaf=config.hosts_per_leaf)
-    return ProfileContext.for_topology(
+    context = ProfileContext.for_topology(
         topo, horizon_ns=config.rounds * config.interval_ns,
         start_ns=10 * MS, seed=config.seed)
+    if config.fault_switches is None:
+        return context
+    members = set(config.fault_switches)
+    unknown = sorted(members - set(context.switches))
+    if unknown:
+        raise ValueError(
+            f"fault_switches names unknown switch(es): {', '.join(unknown)}")
+    return ProfileContext(
+        horizon_ns=context.horizon_ns,
+        links=tuple(link for link in context.links
+                    if set(link.split("-")) & members),
+        switches=tuple(s for s in context.switches if s in members),
+        clocks=tuple(c for c in context.clocks if c in members),
+        start_ns=context.start_ns, seed=context.seed)
 
 
 @dataclass
@@ -194,18 +237,23 @@ def specs(config: FaultsConfig) -> list[TrialSpec]:
     ride in the params, so the scenario is part of the cache
     fingerprint."""
     context = _context_for(config)
-    return [TrialSpec(kind="faults_sweep",
-                      params=dict(scenario=label,
-                                  profile=profile.to_jsonable(),
-                                  schedule=profile.compile(
-                                      context).to_jsonable(),
-                                  rounds=config.rounds,
-                                  interval_ns=config.interval_ns,
-                                  rate_pps=config.rate_pps,
-                                  hosts_per_leaf=config.hosts_per_leaf),
-                      seed=config.seed,
-                      label=f"faults/{label}")
-            for label, profile in scenarios(config)]
+    specs_out = []
+    for label, profile in scenarios(config):
+        params = dict(scenario=label,
+                      profile=profile.to_jsonable(),
+                      schedule=profile.compile(context).to_jsonable(),
+                      rounds=config.rounds,
+                      interval_ns=config.interval_ns,
+                      rate_pps=config.rate_pps,
+                      hosts_per_leaf=config.hosts_per_leaf)
+        if config.deploy_switches is not None:
+            # Added only when partial, so full-deployment fingerprints
+            # (and their cached results) are unchanged.
+            params["deploy"] = sorted(config.deploy_switches)
+        specs_out.append(TrialSpec(kind="faults_sweep", params=params,
+                                   seed=config.seed,
+                                   label=f"faults/{label}"))
+    return specs_out
 
 
 @trial("faults_sweep")
@@ -221,7 +269,8 @@ def run_faults_trial(spec: TrialSpec) -> TrialResult:
     start_poisson(network, seed=spec.seed + 1, rate_pps=p["rate_pps"],
                   stop_ns=duration)
     deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=True))
+        metric="packet_count", channel_state=True,
+        switches=p.get("deploy")))
     injector = FaultInjector(network, schedule, deployment=deployment)
     injector.arm()
     epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])
@@ -250,6 +299,9 @@ def run_faults_trial(spec: TrialSpec) -> TrialResult:
     return make_result(spec, {
         "completed": len(completed),
         "total": len(snapshots),
+        # Epochs the protocol had to flag: never assembled, or assembled
+        # but honest about unguaranteed channel state.
+        "flagged": (len(snapshots) - len(completed)) + len(inconsistent),
         "completion_rate": len(completed) / len(snapshots),
         "inconsistent_fraction": (len(inconsistent) / len(completed)
                                   if completed else 0.0),
@@ -281,6 +333,61 @@ def run(config: Optional[FaultsConfig] = None,
     config = config or FaultsConfig()
     runner = runner or TrialRunner()
     return assemble(config, runner.run_batch(specs(config)))
+
+
+@dataclass
+class PartialInvariance:
+    """Outcome of the §10 partial-deployment invariance check."""
+
+    result: FaultsResult
+    baseline_flagged: int
+    flagged_by_scenario: dict[str, int]
+
+    @property
+    def ok(self) -> bool:
+        return (self.result.all_audits_ok
+                and all(flagged == self.baseline_flagged
+                        for flagged in self.flagged_by_scenario.values()))
+
+    def report(self) -> str:
+        lines = [self.result.report(), "",
+                 "partial-deployment invariance (faults at non-deployed "
+                 "spines vs. fault-free):"]
+        for label in sorted(self.flagged_by_scenario):
+            flagged = self.flagged_by_scenario[label]
+            verdict = ("unchanged" if flagged == self.baseline_flagged
+                       else f"CHANGED (baseline {self.baseline_flagged})")
+            lines.append(f"  {label}: {flagged} flagged epoch(s) — "
+                         f"{verdict}")
+        if not self.ok:
+            lines.append("*** PARTIAL-DEPLOYMENT INVARIANCE VIOLATED ***")
+        return "\n".join(lines)
+
+
+def partial_invariance(
+        config: Optional[FaultsConfig] = None,
+        runner: Optional[TrialRunner] = None) -> PartialInvariance:
+    """Check that chaos at non-snapshot-boundary devices is invisible
+    to snapshot health.
+
+    Runs the partial-deployment sweep (leaves-only Speedlight, faults
+    aimed at the spines) and compares each faulted scenario's
+    flagged-epoch count — epochs incomplete or marked inconsistent —
+    against the fault-free baseline in the same sweep.  Spine failures
+    may drop or delay traffic, but the §10 neighbor-exclusion rule keeps
+    non-participating devices out of every channel's gating set, so the
+    counts must match exactly.
+    """
+    config = config or FaultsConfig.partial_spine()
+    if 0.0 not in config.intensities:
+        raise ValueError("partial_invariance needs the fault-free "
+                         "baseline: include intensity 0.0")
+    result = run(config, runner)
+    baseline = result.rows["iid-0"]["flagged"]
+    faulted = {label: row["flagged"]
+               for label, row in result.rows.items() if label != "iid-0"}
+    return PartialInvariance(result=result, baseline_flagged=baseline,
+                             flagged_by_scenario=faulted)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

@@ -25,13 +25,16 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.analysis.stats import Cdf
-from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
+from repro.core import (DeploymentConfig, ObserverConfig,
+                        ShardedSpeedlightDeployment, SpeedlightDeployment)
+from repro.core.sharded import OBSERVER_SHARD
 from repro.experiments.campaigns import start_poisson
 from repro.experiments.harness import TextTable, header
 from repro.faults import FaultInjector, FaultProfile, ProfileContext
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
+from repro.sim.shard import ShardWorker, run_sharded
 from repro.topology import fat_tree
 
 __all__ = [
@@ -65,6 +68,12 @@ class ScalingConfig:
     #: Divided evenly across all host pairs, so the *offered load* — and
     #: the simulation cost — stays constant as the fat-tree grows.
     rate_pps: float = 50_000.0
+    #: Space-parallel simulation shards (:mod:`repro.sim.shard`).  With
+    #: ``shards > 1`` the fat-tree is partitioned across worker
+    #: processes with one Speedlight slice per shard; the clean protocol
+    #: path only (fault profiles need channel state, which sharded
+    #: deployments do not support).
+    shards: int = 1
 
     @classmethod
     def quick(cls) -> "ScalingConfig":
@@ -142,7 +151,8 @@ def specs(config: ScalingConfig) -> list[TrialSpec]:
         params.update(profile=config.profile, rate_pps=config.rate_pps)
     return [TrialSpec(kind="scaling",
                       params=dict(params, arity=arity),
-                      seed=config.seed, label=f"scaling/k{arity}")
+                      seed=config.seed, label=f"scaling/k{arity}",
+                      shards=config.shards)
             for arity in config.arities]
 
 
@@ -153,8 +163,10 @@ def run_trial(spec: TrialSpec) -> TrialResult:
                            snapshots=p["snapshots"],
                            interval_ns=p["interval_ns"],
                            profile=p.get("profile"),
-                           rate_pps=p.get("rate_pps", 5_000.0))
-    point = _measure(config, p["arity"])
+                           rate_pps=p.get("rate_pps", 5_000.0),
+                           shards=spec.shards)
+    measure = _measure_sharded if config.shards > 1 else _measure
+    point = measure(config, p["arity"])
     return make_result(spec, {
         "switches": point.switches,
         "units": point.units,
@@ -243,6 +255,94 @@ def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
         notifications_per_switch=stats["processed"] / num_switches,
         inconsistent_fraction=inconsistent_fraction,
         faults_applied=injector.applied if injector is not None else 0)
+
+
+def _sharded_setup(worker: ShardWorker, snapshots: int, interval_ns: int,
+                   lead_ns: int):
+    """Per-shard setup for the sharded scaling measurement.
+
+    Module-level (and with plain-data arguments) so the process runner
+    can pickle it.  The returned finish callable ships plain dicts back
+    over the pipe: progress samples and notification stats from every
+    shard, campaign bookkeeping from the observer shard only.
+    """
+    deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
+        metric="packet_count",
+        observer=ObserverConfig(lead_time_ns=lead_ns)))
+    finish_times: dict[int, int] = {}
+    epochs: list[int] = []
+    if deployment.is_observer_shard:
+        deployment.observer.on_complete(
+            lambda snap: finish_times.setdefault(snap.epoch,
+                                                 worker.sim.now))
+        epochs.extend(deployment.schedule_campaign(snapshots, interval_ns))
+
+    def finish() -> dict:
+        progress = []
+        for cp in deployment.control_planes.values():
+            progress.extend((e, t) for (e, _u, t) in cp.progress_log)
+        result: dict = {
+            "progress": progress,
+            "notifications": deployment.notification_stats(),
+            "events": worker.sim.events_run,
+        }
+        if deployment.is_observer_shard:
+            result["epochs"] = list(epochs)
+            result["finish"] = dict(finish_times)
+            result["requested"] = {
+                e: deployment.observer.snapshot(e).requested_wall_ns
+                for e in epochs}
+        return result
+
+    return finish
+
+
+def _measure_sharded(config: ScalingConfig, arity: int) -> ScalingPoint:
+    """The same protocol-scaling measurement on a space-parallel
+    simulation: the fat-tree is partitioned across worker processes,
+    each runs its own Speedlight slice, and the observer (shard 0)
+    coordinates campaigns across the cut (:mod:`repro.core.sharded`).
+    Per-shard results are merged here in shard order."""
+    if config.profile is not None:
+        raise ValueError(
+            "fault profiles need channel state, which sharded "
+            "deployments do not support; run scaling with shards=1")
+    topo = fat_tree(k=arity)
+    duration = 30 * MS + config.snapshots * config.interval_ns + 500 * MS
+    results = run_sharded(
+        topo, NetworkConfig(seed=config.seed), shards=config.shards,
+        until=duration, setup=_sharded_setup,
+        setup_args=(config.snapshots, config.interval_ns, 10 * MS))
+    observer = results[OBSERVER_SHARD]
+    epochs = observer["epochs"]
+    finish = observer["finish"]
+    # §8.1 synchronization, aggregated across shards: every shard
+    # reports its units' data-plane timestamps per epoch.
+    per_epoch: dict[int, list[int]] = {}
+    for shard in results:
+        for epoch, t in shard["progress"]:
+            per_epoch.setdefault(epoch, []).append(t)
+    spreads = []
+    for epoch in epochs:
+        times = per_epoch.get(epoch, [])
+        if len(times) >= 2:
+            spreads.append(max(times) - min(times))
+    latencies = sorted(finish[e] - observer["requested"][e]
+                       for e in epochs if e in finish)
+    stats = {"received": 0, "processed": 0, "dropped": 0, "backlog": 0}
+    for shard in results:
+        for key in stats:
+            stats[key] += shard["notifications"][key]
+    num_switches = len(topo.switches)
+    # Builders connect every port, so a switch's unit count is twice its
+    # topological degree — same census _measure takes from the network.
+    units = sum(2 * topo.degree(s) for s in topo.switches)
+    return ScalingPoint(
+        switches=num_switches, units=units, sync=Cdf(spreads),
+        completion_latency_ns=(latencies[len(latencies) // 2]
+                               if latencies else float("nan")),
+        completed=len(finish), expected=len(epochs),
+        notifications_per_switch=stats["processed"] / num_switches)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point

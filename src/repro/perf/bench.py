@@ -47,6 +47,9 @@ SCHEMA_VERSION = 1
 DEFAULT_BENCH_FILE = "BENCH_core.json"
 #: The benchmark whose normalized score gates CI regressions.
 GATE_BENCH = "event_loop"
+#: Every benchmark the regression gate checks (when the baseline entry
+#: has a score for it): the engine hot path and the sharded core.
+GATE_BENCHES = (GATE_BENCH, "shard_smoke")
 
 
 # ----------------------------------------------------------------------
@@ -157,6 +160,108 @@ def bench_fig10_knee(ports: int = 16, burst: int = 25,
             "max_rate_hz": result.data["max_rate_hz"]}
 
 
+def _shard_bench_setup(worker, rate_pps: float, stop_ns: int,
+                       snapshots: int, interval_ns: int):
+    """Per-shard setup of the shard-scaling benchmark: Poisson traffic
+    from this shard's hosts to *all* hosts (so a constant share crosses
+    the cut) under a short snapshot campaign.  Module-level so the
+    process runner could pickle it too."""
+    from repro.core import DeploymentConfig, ShardedSpeedlightDeployment
+    from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
+
+    topo = worker.network.topology
+    local = [h for h in topo.hosts
+             if worker.plan.assignment[h] == worker.shard_id]
+    pairs = [(src, dst) for src in local for dst in topo.hosts if dst != src]
+    PoissonWorkload(worker.network, PoissonConfig(
+        seed=worker.shard_id + 1, rate_pps=rate_pps, stop_ns=stop_ns,
+        pairs=pairs, sport_churn=True)).start()
+    deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
+        metric="packet_count"))
+    if deployment.is_observer_shard and snapshots:
+        deployment.schedule_campaign(snapshots, interval_ns)
+    return lambda: worker.sim.events_run
+
+
+def _run_sharded_once(topo, shards: int, rate_pps: float, duration_ns: int,
+                      snapshots: int, interval_ns: int) -> dict[str, float]:
+    """One sharded run; returns total events, wall seconds, and the
+    critical-path seconds (slowest shard's busy time plus everything the
+    coordinator did outside the workers).
+
+    The in-process runner is used deliberately: per-shard busy time
+    measured in one process is independent of how many cores the
+    benchmark host happens to have, whereas the process runner's wall
+    clock on an oversubscribed host measures the host, not the code.
+    ``events / critical-path seconds`` is the wall-clock rate a host
+    with >= ``shards`` idle cores would sustain, minus pipe transport.
+    """
+    from repro.sim.network import NetworkConfig
+    from repro.sim.shard import InProcessShardRunner
+
+    runner = InProcessShardRunner(
+        topo, NetworkConfig(seed=13), shards=shards,
+        setup=_shard_bench_setup,
+        setup_args=(rate_pps, duration_ns, snapshots, interval_ns),
+        busy_clock=time.perf_counter)
+    started = time.perf_counter()
+    per_shard_events = runner.run(until=duration_ns)
+    wall = time.perf_counter() - started
+    events = sum(per_shard_events)
+    busy = [w.busy_s for w in runner.workers]
+    coordinator = max(0.0, wall - sum(busy))
+    # shards=1 runs the plain path (busy_s stays 0): critical == wall.
+    critical = (max(busy) + coordinator) if any(busy) else wall
+    return {"events": events, "wall_s": wall, "critical_s": critical,
+            "rounds": runner.rounds}
+
+
+def bench_shard_scaling(k: int = 8, shard_counts: "tuple[int, ...]" = (1, 2, 4),
+                        rate_pps: float = 50.0, duration_ms: int = 25,
+                        snapshots: int = 3,
+                        fabric_prop_ns: int = 20_000) -> dict[str, Any]:
+    """Space-parallel scaling on a fat-tree: aggregate events/s vs shard
+    count.  ``events_per_sec`` (the scored quantity) is the aggregate
+    critical-path throughput at the highest shard count; ``speedup`` is
+    its ratio to the single-shard run."""
+    from repro.topology import fat_tree
+
+    topo = fat_tree(k=k, fabric_prop_ns=fabric_prop_ns)
+    duration_ns = duration_ms * MS
+    interval_ns = 5 * MS
+    eps: dict[int, float] = {}
+    total_seconds = 0.0
+    total_events = 0
+    rounds = 0
+    for shards in shard_counts:
+        run = _run_sharded_once(topo, shards, rate_pps, duration_ns,
+                                snapshots, interval_ns)
+        eps[shards] = run["events"] / run["critical_s"]
+        total_seconds += run["wall_s"]
+        total_events += int(run["events"])
+        rounds = max(rounds, int(run["rounds"]))
+    first, last = shard_counts[0], shard_counts[-1]
+    return {"seconds": total_seconds, "events": total_events,
+            "events_per_sec": eps[last],
+            "k": k, "shards": f"{first}..{last}", "rounds": rounds,
+            "speedup": round(eps[last] / eps[first], 2)}
+
+
+def bench_shard_smoke(k: int = 4, shards: int = 2, rate_pps: float = 400.0,
+                      duration_ms: int = 15) -> dict[str, Any]:
+    """The CI-sized sharded-core gate: one 2-shard run on a small
+    fat-tree; the normalized aggregate (critical-path) events/s score is
+    regression-checked like ``event_loop``."""
+    from repro.topology import fat_tree
+
+    topo = fat_tree(k=k, fabric_prop_ns=20_000)
+    run = _run_sharded_once(topo, shards, rate_pps, duration_ms * MS,
+                            snapshots=2, interval_ns=5 * MS)
+    return {"seconds": run["wall_s"], "events": int(run["events"]),
+            "events_per_sec": run["events"] / run["critical_s"],
+            "k": k, "shards": shards, "rounds": int(run["rounds"])}
+
+
 # ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
@@ -232,6 +337,7 @@ def run_suite(label: str = "adhoc", quick: bool = False,
             ("snapshot_round", lambda: bench_snapshot_round(snapshots=2)),
             ("fig10_knee", lambda: bench_fig10_knee(
                 ports=8, burst=15, search_iterations=5)),
+            ("shard_smoke", lambda: bench_shard_smoke(duration_ms=10)),
         ]
     else:
         plans = [
@@ -239,6 +345,8 @@ def run_suite(label: str = "adhoc", quick: bool = False,
             ("timer_churn", bench_timer_churn),
             ("snapshot_round", bench_snapshot_round),
             ("fig10_knee", bench_fig10_knee),
+            ("shard_smoke", bench_shard_smoke),
+            ("shard_scaling", bench_shard_scaling),
         ]
 
     result = BenchResult(
@@ -359,10 +467,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"\nno baseline entry "
                   f"{args.baseline_label or '(last)'} in {args.check_against}")
             return 1
-        ok, message = check_regression(result, baseline,
-                                       max_regression=args.max_regression)
-        print("\n" + message)
-        return 0 if ok else 1
+        print()
+        failed = False
+        for bench in GATE_BENCHES:
+            ok, message = check_regression(result, baseline,
+                                           max_regression=args.max_regression,
+                                           bench=bench)
+            print(message)
+            failed = failed or not ok
+        return 1 if failed else 0
     return 0
 
 

@@ -91,16 +91,27 @@ class TrialSpec:
     params: Mapping[str, Any]
     seed: int = 0
     label: str = ""
+    #: Space-parallel simulation shards (repro.sim.shard).  1 — the
+    #: default — is the plain single-process path.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         # Normalise eagerly so a malformed spec fails at construction,
         # near the code that built it, not inside a worker process.
         object.__setattr__(self, "params", canonical(self.params))
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
     def fingerprint(self) -> str:
-        """Stable content hash of ``(kind, params, seed)``."""
-        payload = canonical_json(
-            {"kind": self.kind, "params": self.params, "seed": self.seed})
+        """Stable content hash of ``(kind, params, seed)`` — plus
+        ``shards`` when sharded.  ``shards=1`` is deliberately absent
+        from the payload so every pre-sharding fingerprint (and cached
+        result) stays valid."""
+        payload_dict: dict[str, Any] = {
+            "kind": self.kind, "params": self.params, "seed": self.seed}
+        if self.shards != 1:
+            payload_dict["shards"] = self.shards
+        payload = canonical_json(payload_dict)
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def describe(self) -> str:

@@ -31,8 +31,17 @@ from repro.sim.switch import (
     Direction,
 )
 from repro.sim.host import Host, FlowRecord
-from repro.sim.network import Network, NetworkConfig
+from repro.sim.network import Network, NetworkConfig, partition_topology
 from repro.sim.mgmt import ManagementPlane
+from repro.sim.shard import (
+    BoundaryLink,
+    InProcessShardRunner,
+    ProcessShardRunner,
+    ShardPlan,
+    ShardScope,
+    ShardWorker,
+    run_sharded,
+)
 
 __all__ = [
     "Event",
@@ -63,4 +72,12 @@ __all__ = [
     "Network",
     "NetworkConfig",
     "ManagementPlane",
+    "partition_topology",
+    "BoundaryLink",
+    "InProcessShardRunner",
+    "ProcessShardRunner",
+    "ShardPlan",
+    "ShardScope",
+    "ShardWorker",
+    "run_sharded",
 ]

@@ -241,6 +241,40 @@ class Simulator:
             self.now = until
         return executed
 
+    def run_horizon(self, horizon: int) -> int:
+        """Run every event *strictly before* ``horizon`` and advance
+        ``now`` to exactly ``horizon``.
+
+        This is the conservative-window entry point used by the sharded
+        coordinator (:mod:`repro.sim.shard`): a worker that has run to a
+        horizon is guaranteed never to execute another event before it,
+        so cross-shard arrivals timestamped at or after the horizon can
+        be injected without violating causality.  Returns the number of
+        events executed.
+        """
+        if type(horizon) is not int:
+            horizon = exact_ns(horizon, "horizon")
+        if horizon < self.now:
+            raise ValueError(
+                f"cannot run to horizon t={horizon}, now is {self.now}")
+        # run(until=...) is inclusive and then advances now to the bound,
+        # so "strictly before horizon" is exactly until=horizon - 1.
+        executed = self.run(until=horizon - 1)
+        self.now = horizon
+        return executed
+
+    def inject_at(self, time: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Uncancellable absolute-time scheduling for trusted callers.
+
+        The shard transport injects merged cross-shard batches with this:
+        ``time`` must be a trusted ``int >= now``.  Sequence numbers come
+        from the same counter as :meth:`schedule`, so injection order is
+        the deterministic tie-break at equal timestamps.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, fn, args))
+
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none left."""
         return self.run(max_events=1) == 1

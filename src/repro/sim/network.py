@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from collections.abc import Callable
-from typing import Optional
+from typing import Optional, Protocol
 
 from repro.sim.engine import Simulator, US
 from repro.sim.clock import PTPConfig, PTPService
@@ -23,7 +23,83 @@ from repro.sim.channel import Link, LossModel
 from repro.sim.host import Host
 from repro.sim.mgmt import ManagementPlane
 from repro.sim.switch import Switch, SwitchConfig, TraceEvent
-from repro.topology.graph import NodeKind, Topology
+from repro.topology.graph import LinkSpec, NodeKind, Topology
+
+
+def partition_topology(topology: Topology, num_shards: int) -> dict[str, int]:
+    """Assign every node of ``topology`` to one of ``num_shards`` shards.
+
+    Greedy graph growing over the switch-induced subgraph (a cheap
+    min-cut-ish heuristic): each shard is seeded with the
+    highest-degree unassigned switch and grown one switch at a time,
+    always taking the candidate with the most links into the region —
+    the same objective as KL/FM-style partitioners, without the
+    dependency.  Hosts follow their attached switch, so only
+    switch-to-switch links are ever cut and every cut link's
+    propagation delay can serve as conservative lookahead
+    (:mod:`repro.sim.shard`).
+
+    Deterministic given (topology, num_shards): all candidate choices
+    tie-break on sorted names, never on hashes or iteration order of
+    sets.  Returns a ``{node name -> shard id}`` mapping covering every
+    switch and host.
+    """
+    switches = topology.switches
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > len(switches):
+        raise ValueError(
+            f"cannot split {len(switches)} switches into {num_shards} shards")
+    assignment: dict[str, int] = {}
+
+    def switch_degree(name: str) -> int:
+        return sum(1 for n in topology.neighbors(name)
+                   if topology.kind(n) is NodeKind.SWITCH)
+
+    remaining = set(switches)
+    base, extra = divmod(len(switches), num_shards)
+    for shard in range(num_shards):
+        target = base + (1 if shard < extra else 0)
+        region: list[str] = []
+        while len(region) < target:
+            if not region:
+                # Seed: highest switch-degree, name as tie-break.
+                seed = max(sorted(remaining), key=switch_degree)
+                region.append(seed)
+                remaining.discard(seed)
+                continue
+            frontier = sorted({n for member in region
+                               for n in topology.neighbors(member)
+                               if n in remaining})
+            if not frontier:
+                # Disconnected remainder: start a fresh seed inside the
+                # same shard.
+                seed = max(sorted(remaining), key=switch_degree)
+                region.append(seed)
+                remaining.discard(seed)
+                continue
+            def edges_into_region(name: str) -> int:
+                return sum(1 for n in topology.neighbors(name)
+                           if n in region)
+            pick = max(frontier, key=edges_into_region)
+            region.append(pick)
+            remaining.discard(pick)
+        for name in region:
+            assignment[name] = shard
+    for host in topology.hosts:
+        # Host-to-host links do not exist, so every host neighbor is a
+        # switch; a multi-homed host follows its first switch by name.
+        attached = topology.neighbors(host)[0]
+        assignment[host] = assignment[attached]
+    return assignment
+
+
+def cut_links(topology: Topology,
+              assignment: dict[str, int]) -> list[LinkSpec]:
+    """The links whose endpoints live in different shards, in the
+    topology's deterministic link order."""
+    return [spec for spec in topology.links
+            if assignment[spec.a] != assignment[spec.b]]
 
 
 @dataclass
@@ -45,15 +121,36 @@ class NetworkConfig:
     enable_tracing: bool = False
 
 
+class NetworkScope(Protocol):
+    """What a shard scope must provide to restrict a :class:`Network` to
+    one partition (implemented by :class:`repro.sim.shard.ShardScope`)."""
+
+    def owns(self, name: str) -> bool:
+        ...  # pragma: no cover - protocol definition
+
+    def boundary_link(self, sim: Simulator, spec: "LinkSpec",
+                      loss: Optional[LossModel] = None) -> Link:
+        ...  # pragma: no cover - protocol definition
+
+    def remote_snapshot_enabled(self, name: str) -> bool:
+        ...  # pragma: no cover - protocol definition
+
+
 class Network:
     """A fully wired simulated network."""
 
     def __init__(self, topology: Topology,
                  config: Optional[NetworkConfig] = None,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None,
+                 scope: Optional["NetworkScope"] = None) -> None:
         self.topology = topology
         self.config = config or NetworkConfig()
         self.sim = sim or Simulator()
+        #: Shard scope (None = the whole topology lives in this process).
+        #: When set, only owned switches/hosts are instantiated and each
+        #: cut link is replaced by the scope's boundary stub
+        #: (:mod:`repro.sim.shard`).
+        self.scope = scope
         self.rng = random.Random(self.config.seed)
         self.ptp = PTPService(self.sim, self._child_rng("ptp"),
                               self.config.ptp_config)
@@ -87,8 +184,14 @@ class Network:
         from repro.lb import EcmpBalancer  # late import avoids a cycle
 
         topo = self.topology
+        scope = self.scope
         lb_factory = self.config.lb_factory or (lambda salt: EcmpBalancer(salt))
+        # The switch index (the ECMP hash salt) counts *all* switches,
+        # so a switch hashes flows identically whether the network is
+        # sharded or not.
         for index, name in enumerate(topo.switches):
+            if scope is not None and not scope.owns(name):
+                continue
             cfg = SwitchConfig(**{**self.config.switch_config.__dict__,
                                   "num_ports": topo.degree(name),
                                   "enable_tracing": self.config.enable_tracing})
@@ -96,6 +199,8 @@ class Network:
                                          lb=lb_factory(index))
             self.ptp.attach(name)
         for name in topo.hosts:
+            if scope is not None and not scope.owns(name):
+                continue
             self.hosts[name] = Host(self.sim, name)
         for name in topo.nodes:
             neighbors = topo.neighbors(name)
@@ -104,11 +209,26 @@ class Network:
         for spec in topo.links:
             loss = None
             if self.config.loss_factory is not None:
+                # Draw for every link in topology order — even links this
+                # shard does not own — so each shard's loss stream for a
+                # given link matches every other shard count.
                 loss = self.config.loss_factory(spec, link_rng)
-            link = Link(self.sim, spec.bandwidth_bps, spec.propagation_ns,
-                        loss=loss, name=f"{spec.a}-{spec.b}")
+            if scope is None:
+                local_ends = [spec.a, spec.b]
+            else:
+                local_ends = [n for n in (spec.a, spec.b) if scope.owns(n)]
+                if not local_ends:
+                    continue
+            if len(local_ends) == 1:
+                # Cut link: the scope supplies a boundary stub that
+                # captures transmissions for the cross-shard transport
+                # instead of delivering them locally.
+                link = self.scope.boundary_link(self.sim, spec, loss=loss)  # type: ignore[union-attr]
+            else:
+                link = Link(self.sim, spec.bandwidth_bps, spec.propagation_ns,
+                            loss=loss, name=f"{spec.a}-{spec.b}")
             self.links.append(link)
-            for node in (spec.a, spec.b):
+            for node in local_ends:
                 if topo.kind(node) is NodeKind.SWITCH:
                     port = self.port_map[node][spec.other(node)]
                     self.switches[node].ports[port].connect(link)
@@ -212,6 +332,12 @@ class Network:
                 peer_name, kind = self.peer_of_port(sw_name, port.index)
                 if kind is NodeKind.HOST:
                     port.egress.strip_header_for_peer = True
+                    continue
+                if self.scope is not None and peer_name not in self.switches:
+                    # Cut-link peer living in another shard: the scope
+                    # knows whether its facing ingress parses the header.
+                    port.egress.strip_header_for_peer = (
+                        not self.scope.remote_snapshot_enabled(peer_name))
                     continue
                 peer_switch = self.switches[peer_name]
                 peer_port = self.port_map[peer_name][sw_name]

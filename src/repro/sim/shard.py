@@ -1,0 +1,573 @@
+"""Space-parallel simulation: shards, boundary links, and the
+conservative coordinator.
+
+A large fabric is split at link boundaries into *shards*
+(:func:`repro.sim.network.partition_topology`), each wrapped in its own
+:class:`~repro.sim.engine.Simulator` inside a scoped
+:class:`~repro.sim.network.Network`.  Cut links are replaced by
+:class:`BoundaryLink` stubs that capture transmissions as timestamped
+items instead of delivering them locally; a coordinator runs the shards
+in conservative time-windowed rounds and exchanges the captured batches.
+
+**Why this is safe** — the paper's system model (§4.1) is FIFO channels
+with fixed propagation delay, which is exactly the classic conservative
+PDES lookahead argument: let ``L`` be the minimum propagation delay over
+all *cut* links and ``minN`` the earliest pending event across all
+shards at the start of a round.  Every event executed during the round
+has ``t >= minN``, so any packet captured at a boundary arrives at
+``t + propagation >= minN + L``.  The round's horizon is
+``min(minN + L, until + 1)``, hence every cross-shard arrival lands at
+or after the horizon every shard has already reached — never in a
+shard's past.  Control-plane messages that cross shards (record
+shipping, initiation fan-out) ride the same transport and reserve at
+least ``L`` of latency on top of whatever management-plane latency the
+sender sampled locally, so they obey the same bound.
+
+**Why this is deterministic** — each round is a barrier: the coordinator
+waits for every shard, then sorts each destination's inbound items by
+``(deliver_at, source shard id, per-source sequence)`` before the shard
+injects them in that order.  Injection order assigns engine sequence
+numbers, and the engine breaks timestamp ties by sequence number, so the
+composed execution is a pure function of (topology, config, shard
+count) — independent of worker scheduling, pipe timing, or the order in
+which worker results happen to arrive.  ``shards=1`` skips all of this
+and runs the plain single-process path, bit-identical to an unsharded
+:class:`~repro.sim.network.Network` (the golden-trace test pins this).
+
+See docs/SHARDING.md for the full contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any, Optional
+
+from repro.sim.channel import Link, LossModel
+from repro.sim.engine import Simulator
+from repro.sim.network import (Network, NetworkConfig, cut_links,
+                               partition_topology)
+from repro.sim.packet import Packet
+from repro.topology.graph import LinkSpec, Topology
+
+__all__ = [
+    "BoundaryLink",
+    "InProcessShardRunner",
+    "ProcessShardRunner",
+    "ShardPlan",
+    "ShardScope",
+    "ShardWorker",
+    "run_sharded",
+]
+
+#: Transport item kinds: a data-plane packet crossing a cut link, and a
+#: control-plane payload addressed to a named mailbox.
+_PKT = "pkt"
+_CTRL = "ctrl"
+
+#: A transport item: (kind, key, deliver_at, src_shard, src_seq, payload)
+#: where key is a cut-link name (_PKT) or a mailbox name (_CTRL).
+TransportItem = tuple
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The deterministic partition of one topology into shards."""
+
+    num_shards: int
+    #: node name -> shard id, covering every switch and host.
+    assignment: Mapping[str, int]
+    #: Links whose endpoints live in different shards, in topology order.
+    cut: tuple[LinkSpec, ...]
+    #: Conservative lookahead: the minimum propagation delay over the
+    #: cut links — the width floor of every coordination window.
+    lookahead_ns: int
+
+    @classmethod
+    def for_topology(cls, topology: Topology, num_shards: int) -> "ShardPlan":
+        assignment = partition_topology(topology, num_shards)
+        cut = tuple(cut_links(topology, assignment))
+        if num_shards > 1:
+            if not cut:
+                raise ValueError(
+                    "partition produced no cut links; topology is "
+                    "disconnected across shards in a degenerate way")
+            lookahead = min(spec.propagation_ns for spec in cut)
+            if lookahead < 1:
+                raise ValueError(
+                    "cut links must have positive propagation delay to "
+                    "serve as conservative lookahead")
+        else:
+            lookahead = 0
+        return cls(num_shards=num_shards, assignment=dict(assignment),
+                   cut=cut, lookahead_ns=lookahead)
+
+    def link_shards(self) -> dict[str, tuple[int, int]]:
+        """Cut-link name -> (shard of endpoint a, shard of endpoint b)."""
+        return {f"{s.a}-{s.b}": (self.assignment[s.a], self.assignment[s.b])
+                for s in self.cut}
+
+    def shard_nodes(self, shard_id: int) -> list[str]:
+        return sorted(n for n, s in self.assignment.items() if s == shard_id)
+
+
+class BoundaryLink(Link):
+    """One shard's stub for a cut link.
+
+    Only the local endpoint is attached.  :meth:`transmit` applies the
+    link's up/loss state exactly like a real link, then *captures* the
+    packet with its computed arrival time instead of scheduling local
+    delivery; the coordinator carries the captured batch to the peer
+    shard, whose twin stub injects it.  Capture preserves the FIFO
+    floor under latency-spike faults, so the cross-shard direction obeys
+    the same monotone-delivery guarantee as :meth:`Link._transmit_slow`.
+    """
+
+    def __init__(self, sim: Simulator, spec: LinkSpec,
+                 loss: Optional[LossModel] = None) -> None:
+        super().__init__(sim, spec.bandwidth_bps, spec.propagation_ns,
+                         loss=loss, name=f"{spec.a}-{spec.b}")
+        self._outbox: list[tuple[int, Packet]] = []
+        self._out_floor = 0
+
+    def transmit(self, sender, packet: Packet) -> bool:
+        if not self.up:
+            self.packets_dropped += 1
+            return False
+        if not self._lossless and self._loss.should_drop(packet):
+            self.packets_dropped += 1
+            return False
+        at = self.sim.now + self.propagation_ns + self.extra_delay_ns
+        if at < self._out_floor:
+            at = self._out_floor  # FIFO under a draining latency spike
+        self._out_floor = at
+        self._outbox.append((at, packet))
+        return True
+
+    def drain(self) -> list[tuple[int, Packet]]:
+        """Take and clear the captured (deliver_at, packet) batch."""
+        out = self._outbox
+        self._outbox = []
+        return out
+
+    def inject(self, deliver_at: int, packet: Packet) -> None:
+        """Schedule delivery of an inbound cross-shard packet to the
+        local endpoint (called in coordinator-merged order)."""
+        receiver = self._endpoints[0]
+        if receiver is None:
+            raise RuntimeError(f"boundary link {self.name!r} has no "
+                               "local endpoint")
+        self.sim.inject_at(deliver_at, self._deliver, receiver, packet)
+
+
+class ShardScope:
+    """The :class:`~repro.sim.network.NetworkScope` of one shard: owns
+    the nodes assigned to it and materialises cut links as
+    :class:`BoundaryLink` stubs."""
+
+    def __init__(self, plan: ShardPlan, shard_id: int) -> None:
+        if not 0 <= shard_id < plan.num_shards:
+            raise ValueError(f"shard_id {shard_id} out of range")
+        self.plan = plan
+        self.shard_id = shard_id
+        #: cut-link name -> local stub, in topology link order.
+        self.boundary_links: dict[str, BoundaryLink] = {}
+
+    def owns(self, name: str) -> bool:
+        return self.plan.assignment[name] == self.shard_id
+
+    def boundary_link(self, sim: Simulator, spec: LinkSpec,
+                      loss: Optional[LossModel] = None) -> Link:
+        link = BoundaryLink(sim, spec, loss=loss)
+        self.boundary_links[link.name] = link
+        return link
+
+    def remote_snapshot_enabled(self, name: str) -> bool:
+        # Sharded deployments are full deployments: every switch across
+        # every shard is snapshot-enabled, so cut-link egresses keep the
+        # header on.  (Partial deployment composes with sharding only
+        # when the boundary coincides with a shard, which nothing needs
+        # yet.)
+        return True
+
+
+class ShardWorker:
+    """One shard: a scoped :class:`Network` plus the transport glue.
+
+    ``setup`` (if given) runs at construction with the worker as first
+    argument; it installs workloads/deployments, registers control-plane
+    mailboxes, and may return a zero-argument *finish* callable whose
+    result :meth:`finish` returns after the run (this is what the
+    process runner ships back over the pipe, so it must be picklable).
+    """
+
+    def __init__(self, topology: Topology, config: Optional[NetworkConfig],
+                 plan: ShardPlan, shard_id: int,
+                 setup: Optional[Callable[..., Any]] = None,
+                 setup_args: Sequence[Any] = (),
+                 busy_clock: Optional[Callable[[], float]] = None) -> None:
+        self.plan = plan
+        self.shard_id = shard_id
+        #: Injected wall-clock (e.g. ``time.perf_counter`` from the perf
+        #: layer); when set, :attr:`busy_s` accumulates the seconds this
+        #: shard spent computing (vs waiting on the coordinator) — the
+        #: per-shard critical-path measurement of the scaling benchmark.
+        #: Injected rather than imported so simulation code stays free of
+        #: wall-clock reads (DET002); never feeds back into event order.
+        self._busy_clock = busy_clock
+        self.busy_s = 0.0
+        if plan.num_shards == 1:
+            # The single-shard fast path *is* the existing single-process
+            # path: a plain unscoped Network, bit-identical event stream.
+            self.scope: Optional[ShardScope] = None
+            self.network = Network(topology, config)
+        else:
+            self.scope = ShardScope(plan, shard_id)
+            self.network = Network(topology, config, scope=self.scope)
+        self.mailboxes: dict[str, Callable[[Any], None]] = {}
+        self._ctrl_out: list[tuple[str, int, Any]] = []
+        self._seq = 0
+        self._finish: Callable[[], Any] = lambda: None
+        if setup is not None:
+            finish = setup(self, *setup_args)
+            if finish is not None:
+                self._finish = finish
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    # ------------------------------------------------------------------
+    # Control-plane transport
+    # ------------------------------------------------------------------
+    def register_mailbox(self, name: str,
+                         handler: Callable[[Any], None]) -> None:
+        """Register a cross-shard control-plane destination.  Mailbox
+        names must be globally unique; register them during ``setup`` —
+        the coordinator learns the routing table once, at startup."""
+        if name in self.mailboxes:
+            raise ValueError(f"mailbox {name!r} already registered")
+        self.mailboxes[name] = handler
+
+    def send_ctrl(self, mailbox: str, payload: Any,
+                  extra_ns: int = 0) -> None:
+        """Send ``payload`` to a (possibly remote) mailbox.
+
+        ``extra_ns`` is whatever latency the sender already sampled
+        (e.g. a management-plane delay); the transport reserves at least
+        the plan's lookahead so the delivery always lands at or beyond
+        the next coordination horizon.
+        """
+        at = self.sim.now + max(int(extra_ns), self.plan.lookahead_ns)
+        self._ctrl_out.append((mailbox, at, payload))
+
+    # ------------------------------------------------------------------
+    # Coordinator protocol
+    # ------------------------------------------------------------------
+    def next_time(self) -> Optional[int]:
+        return self.sim.peek_time()
+
+    def run_horizon(self, horizon: int) -> int:
+        if self._busy_clock is None:
+            return self.sim.run_horizon(horizon)
+        started = self._busy_clock()
+        try:
+            return self.sim.run_horizon(horizon)
+        finally:
+            self.busy_s += self._busy_clock() - started
+
+    def drain(self) -> list[TransportItem]:
+        """Collect everything captured since the last round, stamped
+        with this shard's monotone per-item sequence."""
+        items: list[TransportItem] = []
+        if self.scope is not None:
+            for name, link in self.scope.boundary_links.items():
+                for at, packet in link.drain():
+                    items.append((_PKT, name, at, self.shard_id,
+                                  self._seq, packet))
+                    self._seq += 1
+        for mailbox, at, payload in self._ctrl_out:
+            items.append((_CTRL, mailbox, at, self.shard_id,
+                          self._seq, payload))
+            self._seq += 1
+        self._ctrl_out = []
+        return items
+
+    def inject(self, items: Iterable[TransportItem]) -> None:
+        """Inject coordinator-merged inbound items, in the given order
+        (the order *is* the deterministic tie-break)."""
+        sim = self.sim
+        for kind, key, at, _src, _seq, payload in items:
+            if at < sim.now:
+                at = sim.now  # defensive; the lookahead bound prevents this
+            if kind == _PKT:
+                assert self.scope is not None
+                self.scope.boundary_links[key].inject(at, payload)
+            else:
+                sim.inject_at(at, self.mailboxes[key], payload)
+
+    def finish(self) -> Any:
+        return self._finish()
+
+
+# ----------------------------------------------------------------------
+# Deterministic merge
+# ----------------------------------------------------------------------
+
+def _merge_key(item: TransportItem) -> tuple[int, int, int]:
+    # (deliver_at, src shard, per-source seq) — a total order, so the
+    # per-destination merge is independent of arrival order.
+    return (item[2], item[3], item[4])
+
+
+def _route(items: list[TransportItem],
+           link_shards: Mapping[str, tuple[int, int]],
+           mailbox_homes: Mapping[str, int]) -> dict[int, list[TransportItem]]:
+    """Group outbound items by destination shard and sort each group by
+    the deterministic merge key."""
+    per: dict[int, list[TransportItem]] = {}
+    for item in items:
+        kind, key, _at, src = item[0], item[1], item[2], item[3]
+        if kind == _PKT:
+            a_shard, b_shard = link_shards[key]
+            dest = b_shard if src == a_shard else a_shard
+        else:
+            try:
+                dest = mailbox_homes[key]
+            except KeyError:
+                raise KeyError(f"no shard registered mailbox {key!r}") from None
+        per.setdefault(dest, []).append(item)
+    for group in per.values():
+        group.sort(key=_merge_key)
+    return per
+
+
+def _effective_min(next_times: Sequence[Optional[int]],
+                   pending: Mapping[int, list[TransportItem]]) -> Optional[int]:
+    """Earliest pending event across all shards, counting routed-but-not-
+    yet-injected items at their delivery times."""
+    best: Optional[int] = None
+    for shard_id, t in enumerate(next_times):
+        for item in pending.get(shard_id, ()):
+            at = item[2]
+            if t is None or at < t:
+                t = at
+        if t is not None and (best is None or t < best):
+            best = t
+    return best
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+
+class InProcessShardRunner:
+    """All shards in one process, stepped round-robin.
+
+    Functionally identical to :class:`ProcessShardRunner` minus the
+    pipes — used by tests (the merge-order property test permutes
+    ``order``, the sequence in which workers are stepped within each
+    round, and asserts the composed execution does not change) and
+    wherever process startup is not worth it.
+    """
+
+    def __init__(self, topology: Topology,
+                 config: Optional[NetworkConfig] = None, *,
+                 shards: int = 2,
+                 setup: Optional[Callable[..., Any]] = None,
+                 setup_args: Sequence[Any] = (),
+                 plan: Optional[ShardPlan] = None,
+                 order: Optional[Sequence[int]] = None,
+                 busy_clock: Optional[Callable[[], float]] = None) -> None:
+        self.plan = plan or ShardPlan.for_topology(topology, shards)
+        self.workers = [ShardWorker(topology, config, self.plan, shard_id,
+                                    setup, setup_args,
+                                    busy_clock=busy_clock)
+                        for shard_id in range(self.plan.num_shards)]
+        self._order = (list(order) if order is not None
+                       else list(range(self.plan.num_shards)))
+        if sorted(self._order) != list(range(self.plan.num_shards)):
+            raise ValueError(f"order must be a permutation of "
+                             f"0..{self.plan.num_shards - 1}")
+        self._link_shards = self.plan.link_shards()
+        self._mailbox_homes: dict[str, int] = {}
+        for worker in self.workers:
+            for name in worker.mailboxes:
+                if name in self._mailbox_homes:
+                    raise ValueError(f"mailbox {name!r} registered by "
+                                     "more than one shard")
+                self._mailbox_homes[name] = worker.shard_id
+        self.rounds = 0
+
+    def run(self, until: int) -> list[Any]:
+        plan = self.plan
+        workers = self.workers
+        if plan.num_shards == 1:
+            workers[0].network.run(until=until)
+            return [workers[0].finish()]
+        pending: dict[int, list[TransportItem]] = {}
+        while True:
+            for i in self._order:
+                workers[i].inject(pending.pop(i, []))
+            next_times = [w.next_time() for w in workers]
+            min_next = _effective_min(next_times, pending)
+            if min_next is None or min_next > until:
+                break
+            horizon = min(min_next + plan.lookahead_ns, until + 1)
+            outbound: list[TransportItem] = []
+            for i in self._order:
+                workers[i].run_horizon(horizon)
+                outbound.extend(workers[i].drain())
+            pending = _route(outbound, self._link_shards,
+                             self._mailbox_homes)
+            self.rounds += 1
+        for i in self._order:
+            workers[i].network.run(until=until)
+        return [w.finish() for w in workers]
+
+
+def _shard_worker_main(conn, topology: Topology,
+                       config: Optional[NetworkConfig], plan: ShardPlan,
+                       shard_id: int, setup: Optional[Callable[..., Any]],
+                       setup_args: Sequence[Any]) -> None:
+    """Worker-process loop: build the shard, then serve coordinator
+    rounds over the pipe until the ``finish`` message."""
+    worker = ShardWorker(topology, config, plan, shard_id, setup, setup_args)
+    conn.send(("ready", worker.next_time(), sorted(worker.mailboxes)))
+    while True:
+        msg = conn.recv()
+        if msg[0] == "step":
+            _tag, horizon, items = msg
+            worker.inject(items)
+            worker.run_horizon(horizon)
+            conn.send((worker.drain(), worker.next_time()))
+        elif msg[0] == "finish":
+            _tag, until, items = msg
+            worker.inject(items)
+            worker.network.run(until=until)
+            conn.send(("done", worker.finish()))
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol error
+            raise RuntimeError(f"unknown coordinator message {msg[0]!r}")
+
+
+def _default_context():
+    # fork keeps worker startup cheap and inherits the built topology
+    # object's page cache; determinism is unaffected either way because
+    # the composed execution depends only on merged item order, which
+    # the coordinator fixes.  spawn is the fallback where fork does not
+    # exist (or is unreliable).
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class ProcessShardRunner:
+    """Shards in worker processes, batches over pipes.
+
+    ``setup``/``setup_args`` must be picklable (a module-level function
+    plus plain-data arguments); each worker's ``finish`` return value is
+    shipped back over the pipe and must be picklable too.
+    """
+
+    def __init__(self, topology: Topology,
+                 config: Optional[NetworkConfig] = None, *,
+                 shards: int = 2,
+                 setup: Optional[Callable[..., Any]] = None,
+                 setup_args: Sequence[Any] = (),
+                 plan: Optional[ShardPlan] = None,
+                 mp_context=None) -> None:
+        self.plan = plan or ShardPlan.for_topology(topology, shards)
+        ctx = mp_context or _default_context()
+        self._conns = []
+        self._procs = []
+        for shard_id in range(self.plan.num_shards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child, topology, config, self.plan, shard_id,
+                      setup, setup_args),
+                daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._link_shards = self.plan.link_shards()
+        self._next_times: list[Optional[int]] = [None] * self.plan.num_shards
+        self._mailbox_homes: dict[str, int] = {}
+        for shard_id, conn in enumerate(self._conns):
+            _tag, next_time, mailboxes = conn.recv()
+            self._next_times[shard_id] = next_time
+            for name in mailboxes:
+                if name in self._mailbox_homes:
+                    raise ValueError(f"mailbox {name!r} registered by "
+                                     "more than one shard")
+                self._mailbox_homes[name] = shard_id
+        self.rounds = 0
+
+    def run(self, until: int) -> list[Any]:
+        plan = self.plan
+        pending: dict[int, list[TransportItem]] = {}
+        try:
+            if plan.num_shards > 1:
+                while True:
+                    min_next = _effective_min(self._next_times, pending)
+                    if min_next is None or min_next > until:
+                        break
+                    horizon = min(min_next + plan.lookahead_ns, until + 1)
+                    for shard_id, conn in enumerate(self._conns):
+                        conn.send(("step", horizon,
+                                   pending.pop(shard_id, [])))
+                    outbound: list[TransportItem] = []
+                    for shard_id, conn in enumerate(self._conns):
+                        out, next_time = conn.recv()
+                        self._next_times[shard_id] = next_time
+                        outbound.extend(out)
+                    pending = _route(outbound, self._link_shards,
+                                     self._mailbox_homes)
+                    self.rounds += 1
+            for shard_id, conn in enumerate(self._conns):
+                conn.send(("finish", until, pending.pop(shard_id, [])))
+            results: list[Any] = []
+            for conn in self._conns:
+                _tag, result = conn.recv()
+                results.append(result)
+            return results
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Tear down worker processes (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs = []
+        self._conns = []
+
+
+def run_sharded(topology: Topology, config: Optional[NetworkConfig], *,
+                shards: int, until: int,
+                setup: Optional[Callable[..., Any]] = None,
+                setup_args: Sequence[Any] = (),
+                process: bool = True) -> list[Any]:
+    """Run one sharded simulation end to end; returns the per-shard
+    ``finish`` results in shard order.  ``shards=1`` runs the plain
+    single-process path (in process, regardless of ``process``)."""
+    if shards == 1 or not process:
+        runner: Any = InProcessShardRunner(topology, config, shards=shards,
+                                           setup=setup,
+                                           setup_args=setup_args)
+    else:
+        runner = ProcessShardRunner(topology, config, shards=shards,
+                                    setup=setup, setup_args=setup_args)
+    return runner.run(until)

@@ -18,6 +18,18 @@ from repro.statics.rules import ALL_RULE_IDS, ALL_RULES
 
 DEFAULT_PATHS = ("src", "tests")
 
+#: Rules that encode repo-local conventions rather than portable
+#: determinism contracts.  ``--profile external`` drops them: DET002
+#: polices *this* repo's layering (wall-clock reads allowed only in
+#: runtime/perf scopes, which don't exist out-of-tree), and TRIAL001
+#: keys off our ``@trial`` decorator.
+EXTERNAL_EXCLUDED = frozenset({"DET002", "TRIAL001"})
+
+#: Scope external files are checked under: out-of-tree paths carry no
+#: meaningful package structure, so treat everything as simulation-core
+#: code — the strictest scope the portable rules guard.
+EXTERNAL_SCOPE = "sim"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -34,6 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(disables unused-pragma reporting)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list the rules and exit")
+    parser.add_argument("--profile", choices=("default", "external"),
+                        default="default",
+                        help="'external' audits out-of-tree simulation "
+                             "models: repo-convention rules "
+                             f"({', '.join(sorted(EXTERNAL_EXCLUDED))}) "
+                             "are dropped, every file is checked under "
+                             f"the '{EXTERNAL_SCOPE}' scope, and "
+                             "explicit paths are required")
     return parser
 
 
@@ -71,6 +91,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {rule.id:<9} {rule.title}  [{scope}]")
         return 0
     rules = select_rules(args.rules)
+    scope: Optional[str] = None
+    report_unused = args.rules is None
+    if args.profile == "external":
+        if args.rules is not None:
+            print("repro statics: --profile external and --rules are "
+                  "mutually exclusive", file=sys.stderr)
+            return 2
+        if not args.paths:
+            # The default src/tests paths are this repo; an external
+            # audit without a target would silently re-check ourselves.
+            print("repro statics: --profile external requires explicit "
+                  "paths", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules
+                 if rule.id not in EXTERNAL_EXCLUDED]
+        scope = EXTERNAL_SCOPE
+        # External code has no reason to know our pragma dialect, so an
+        # unused allow[] there is noise, not a stale suppression.
+        report_unused = False
     paths = args.paths or list(DEFAULT_PATHS)
     missing = [path for path in paths if not os.path.exists(path)]
     if missing:
@@ -78,8 +117,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro statics: no such path(s): {', '.join(missing)}",
               file=sys.stderr)
         return 2
-    report = run_paths(paths, rules,
-                       report_unused_pragmas=args.rules is None,
+    report = run_paths(paths, rules, scope=scope,
+                       report_unused_pragmas=report_unused,
                        known_rules=set(ALL_RULE_IDS))
     if args.as_json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))

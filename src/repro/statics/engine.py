@@ -168,11 +168,12 @@ def check_source(source: str, path: str, rules: Sequence[Rule], *,
 
 
 def check_file(path: str, rules: Sequence[Rule], *,
+               scope: Optional[str] = None,
                report_unused_pragmas: bool = True,
                known_rules: Optional[set[str]] = None) -> Report:
     with open(path, encoding="utf-8") as handle:
         source = handle.read()
-    return check_source(source, path, rules,
+    return check_source(source, path, rules, scope=scope,
                         report_unused_pragmas=report_unused_pragmas,
                         known_rules=known_rules)
 
@@ -200,12 +201,18 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
 
 
 def run_paths(paths: Iterable[str], rules: Sequence[Rule], *,
+              scope: Optional[str] = None,
               report_unused_pragmas: bool = True,
               known_rules: Optional[set[str]] = None) -> Report:
-    """Check every python file under ``paths``; aggregate one Report."""
+    """Check every python file under ``paths``; aggregate one Report.
+
+    ``scope`` forces every file into one scope instead of deriving it
+    per-path — the ``--profile external`` front end uses this to treat
+    an out-of-tree model as simulation-core code.
+    """
     total = Report()
     for path in iter_python_files(paths):
-        one = check_file(path, rules,
+        one = check_file(path, rules, scope=scope,
                          report_unused_pragmas=report_unused_pragmas,
                          known_rules=known_rules)
         total.findings.extend(one.findings)

@@ -15,6 +15,9 @@ SIM001    no float-producing expressions flowing into
           ``schedule()``/``schedule_at()``/``schedule_fast()``/``Event``
           time arguments (static complement of ``exact_ns``)
 SIM002    ``__slots__`` classes must not assign undeclared attributes
+SIM003    packets enter units through links — no direct
+          ``ingress.handle_packet()``/``receive_from_link()`` calls
+          outside the modeled delivery sites
 TRIAL001  ``@trial`` functions must not mutate module-level state
 ========  ============================================================
 
@@ -582,6 +585,135 @@ class SlotsIntegrityRule(Rule):
 
 
 # ----------------------------------------------------------------------
+# SIM003 — FIFO bypass: direct unit delivery
+# ----------------------------------------------------------------------
+
+#: Scheduling entry points whose second positional argument is a
+#: callback (``schedule(delay, fn, *args)`` and friends).
+_CALLBACK_SCHEDULERS = _SCHEDULE_FNS | {"inject_at"}
+
+
+class FifoBypassRule(Rule):
+    """Packets enter processing units through links, never by direct
+    unit calls.
+
+    Everything the snapshot protocol proves (§4.1) — and everything the
+    sharded runner's conservative lookahead bound relies on
+    (docs/SHARDING.md) — assumes packets reach an
+    ``IngressUnit``/``Port`` through a FIFO channel with propagation
+    delay.  A direct ``something.ingress.handle_packet(pkt)`` (or
+    ``receive_from_link`` call, or scheduling either as a callback)
+    injects a packet that no link carried: it skips FIFO ordering,
+    loss/up state, and the cut-link capture that sharding depends on.
+    The modeled delivery sites (``Link._deliver``,
+    ``Port.receive_from_link``, the control plane's initiation/probe
+    injectors, which model the switch CPU's internal port) carry
+    reasoned pragmas.
+
+    Light interprocedural coverage: a same-module *function* whose
+    parameter is called as ``param.handle_packet(...)`` marks that
+    parameter position, and call sites passing an ingress expression
+    there are flagged too.
+    """
+
+    id = "SIM003"
+    title = "no FIFO-bypassing unit delivery outside links"
+    hint = ("send the packet through a Link (host.send_packet / "
+            "link.transmit) so FIFO order, propagation delay, and the "
+            "sharded lookahead bound hold; pragma-allow only modeled "
+            "delivery sites")
+    scopes = frozenset({"sim", "core", "faults", "workloads",
+                        "experiments"})
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        tracked = self._ingress_names(ctx.tree)
+        handlers = self._handler_params(ctx.tree)
+        out: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if (func.attr == "handle_packet"
+                        and self._is_ingress_expr(func.value, tracked)):
+                    out.append(self.finding(
+                        ctx, node,
+                        "direct ingress.handle_packet() call bypasses "
+                        "the FIFO channel"))
+                elif func.attr == "receive_from_link":
+                    out.append(self.finding(
+                        ctx, node,
+                        "direct receive_from_link() call bypasses the "
+                        "FIFO channel"))
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+            if name in _CALLBACK_SCHEDULERS and len(node.args) >= 2:
+                callback = node.args[1]
+                if isinstance(callback, ast.Attribute):
+                    if (callback.attr == "handle_packet"
+                            and self._is_ingress_expr(callback.value,
+                                                      tracked)):
+                        out.append(self.finding(
+                            ctx, node,
+                            f"{name}() callback delivers directly to an "
+                            "ingress unit, bypassing the FIFO channel"))
+                    elif callback.attr == "receive_from_link":
+                        out.append(self.finding(
+                            ctx, node,
+                            f"{name}() callback calls receive_from_link "
+                            "directly, bypassing the FIFO channel"))
+            if isinstance(func, ast.Name) and func.id in handlers:
+                for index in handlers[func.id]:
+                    if (index < len(node.args)
+                            and self._is_ingress_expr(node.args[index],
+                                                      tracked)):
+                        out.append(self.finding(
+                            ctx, node,
+                            f"{func.id}() forwards its argument to "
+                            ".handle_packet(), delivering directly to "
+                            "this ingress unit"))
+        return out
+
+    # -- ingress-expression classification -----------------------------
+    def _is_ingress_expr(self, node: ast.AST, tracked: set[str]) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr == "ingress":
+            return True
+        return isinstance(node, ast.Name) and node.id in tracked
+
+    def _ingress_names(self, tree: ast.AST) -> set[str]:
+        """Local names assigned from ``<...>.ingress`` expressions (one
+        flat namespace — the same approximation DET003 makes)."""
+        tracked: set[str] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "ingress"):
+                tracked.add(node.targets[0].id)
+        return tracked
+
+    def _handler_params(self, tree: ast.AST) -> dict[str, set[int]]:
+        """Module-level functions that call ``param.handle_packet(...)``
+        on one of their parameters: name -> positional indices."""
+        handlers: dict[str, set[int]] = {}
+        for stmt in getattr(tree, "body", []):
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            params = [arg.arg for arg in stmt.args.args]
+            positions: set[int] = set()
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "handle_packet"
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in params):
+                    positions.add(params.index(node.func.value.id))
+            if positions:
+                handlers[stmt.name] = positions
+        return handlers
+
+
+# ----------------------------------------------------------------------
 # TRIAL001 — @trial functions must not mutate module globals
 # ----------------------------------------------------------------------
 
@@ -686,6 +818,7 @@ ALL_RULES: tuple[Rule, ...] = (
     HashIdOrderingRule(),
     FloatTimeRule(),
     SlotsIntegrityRule(),
+    FifoBypassRule(),
     TrialGlobalMutationRule(),
 )
 

@@ -100,9 +100,17 @@ def ring(num_switches: int = 4, hosts_per_switch: int = 1,
 
 
 def fat_tree(k: int = 4, host_bw_bps: int = 25 * GBPS,
-             fabric_bw_bps: int = 100 * GBPS) -> Topology:
+             fabric_bw_bps: int = 100 * GBPS,
+             host_prop_ns: int = 500,
+             fabric_prop_ns: int = 500) -> Topology:
     """A k-ary fat-tree (k even): (k/2)^2 cores, k pods of k/2+k/2 switches,
-    (k^3)/4 hosts.  Used for larger-scale protocol tests."""
+    (k^3)/4 hosts.  Used for larger-scale protocol tests.
+
+    ``fabric_prop_ns`` sets every switch-to-switch propagation delay —
+    the sharded runner's conservative lookahead when the fabric is cut
+    (:mod:`repro.sim.shard`), so the shard-scaling benchmark raises it
+    to model longer-haul fabrics with wider coordination windows.
+    """
     if k < 2 or k % 2 != 0:
         raise ValueError("k must be a positive even integer")
     half = k // 2
@@ -115,13 +123,13 @@ def fat_tree(k: int = 4, host_bw_bps: int = 25 * GBPS,
         edges = [topo.add_switch(f"edge{pod}_{i}") for i in range(half)]
         for agg in aggs:
             for edge in edges:
-                topo.add_link(agg, edge, fabric_bw_bps, 500)
+                topo.add_link(agg, edge, fabric_bw_bps, fabric_prop_ns)
         for i, agg in enumerate(aggs):
             for core in cores[i]:
-                topo.add_link(agg, core, fabric_bw_bps, 500)
+                topo.add_link(agg, core, fabric_bw_bps, fabric_prop_ns)
         for edge in edges:
             for _ in range(half):
                 host = topo.add_host(f"server{server}")
-                topo.add_link(edge, host, host_bw_bps, 500)
+                topo.add_link(edge, host, host_bw_bps, host_prop_ns)
                 server += 1
     return topo

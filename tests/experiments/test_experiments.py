@@ -156,6 +156,39 @@ class TestFaultsExperiment:
         assert "link_down" in report or "cp_crash" in report
 
 
+class TestPartialDeploymentInvariance:
+    def test_spine_faults_leave_flagged_epoch_counts_unchanged(self):
+        # §10: Speedlight on the leaves only, chaos at the spines.  The
+        # neighbor-exclusion rule keeps non-participants out of every
+        # gating set, so spine failures must not flag a single epoch.
+        from repro.experiments import faults
+        inv = faults.partial_invariance()
+        assert inv.ok, inv.report()
+        faulted = inv.result.rows["iid-1"]
+        assert faulted["faults_applied"] > 0  # the chaos really ran
+        assert faulted["flagged"] == inv.baseline_flagged
+        assert "unchanged" in inv.report()
+
+    def test_partial_deployment_rides_in_the_fingerprint(self):
+        from repro.experiments import faults
+        partial = faults.FaultsConfig.partial_spine()
+        full = faults.FaultsConfig(intensities=partial.intensities,
+                                   rounds=partial.rounds,
+                                   kinds=partial.kinds)
+        partial_specs = faults.specs(partial)
+        assert all(s.params["deploy"] == ["leaf0", "leaf1"]
+                   for s in partial_specs)
+        full_fps = {s.fingerprint() for s in faults.specs(full)}
+        assert not full_fps & {s.fingerprint() for s in partial_specs}
+
+    def test_baseline_intensity_is_required(self):
+        from repro.experiments import faults
+        config = faults.FaultsConfig.partial_spine()
+        config.intensities = [0.5]
+        with pytest.raises(ValueError, match="baseline"):
+            faults.partial_invariance(config)
+
+
 class TestRecoveryExperiment:
     def test_quick_frontier_spans_policies_and_profiles(self):
         from repro.experiments import recovery

@@ -50,6 +50,22 @@ class TestFingerprint:
         base = TrialSpec(kind="k", params={"x": 1}, seed=7)
         assert base.fingerprint() != other.fingerprint()
 
+    def test_default_shards_leaves_fingerprint_unchanged(self):
+        # Back-compat: every pre-sharding fingerprint (and cached
+        # result) must survive the new field at its default.
+        base = TrialSpec(kind="k", params={"x": 1}, seed=7)
+        explicit = TrialSpec(kind="k", params={"x": 1}, seed=7, shards=1)
+        assert base.fingerprint() == explicit.fingerprint()
+
+    def test_shard_count_is_fingerprinted(self):
+        base = TrialSpec(kind="k", params={"x": 1}, seed=7)
+        sharded = TrialSpec(kind="k", params={"x": 1}, seed=7, shards=2)
+        assert base.fingerprint() != sharded.fingerprint()
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValueError, match="shards"):
+            TrialSpec(kind="k", params={}, seed=7, shards=0)
+
     def test_fingerprint_is_stable_across_processes(self):
         # A hard-coded value: sha256 must not drift with interpreter
         # hash randomization (unlike hash()).

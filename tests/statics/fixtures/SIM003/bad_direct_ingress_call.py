@@ -1,0 +1,8 @@
+# statics-fixture-scope: sim
+def shortcut(port: object, packet: object) -> None:
+    port.ingress.handle_packet(packet)
+
+
+def shortcut_via_name(port: object, packet: object) -> None:
+    ing = port.ingress
+    ing.handle_packet(packet)

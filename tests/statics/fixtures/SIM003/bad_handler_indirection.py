@@ -1,0 +1,7 @@
+# statics-fixture-scope: sim
+def deliver(unit: object, packet: object) -> None:
+    unit.handle_packet(packet)
+
+
+def shortcut(port: object, packet: object) -> None:
+    deliver(port.ingress, packet)

@@ -1,0 +1,3 @@
+# statics-fixture-scope: core
+def force_delivery(switch: object, packet: object, link: object) -> None:
+    switch.receive_from_link(packet, link)

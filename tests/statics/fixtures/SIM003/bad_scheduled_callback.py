@@ -1,0 +1,7 @@
+# statics-fixture-scope: sim
+def arm(sim: object, port: object, delay_ns: int, packet: object) -> None:
+    sim.schedule(delay_ns, port.ingress.handle_packet, packet)
+
+
+def arm_fast(sim: object, node: object, delay_ns: int, packet: object) -> None:
+    sim.schedule_fast(delay_ns, node.receive_from_link, packet)

@@ -1,0 +1,19 @@
+# statics-fixture-scope: sim
+def forward(port: object, packet: object) -> None:
+    port.egress.handle_packet(packet)
+
+
+def transmit(link: object, packet: object) -> None:
+    link.send(packet)
+
+
+def arm(sim: object, port: object, delay_ns: int, packet: object) -> None:
+    sim.schedule(delay_ns, port.egress.handle_packet, packet)
+
+
+def deliver(unit: object, packet: object) -> None:
+    unit.handle_packet(packet)
+
+
+def shortcut(port: object, packet: object) -> None:
+    deliver(port.egress, packet)

@@ -124,3 +124,54 @@ class TestSelfRun:
             env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
         assert proc.returncode == 2
         assert "no such path" in proc.stderr
+
+
+class TestExternalProfile:
+    """``--profile external``: portable rules only, forced 'sim' scope."""
+
+    def _run(self, *argv, cwd=REPO):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "statics", *argv],
+            cwd=cwd, capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"),
+                 "PATH": "/usr/bin:/bin"})
+
+    def test_repo_convention_rules_are_dropped(self, tmp_path):
+        # Wall-clock reads (DET002) and trial-global mutation (TRIAL001)
+        # are our layering conventions, not portable contracts.
+        model = tmp_path / "model.py"
+        model.write_text("import time\n"
+                         "def now():\n"
+                         "    return time.time()\n")
+        proc = self._run("--profile", "external", str(model))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_portable_rules_apply_under_forced_sim_scope(self, tmp_path):
+        # Path-derived scoping would put tmp_path files in a no-op
+        # scope; the profile forces 'sim' so DET001 still fires.
+        model = tmp_path / "model.py"
+        model.write_text("import random\n"
+                         "def jitter():\n"
+                         "    return random.random()\n")
+        proc = self._run("--profile", "external", str(model))
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+    def test_unused_pragmas_are_not_reported(self, tmp_path):
+        model = tmp_path / "model.py"
+        model.write_text("# statics: allow[DET001] not actually needed\n"
+                         "x = 1\n")
+        proc = self._run("--profile", "external", str(model))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_requires_explicit_paths(self):
+        proc = self._run("--profile", "external")
+        assert proc.returncode == 2
+        assert "explicit paths" in proc.stderr
+
+    def test_rejects_rules_combination(self, tmp_path):
+        proc = self._run("--profile", "external", "--rules", "DET001",
+                         str(tmp_path))
+        assert proc.returncode == 2
+        assert "mutually exclusive" in proc.stderr

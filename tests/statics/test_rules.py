@@ -143,6 +143,40 @@ class TestRuleBehaviour:
                "        self.x = 0\n")
         assert check_source(src, "x.py", ALL_RULES, scope="sim").ok
 
+    def test_sim003_out_of_scope_is_ignored(self):
+        src = "port.ingress.handle_packet(packet)\n"
+        assert check_source(src, "x.py", ALL_RULES, scope="tests").ok
+
+    def test_sim003_egress_delivery_is_clean(self):
+        src = "port.egress.handle_packet(packet)\n"
+        assert check_source(src, "x.py", ALL_RULES, scope="sim").ok
+
+    def test_sim003_tracked_name_is_flagged(self):
+        src = ("ing = port.ingress\n"
+               "ing.handle_packet(packet)\n")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert {f.rule for f in report.findings} == {"SIM003"}
+
+    def test_sim003_inject_at_callback_is_flagged(self):
+        src = "sim.inject_at(t_ns, node.receive_from_link, packet)\n"
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert {f.rule for f in report.findings} == {"SIM003"}
+
+    def test_sim003_scheduled_egress_callback_is_clean(self):
+        src = "sim.schedule(delay_ns, port.egress.handle_packet, packet)\n"
+        assert check_source(src, "x.py", ALL_RULES, scope="sim").ok
+
+    def test_sim003_handler_with_non_ingress_argument_is_clean(self):
+        src = ("def deliver(unit, packet):\n"
+               "    unit.handle_packet(packet)\n"
+               "deliver(port.egress, packet)\n")
+        assert check_source(src, "x.py", ALL_RULES, scope="sim").ok
+
+    def test_sim003_pragma_suppresses(self):
+        src = ("# statics: allow[SIM003] modeled CPU port, not a link\n"
+               "port.ingress.handle_packet(packet)\n")
+        assert check_source(src, "x.py", ALL_RULES, scope="sim").ok
+
     def test_trial001_local_shadow_is_clean(self):
         src = ("from repro.runtime import trial\n"
                "CACHE = {}\n"

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import pytest
+
 from repro.cli import main
 
 
@@ -101,6 +103,28 @@ class TestFaultProfileFlag:
         assert main(["run", "table1", "--no-cache",
                      "--fault-profile", self.PROFILE]) == 2
         assert "does not accept a fault profile" in capsys.readouterr().err
+
+
+class TestShardsFlag:
+    def test_run_scaling_quick_with_shards(self, capsys):
+        # The CI quick suite's sharded exercise: a real space-parallel
+        # scaling run, two worker processes per trial.
+        assert main(["run", "scaling", "--quick", "--no-cache",
+                     "--shards", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[2 shards applied to: scaling]" in captured.err
+        assert "fat-trees" in captured.out
+
+    def test_experiment_without_shard_support_fails_cleanly(self, capsys):
+        assert main(["run", "table1", "--no-cache", "--shards", "2"]) == 2
+        assert "does not support sharded" in capsys.readouterr().err
+
+    def test_shards_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "scaling", "--quick", "--no-cache",
+                  "--shards", "0"])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
 
 
 class TestDemo:
