@@ -40,7 +40,7 @@ static-checks: statics typecheck lint
 bench:
 	$(PYTHON) -m repro.perf.bench --label $(BENCH_LABEL) \
 	    --out BENCH_core.json --check-against BENCH_core.json \
-	    --baseline-label sharded-core --max-regression 0.25
+	    --baseline-label aggregation-tree --max-regression 0.25
 
 # CI-sized variant: quick iteration counts, no history rewrite.
 # Includes the 2-shard fat-tree smoke of the space-parallel core
@@ -48,7 +48,7 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --quick --label ci-smoke \
 	    --out bench-smoke.json --check-against BENCH_core.json \
-	    --baseline-label sharded-core --max-regression 0.25
+	    --baseline-label aggregation-tree --max-regression 0.25
 
 # The full experiment regeneration benchmarks (pytest-benchmark).
 bench-experiments:

@@ -16,7 +16,10 @@ Commands:
     not called ``--profile`` because that already selects cProfile
     output).  ``--shards N`` partitions each trial's network across N
     worker processes for experiments that support space-parallel
-    simulation (docs/SHARDING.md; currently ``scaling``).
+    simulation (docs/SHARDING.md; currently ``scaling`` and
+    ``recovery``).  ``--agg-degree D`` routes snapshot records through
+    the hierarchical aggregation fabric for experiments that support it
+    (docs/AGGREGATION.md; currently ``scaling``).
 ``metrics``
     List the snapshot-capable metrics and whether they support channel
     state.
@@ -73,6 +76,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     from repro.runtime import DEFAULT_CACHE_DIR
 
@@ -101,9 +111,16 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="space-parallel simulation shards for the "
                              "experiments that support them (currently "
-                             "scaling); each trial partitions its network "
-                             "across N worker processes — see "
+                             "scaling and recovery); each trial partitions "
+                             "its network across N worker processes — see "
                              "docs/SHARDING.md")
+    parser.add_argument("--agg-degree", type=_nonnegative_int, default=None,
+                        metavar="D",
+                        help="aggregation-tree fan-out for the experiments "
+                             "that support the hierarchical snapshot "
+                             "fabric (currently scaling); 0 models a flat "
+                             "observer intake, >= 1 enables the tree — "
+                             "see docs/AGGREGATION.md")
 
 
 def _load_fault_profile(text: str) -> Optional[dict]:
@@ -149,11 +166,22 @@ def _apply_fault_profile(configs: dict, profile_json: dict) -> list[str]:
 
 def _apply_shards(configs: dict, shards: int) -> list[str]:
     """Thread a shard count into every config that understands one
-    (a ``shards`` attribute — currently scaling)."""
+    (a ``shards`` attribute — currently scaling and recovery)."""
     applied = []
     for name, config in configs.items():
         if hasattr(config, "shards"):
             config.shards = shards
+            applied.append(name)
+    return applied
+
+
+def _apply_agg_degree(configs: dict, agg_degree: int) -> list[str]:
+    """Thread an aggregation-tree fan-out into every config that
+    understands one (an ``agg_degree`` attribute — currently scaling)."""
+    applied = []
+    for name, config in configs.items():
+        if hasattr(config, "agg_degree"):
+            config.agg_degree = agg_degree
             applied.append(name)
     return applied
 
@@ -199,10 +227,19 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         applied = _apply_shards(configs, args.shards)
         if not applied:
             print("--shards: none of the selected experiments support "
-                  "sharded simulation (try scaling)", file=sys.stderr)
+                  "sharded simulation (try scaling, recovery)",
+                  file=sys.stderr)
             return 2
         print(f"[{args.shards} shards applied to: {', '.join(applied)}]",
               file=sys.stderr)
+    if args.agg_degree is not None:
+        applied = _apply_agg_degree(configs, args.agg_degree)
+        if not applied:
+            print("--agg-degree: none of the selected experiments support "
+                  "the aggregation fabric (try scaling)", file=sys.stderr)
+            return 2
+        print(f"[agg degree {args.agg_degree} applied to: "
+              f"{', '.join(applied)}]", file=sys.stderr)
     batches = {name: reg[name].specs(configs[name]) for name in names}
     flat = [spec for name in names for spec in batches[name]]
     results = runner.run_batch(flat)
@@ -257,9 +294,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         applied = _apply_shards({args.name: config}, args.shards)
         if not applied:
             print(f"--shards: {args.name} does not support sharded "
-                  "simulation (try scaling)", file=sys.stderr)
+                  "simulation (try scaling, recovery)", file=sys.stderr)
             return 2
         print(f"[{args.shards} shards applied to: {args.name}]",
+              file=sys.stderr)
+    if args.agg_degree is not None:
+        applied = _apply_agg_degree({args.name: config}, args.agg_degree)
+        if not applied:
+            print(f"--agg-degree: {args.name} does not support the "
+                  "aggregation fabric (try scaling)", file=sys.stderr)
+            return 2
+        print(f"[agg degree {args.agg_degree} applied to: {args.name}]",
               file=sys.stderr)
     result = exp.run(config, runner=runner)
     print(result.report())

@@ -11,6 +11,10 @@ Layering (mirroring §4–§6 of the paper):
   §6): initiation, completion/inconsistency detection, liveness;
 * :mod:`~repro.core.observer` — the host-side snapshot observer;
 * :mod:`~repro.core.snapshot` — global snapshot assembly;
+* :mod:`~repro.core.aggregation` — the hierarchical snapshot fabric: a
+  spanning relay tree that aggregates unit records and gating-min
+  signals in-network so the observer services O(fan-out) messages per
+  epoch instead of O(units);
 * :mod:`~repro.core.deployment` — one-call wiring of all of the above
   onto a simulated network (including partial deployment, §10).
 
@@ -23,6 +27,14 @@ Most users only need :class:`SpeedlightDeployment`::
     snaps = sl.observer.completed_snapshots(require_consistent=True)
 """
 
+from repro.core.aggregation import (
+    AggregateMessage,
+    AggregationAgent,
+    AggregationConfig,
+    AggregationFabric,
+    AggregationTree,
+    RelayChannel,
+)
 from repro.core.ids import IdSpace
 from repro.core.ideal import IdealUnit, IdealSlot
 from repro.core.dataplane import SpeedlightUnit, SnapshotSlot
@@ -52,6 +64,12 @@ from repro.core.sharded import (
 )
 
 __all__ = [
+    "AggregateMessage",
+    "AggregationAgent",
+    "AggregationConfig",
+    "AggregationFabric",
+    "AggregationTree",
+    "RelayChannel",
     "IdSpace",
     "IdealUnit",
     "IdealSlot",

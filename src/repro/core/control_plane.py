@@ -375,6 +375,10 @@ class SwitchControlPlane:
         #: polls performed) — the cost side of the recovery frontier.
         self.probes_sent = 0
         self.polls_performed = 0
+        #: Co-resident aggregation-tree relay, when the deployment wires
+        #: one (repro.core.aggregation).  It shares this CP's CPU, so
+        #: crash/restart toggles it too.
+        self.agg_agent = None
         #: Crash-fault state (see :meth:`crash` / :meth:`restart`).
         self._crashed = False
         self.crashes = 0
@@ -562,6 +566,10 @@ class SwitchControlPlane:
         self.crashes += 1
         self.channel.online = False
         self.notifications_lost_to_crash += self.channel.flush_queued()
+        if self.agg_agent is not None:
+            # The aggregation relay runs in the same CPU process: its
+            # queue and in-progress combines die with the CP.
+            self.agg_agent.set_online(False)
         for tracker in self.trackers.values():
             # Register-view loss: restart from the last finalized epoch;
             # the no-lapping window bounds how far the data plane can run
@@ -582,6 +590,10 @@ class SwitchControlPlane:
             return
         self._crashed = False
         self.channel.online = True
+        if self.agg_agent is not None:
+            # Relay back up (empty) before the poll re-finalizes epochs,
+            # so the recovered records have somewhere to go.
+            self.agg_agent.set_online(True)
         self.poll_registers()
 
     # ------------------------------------------------------------------

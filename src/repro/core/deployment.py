@@ -33,6 +33,9 @@ from dataclasses import dataclass, field, replace
 from collections.abc import Callable
 from typing import Optional
 
+from repro.core.aggregation import (AggregateMessage, AggregationAgent,
+                                    AggregationConfig, AggregationFabric,
+                                    AggregationTree, RelayChannel)
 from repro.core.control_plane import (ControlPlaneConfig, SwitchControlPlane,
                                       UnitSnapshotRecord)
 from repro.core.dataplane import SpeedlightUnit
@@ -58,6 +61,19 @@ _IN_FLIGHT_FNS: dict[str, Callable[[Packet], int]] = {
     "packet_count": lambda pkt: 1,
     "byte_count": lambda pkt: pkt.size_bytes,
 }
+
+
+def _make_flat_sink(name: str, cp: SwitchControlPlane, send_root):
+    """Flat-modeled (degree=0) record sink: every unit record crosses
+    the observer intake as its own single-record message — the honest
+    serial cost of the paper's unicast observer."""
+
+    def ship(record: UnitSnapshotRecord) -> None:
+        send_root(AggregateMessage(
+            source=name, epoch=record.epoch, records=[record],
+            min_finalized=cp.min_finalized_epoch(), complete=False))
+
+    return ship
 
 
 @dataclass
@@ -88,6 +104,12 @@ class DeploymentConfig:
     cos_classes: Optional[list[int]] = None
     control_plane: ControlPlaneConfig = field(default_factory=ControlPlaneConfig)
     observer: ObserverConfig = field(default_factory=ObserverConfig)
+    #: Hierarchical snapshot fabric (repro.core.aggregation).  None — the
+    #: default — wires nothing and keeps the flat unicast event stream
+    #: bit-identical; ``AggregationConfig(degree=0)`` is the flat-modeled
+    #: baseline (observer intake pays per-record service), ``degree>=1``
+    #: builds the aggregation tree.
+    aggregation: Optional[AggregationConfig] = None
     #: Recovery policy overlay: when set, its §6 recovery fields are
     #: applied over ``control_plane``/``observer`` (which keep supplying
     #: every non-recovery field, e.g. transport or lead time).
@@ -126,7 +148,15 @@ class SpeedlightDeployment:
         self.control_planes: dict[str, SwitchControlPlane] = {}
         self.observer = SnapshotObserver(network.sim, network.mgmt, self.ids,
                                          config.observer)
+        #: Per-switch record sinks, consulted *at ship time* by the
+        #: closures :meth:`_make_shipper` builds.  Aggregation wiring
+        #: (which needs the control planes to exist first) populates it
+        #: after :meth:`_deploy`; with no aggregation it stays empty and
+        #: every shipper takes the legacy direct-to-observer path.
+        self._record_sinks: dict[str, Callable[[UnitSnapshotRecord], None]] = {}
+        self.aggregation: Optional[AggregationFabric] = None
         self._deploy()
+        self._wire_aggregation()
         network.refresh_header_stripping()
 
     # ------------------------------------------------------------------
@@ -152,7 +182,7 @@ class SpeedlightDeployment:
             switch, self.network.ptp.clocks[name], self.ids,
             channel_state=self.config.channel_state,
             config=self.config.control_plane,
-            ship=self._make_shipper(),
+            ship=self._make_shipper(name),
             ideal_dataplane=self.config.ideal_units)
         self.control_planes[name] = cp
         for port_index in switch.connected_ports():
@@ -197,12 +227,17 @@ class SpeedlightDeployment:
     def _in_flight_fn(self) -> Optional[Callable[[Packet], int]]:
         return _IN_FLIGHT_FNS.get(self.config.metric)
 
-    def _make_shipper(self) -> Callable[[UnitSnapshotRecord], None]:
+    def _make_shipper(self, name: str) -> Callable[[UnitSnapshotRecord], None]:
         observer = self.observer
         mgmt = self.network.mgmt
+        sinks = self._record_sinks
 
         def ship(record: UnitSnapshotRecord) -> None:
-            mgmt.send(observer.on_unit_record, record)
+            sink = sinks.get(name)
+            if sink is not None:
+                sink(record)  # aggregation fabric (wired post-deploy)
+            else:
+                mgmt.send(observer.on_unit_record, record)
 
         return ship
 
@@ -253,6 +288,101 @@ class SpeedlightDeployment:
                        for (p_in, p_out) in feasible_channels
                        if p_out == port
                        for cos in classes})
+
+    # ------------------------------------------------------------------
+    # Aggregation fabric (repro.core.aggregation)
+    # ------------------------------------------------------------------
+    def _wire_aggregation(self) -> None:
+        """Wire the hierarchical snapshot fabric, when configured.
+
+        Runs after :meth:`_deploy` (agents attach to existing control
+        planes) and installs per-switch record sinks so the already-built
+        shippers route through the fabric from the next record on.  The
+        cross-shard variant overrides the small ``_agg_*`` primitives,
+        not this orchestration.
+        """
+        cfg = self.config.aggregation
+        if cfg is None:
+            return
+        intake = self._agg_make_intake(cfg)
+        send_root = self._agg_root_sender(intake)
+        if cfg.degree == 0:
+            # Flat-modeled baseline: unicast initiation, but each record
+            # crosses the observer's modeled intake as its own message.
+            for name in sorted(self.control_planes):
+                self._record_sinks[name] = _make_flat_sink(
+                    name, self.control_planes[name], send_root)
+            self.aggregation = AggregationFabric(config=cfg, tree=None,
+                                                 intake=intake)
+            return
+        tree = AggregationTree.build(self.network.topology,
+                                     self._agg_participants(), cfg.degree)
+        agents: dict[str, AggregationAgent] = {}
+        for name in sorted(self.control_planes):
+            cp = self.control_planes[name]
+            agent = AggregationAgent(self.network.sim, cfg, name, tree)
+            agent.control_plane = cp
+            cp.agg_agent = agent
+            agent.expected_local = 2 * len(
+                self.network.switch(name).connected_ports())
+            agents[name] = agent
+            self._record_sinks[name] = agent.on_local_record
+        for name in sorted(agents):
+            agent = agents[name]
+            if tree.parent[name] is None:
+                agent.send_up = send_root
+            else:
+                agent.send_up = self._agg_parent_sender(tree.parent[name],
+                                                        agents)
+            agent.forward_init = self._agg_init_forwarder(agents)
+        self.aggregation = AggregationFabric(config=cfg, tree=tree,
+                                             agents=agents, intake=intake)
+        self._agg_finalize(tree, agents)
+
+    def _agg_participants(self) -> list[str]:
+        """Switches spanned by the tree (every deployed switch)."""
+        return self.switch_names
+
+    def _agg_make_intake(self, cfg: AggregationConfig) -> Optional[RelayChannel]:
+        """The observer-side intake channel servicing root messages."""
+        return RelayChannel(self.network.sim, cfg, self.observer.on_aggregate)
+
+    def _agg_root_sender(self, intake: Optional[RelayChannel]):
+        mgmt = self.network.mgmt
+
+        def send(message: AggregateMessage) -> None:
+            mgmt.send(intake.deliver, message)
+
+        return send
+
+    def _agg_parent_sender(self, parent: str,
+                           agents: dict[str, AggregationAgent]):
+        mgmt = self.network.mgmt
+        channel = agents[parent].channel
+
+        def send(message: AggregateMessage) -> None:
+            mgmt.send(channel.deliver, message)
+
+        return send
+
+    def _agg_init_forwarder(self, agents: dict[str, AggregationAgent]):
+        mgmt = self.network.mgmt
+
+        def forward(child: str, epoch: int, at_wall_ns: int) -> None:
+            mgmt.send(agents[child].on_initiation, epoch, at_wall_ns)
+
+        return forward
+
+    def _agg_finalize(self, tree: AggregationTree,
+                      agents: dict[str, AggregationAgent]) -> None:
+        """Attach the fabric to the observer: fan-out through the root."""
+        mgmt = self.network.mgmt
+        root_agent = agents[tree.root]
+
+        def initiate(epoch: int, at_wall_ns: int) -> None:
+            mgmt.send(root_agent.on_initiation, epoch, at_wall_ns)
+
+        self.observer.attach_fabric(initiate, tree)
 
     # ------------------------------------------------------------------
     # Convenience passthroughs

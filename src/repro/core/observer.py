@@ -26,9 +26,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Callable
-from typing import Optional, Protocol
+from typing import Optional, Protocol, TYPE_CHECKING
 
 from repro.core.control_plane import UnitSnapshotRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.aggregation import AggregateMessage, AggregationTree
 from repro.core.ids import IdSpace
 from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
 from repro.sim.engine import Simulator, MS
@@ -77,6 +80,15 @@ class SnapshotObserver:
         self.snapshots: dict[int, GlobalSnapshot] = {}
         self._next_epoch = 1  # epoch 0 is the power-on state, never taken
         self._completion_callbacks: list[Callable[[GlobalSnapshot], None]] = []
+        #: Aggregation-fabric hooks (installed by the deployment when an
+        #: aggregation tree is wired; see :meth:`attach_fabric`).  All
+        #: None/0 means the flat unicast design — byte-identical event
+        #: stream to the pre-aggregation observer.
+        self.initiate_via_fabric: Optional[Callable[[int, int], None]] = None
+        self.relay_tree: Optional["AggregationTree"] = None
+        #: Latest fabric-wide gating-min progress floor (MIN over every
+        #: control plane's finalized epoch, reduced bottom-up).
+        self.fabric_min_epoch = 0
 
     # ------------------------------------------------------------------
     # Device registration (including live node attachment, §6)
@@ -97,6 +109,17 @@ class SnapshotObserver:
     def on_complete(self, callback: Callable[[GlobalSnapshot], None]) -> None:
         """Run ``callback`` whenever a snapshot reaches COMPLETE."""
         self._completion_callbacks.append(callback)
+
+    def attach_fabric(self, initiate: Optional[Callable[[int, int], None]],
+                      tree: Optional["AggregationTree"]) -> None:
+        """Wire the aggregation fabric (deployment-installed).
+
+        ``initiate(epoch, at_wall_ns)`` replaces the N-unicast initiation
+        loop with one send to the tree root; ``tree`` lets the timeout
+        path attribute a silent subtree to its silent relay ancestor.
+        """
+        self.initiate_via_fabric = initiate
+        self.relay_tree = tree
 
     # ------------------------------------------------------------------
     # Taking snapshots
@@ -124,10 +147,16 @@ class SnapshotObserver:
         snapshot = GlobalSnapshot(epoch=epoch, requested_wall_ns=at_wall,
                                   expected_units=expected)
         self.snapshots[epoch] = snapshot
-        targets = (self.control_planes if initiators is None
-                   else {n: self.control_planes[n] for n in initiators})
-        for cp in targets.values():
-            self.mgmt.send(cp.schedule_initiation, epoch, at_wall)
+        if initiators is None and self.initiate_via_fabric is not None:
+            # Aggregation fan-out: one send to the tree root; relays
+            # forward down their children.  Explicit initiator subsets
+            # (the Chandy-Lamport ablation) keep the unicast path.
+            self.initiate_via_fabric(epoch, at_wall)
+        else:
+            targets = (self.control_planes if initiators is None
+                       else {n: self.control_planes[n] for n in initiators})
+            for cp in targets.values():
+                self.mgmt.send(cp.schedule_initiation, epoch, at_wall)
         # No-lapping enforcement happens when this epoch actually starts
         # circulating: any snapshot more than a window behind must stop
         # being awaited, since its register slots are about to be reused.
@@ -184,6 +213,15 @@ class SnapshotObserver:
             for callback in self._completion_callbacks:
                 callback(snapshot)
 
+    def on_aggregate(self, message: "AggregateMessage") -> None:
+        """Entry point for tree-aggregated messages (the fabric intake's
+        handler): unpack the batched unit records and fold the subtree's
+        gating-min progress floor into the fabric-wide view."""
+        if message.min_finalized > self.fabric_min_epoch:
+            self.fabric_min_epoch = message.min_finalized
+        for record in message.records:
+            self.on_unit_record(record)
+
     # ------------------------------------------------------------------
     # Progress checking, retries, device exclusion
     # ------------------------------------------------------------------
@@ -195,7 +233,10 @@ class SnapshotObserver:
             snapshot.retries += 1
             # Re-register the initiation: duplicate initiations are
             # ignored by data planes that already advanced, and they
-            # recover lost registration/initiation messages.
+            # recover lost registration/initiation messages.  Retries
+            # are always unicast, even with an aggregation fabric — the
+            # loss being recovered may be a dead relay inside the tree,
+            # so the retry must not depend on the tree.
             for cp in self.control_planes.values():
                 self.mgmt.send(cp.schedule_initiation, epoch,
                                self.sim.now + self.config.lead_time_ns)
@@ -216,14 +257,39 @@ class SnapshotObserver:
         # of the hash seed.
         silent = {u.device for u in snapshot.missing_units}
         reported = {u.device for u in snapshot.records}
-        for device in sorted(silent - reported):
-            snapshot.exclude_device(device)
+        silent_devices = sorted(silent - reported)
+        silent_set = set(silent_devices)
+        for device in silent_devices:
+            snapshot.exclude_device(device,
+                                    reason=self._silence_reason(device,
+                                                                silent_set))
         if snapshot.complete:
             snapshot.status = SnapshotStatus.COMPLETE
             for callback in self._completion_callbacks:
                 callback(snapshot)
         else:
             snapshot.status = SnapshotStatus.PARTIAL
+
+    def _silence_reason(self, device: str, silent_set: set[str]) -> str:
+        """Attribute one silent device's exclusion.
+
+        With an aggregation tree, a dead relay silences its entire
+        subtree — the descendants' control planes may be perfectly
+        healthy, their records merely lost at the relay.  Marking them
+        plain ``"silent"`` would blame the wrong devices, so the timeout
+        path pins the silence on the highest silent ancestor instead:
+        the relay itself stays ``"silent"``, everything beneath it reads
+        ``"relay:<ancestor>"``.
+        """
+        if self.relay_tree is None or device not in self.relay_tree.parent:
+            return "silent"
+        culprit: Optional[str] = None
+        for ancestor in self.relay_tree.ancestors(device):
+            if ancestor in silent_set:
+                culprit = ancestor  # keep walking: highest wins
+        if culprit is None:
+            return "silent"
+        return f"relay:{culprit}"
 
     # ------------------------------------------------------------------
     # Results

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.core.aggregation import (AggregateMessage, AggregationAgent,
+                                    AggregationConfig, RelayChannel)
 from repro.core.control_plane import SwitchControlPlane, UnitSnapshotRecord
 from repro.core.deployment import DeploymentConfig, SpeedlightDeployment
 from repro.sim.shard import ShardWorker
@@ -46,9 +48,16 @@ OBSERVER_SHARD = 0
 #: Mailbox names of the cross-shard control plane.
 OBSERVER_MAILBOX = "observer"
 
+#: Cross-shard intake for aggregation-root messages (observer shard).
+AGG_OBSERVER_MAILBOX = "agg-observer"
+
 
 def _cp_mailbox(switch_name: str) -> str:
     return f"cp:{switch_name}"
+
+
+def _agg_mailbox(switch_name: str) -> str:
+    return f"agg:{switch_name}"
 
 
 class RemoteControlPlane:
@@ -79,6 +88,19 @@ def _make_initiation_handler(cp: SwitchControlPlane):
     def handle(payload: Any) -> None:
         epoch, at_wall_ns = payload
         cp.schedule_initiation(epoch, at_wall_ns)
+    return handle
+
+
+def _make_agg_handler(agent: AggregationAgent):
+    """Dispatch one agent's ``agg:<switch>`` mailbox: upward aggregates
+    enter its relay channel, downward ``("init", ...)`` tuples enter the
+    initiation fan-out."""
+    def handle(payload: Any) -> None:
+        if isinstance(payload, AggregateMessage):
+            agent.channel.deliver(payload)
+        else:
+            _tag, epoch, at_wall_ns = payload
+            agent.on_initiation(epoch, at_wall_ns)
     return handle
 
 
@@ -131,13 +153,18 @@ class ShardedSpeedlightDeployment(SpeedlightDeployment):
     # ------------------------------------------------------------------
     # Cross-shard wiring
     # ------------------------------------------------------------------
-    def _make_shipper(self):
+    def _make_shipper(self, name: str):
         if not getattr(self, "sharded", False) or self.is_observer_shard:
-            return super()._make_shipper()
+            return super()._make_shipper(name)
         worker = self.worker
         mgmt = self.network.mgmt
+        sinks = self._record_sinks
 
         def ship(record: UnitSnapshotRecord) -> None:
+            sink = sinks.get(name)
+            if sink is not None:
+                sink(record)  # aggregation fabric (local agent)
+                return
             # Same management-plane latency a local shipper would pay,
             # then the batch transport (which enforces >= lookahead).
             worker.send_ctrl(OBSERVER_MAILBOX, record,
@@ -160,6 +187,101 @@ class ShardedSpeedlightDeployment(SpeedlightDeployment):
                      for port in range(topo.degree(name))
                      for direction in (Direction.INGRESS, Direction.EGRESS)}
             self.observer.register_device(name, proxy, units)
+
+    # ------------------------------------------------------------------
+    # Aggregation across the cut
+    # ------------------------------------------------------------------
+    # Every shard builds the *same* tree from the full topology and
+    # hosts agents for its own switches only.  Tree edges that stay
+    # inside a shard use the plain management plane; edges crossing the
+    # cut ride the batch transport through ``agg:<switch>`` mailboxes
+    # (upward aggregates and downward initiations alike), and the root's
+    # messages reach shard 0's intake directly or via the
+    # ``agg-observer`` mailbox.  Construction is deterministic, so all
+    # shards agree on the tree without exchanging a bit.
+
+    def _agg_participants(self) -> list[str]:
+        if not self.sharded:
+            return super()._agg_participants()
+        # The tree spans the whole logical deployment, not this slice
+        # (sharded deployments are always full deployments).
+        return sorted(self.network.topology.switches)
+
+    def _agg_make_intake(self, cfg: AggregationConfig):
+        if not self.sharded or self.is_observer_shard:
+            intake = super()._agg_make_intake(cfg)
+            if self.sharded:
+                self.worker.register_mailbox(AGG_OBSERVER_MAILBOX,
+                                             intake.deliver)
+            return intake
+        return None  # only the observer shard services root messages
+
+    def _agg_root_sender(self, intake):
+        if intake is not None:
+            return super()._agg_root_sender(intake)
+        worker = self.worker
+        mgmt = self.network.mgmt
+
+        def send(message: AggregateMessage) -> None:
+            worker.send_ctrl(AGG_OBSERVER_MAILBOX, message,
+                             extra_ns=mgmt.one_way_latency_ns())
+
+        return send
+
+    def _agg_parent_sender(self, parent: str,
+                           agents: dict[str, AggregationAgent]):
+        if parent in agents:
+            return super()._agg_parent_sender(parent, agents)
+        worker = self.worker
+        mgmt = self.network.mgmt
+        mailbox = _agg_mailbox(parent)
+
+        def send(message: AggregateMessage) -> None:
+            worker.send_ctrl(mailbox, message,
+                             extra_ns=mgmt.one_way_latency_ns())
+
+        return send
+
+    def _agg_init_forwarder(self, agents: dict[str, AggregationAgent]):
+        if not self.sharded:
+            return super()._agg_init_forwarder(agents)
+        worker = self.worker
+        mgmt = self.network.mgmt
+
+        def forward(child: str, epoch: int, at_wall_ns: int) -> None:
+            agent = agents.get(child)
+            if agent is not None:
+                mgmt.send(agent.on_initiation, epoch, at_wall_ns)
+            else:
+                worker.send_ctrl(_agg_mailbox(child),
+                                 ("init", epoch, at_wall_ns),
+                                 extra_ns=mgmt.one_way_latency_ns())
+
+        return forward
+
+    def _agg_finalize(self, tree, agents: dict[str, AggregationAgent]) -> None:
+        if not self.sharded:
+            super()._agg_finalize(tree, agents)
+            return
+        for name in sorted(agents):
+            self.worker.register_mailbox(_agg_mailbox(name),
+                                         _make_agg_handler(agents[name]))
+        if not self.is_observer_shard:
+            return
+        root_agent = agents.get(tree.root)
+        mgmt = self.network.mgmt
+        if root_agent is not None:
+            def initiate(epoch: int, at_wall_ns: int) -> None:
+                mgmt.send(root_agent.on_initiation, epoch, at_wall_ns)
+        else:
+            worker = self.worker
+            mailbox = _agg_mailbox(tree.root)
+
+            def initiate(epoch: int, at_wall_ns: int) -> None:
+                worker.send_ctrl(mailbox, ("init", epoch, at_wall_ns),
+                                 extra_ns=mgmt.one_way_latency_ns())
+
+        self.observer.attach_fabric(initiate, tree)
 
     # ------------------------------------------------------------------
     # Guard rails

@@ -34,6 +34,11 @@ class GlobalSnapshot:
     expected_units: set[UnitId]
     records: dict[UnitId, UnitSnapshotRecord] = field(default_factory=dict)
     excluded_devices: set[str] = field(default_factory=set)
+    #: device -> why it was excluded: ``"silent"`` for a device that
+    #: never reported, ``"relay:<name>"`` when its records were lost
+    #: behind a silent aggregation-tree ancestor (the attribution the
+    #: observer computes at timeout; see repro.core.aggregation).
+    exclusion_reasons: dict[str, str] = field(default_factory=dict)
     status: SnapshotStatus = SnapshotStatus.PENDING
     retries: int = 0
 
@@ -47,9 +52,10 @@ class GlobalSnapshot:
         self.records[record.unit] = record
         return True
 
-    def exclude_device(self, device: str) -> None:
+    def exclude_device(self, device: str, reason: str = "silent") -> None:
         """Drop a failed device from the snapshot (observer timeout, §6)."""
         self.excluded_devices.add(device)
+        self.exclusion_reasons[device] = reason
         self.expected_units = {u for u in self.expected_units
                                if u.device != device}
         self.records = {u: r for u, r in self.records.items()

@@ -91,6 +91,10 @@ def registry() -> dict[str, Experiment]:
                    fig9.Fig9Config, fig9.specs, fig9.assemble),
         Experiment("fig10", "max sustained snapshot rate vs. ports/router",
                    fig10.Fig10Config, fig10.specs, fig10.assemble),
+        Experiment("fig10-agg",
+                   "whole-fabric snapshot rate vs. aggregation degree",
+                   fig10.AggKneeConfig, fig10.agg_specs,
+                   fig10.agg_assemble),
         Experiment("fig11", "average synchronization vs. network size",
                    fig11.Fig11Config, fig11.specs, fig11.assemble),
         Experiment("fig12", "load-balance stddev: ECMP/flowlet x "

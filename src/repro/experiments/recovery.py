@@ -32,15 +32,19 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 from typing import Any, Optional
 
-from repro.core import DeploymentConfig, RecoveryPolicy, SpeedlightDeployment
+from repro.core import (DeploymentConfig, RecoveryPolicy,
+                        ShardedSpeedlightDeployment, SpeedlightDeployment)
 from repro.core.recovery import RECOVERY_PRESETS
+from repro.core.sharded import OBSERVER_SHARD
 from repro.experiments.campaigns import campaign_window, start_poisson
 from repro.experiments.harness import TextTable, header
-from repro.faults import (CorrelatedGroup, FaultInjector, FaultProfile,
-                          FaultSchedule, IndependentFaults, ProfileContext)
+from repro.faults import (FAULT_KINDS, CorrelatedGroup, FaultInjector,
+                          FaultProfile, FaultSchedule, IndependentFaults,
+                          ProfileContext)
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.engine import MS
 from repro.sim.network import Network, NetworkConfig
+from repro.sim.shard import ShardWorker, run_sharded
 from repro.topology import leaf_spine
 
 __all__ = [
@@ -84,6 +88,15 @@ class RecoveryConfig:
     interval_ns: int = 5 * MS
     rate_pps: float = 20_000.0
     hosts_per_leaf: int = 1
+    #: Space-parallel simulation shards (:mod:`repro.sim.shard`).  With
+    #: ``shards > 1`` each cell partitions the testbed across worker
+    #: processes, every shard arms its slice of the fault schedule, and
+    #: the recovery machinery runs across the cut.  Sharded deployments
+    #: cannot collect channel state, so the sharded sweep exercises the
+    #: clean-protocol recovery path (no Poisson workload; per-unit
+    #: consistency flags only) — overheads and completion remain
+    #: directly comparable across policies.
+    shards: int = 1
 
     @classmethod
     def quick(cls) -> "RecoveryConfig":
@@ -169,12 +182,117 @@ def specs(config: RecoveryConfig) -> list[TrialSpec]:
                             rate_pps=config.rate_pps,
                             hosts_per_leaf=config.hosts_per_leaf),
                 seed=config.seed,
-                label=f"recovery/{policy.name}/{label}"))
+                label=f"recovery/{policy.name}/{label}",
+                shards=config.shards))
     return result
+
+
+def _shard_fault_slice(schedule: FaultSchedule, assignment: dict,
+                       shard_id: int) -> FaultSchedule:
+    """The events one shard must apply: switch/clock/control-plane
+    targets it owns, link targets with at least one locally-owned
+    endpoint (each direction's egress — including a cut link's boundary
+    stub — lives on the sender's shard).  ``"*"`` stays on every shard;
+    the injector resolves it against that shard's local inventory."""
+    keep = []
+    for event in schedule:
+        if event.target == "*":
+            keep.append(event)
+        elif FAULT_KINDS[event.kind] == "link":
+            ends = event.target.split("-", 1)
+            if any(assignment.get(end) == shard_id for end in ends):
+                keep.append(event)
+        elif assignment.get(event.target) == shard_id:
+            keep.append(event)
+    return FaultSchedule(events=keep)
+
+
+def _sharded_recovery_setup(worker: ShardWorker, policy_json: dict,
+                            schedule_json: list, rounds: int,
+                            interval_ns: int):
+    """Per-shard setup for the sharded recovery sweep (module-level so
+    the process runner can pickle it).  Clean protocol path: sharded
+    deployments cannot see cross-cut gating sets, so channel state stays
+    off and the sweep measures completion + recovery overhead."""
+    deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
+        metric="packet_count",
+        recovery=RecoveryPolicy.from_jsonable(policy_json)))
+    local = _shard_fault_slice(FaultSchedule.from_jsonable(schedule_json),
+                               worker.plan.assignment, worker.shard_id)
+    injector = FaultInjector(worker.network, local, deployment=deployment)
+    injector.arm()
+    epochs: list[int] = []
+    if deployment.is_observer_shard:
+        epochs.extend(deployment.schedule_campaign(rounds, interval_ns))
+
+    def finish() -> dict:
+        cps = deployment.control_planes.values()
+        result: dict = {
+            "reinitiations": sum(cp.reinitiations_sent for cp in cps),
+            "probes": sum(cp.probes_sent for cp in cps),
+            "polls": sum(cp.polls_performed for cp in cps),
+            "faults_applied": injector.applied,
+        }
+        if deployment.is_observer_shard:
+            snapshots = [deployment.observer.snapshot(e) for e in epochs]
+            completed = [s for s in snapshots if s.complete]
+            usable = [s for s in completed
+                      if s.consistent and not s.excluded_devices]
+            spans = sorted(
+                max(r.read_ns for r in s.records.values())
+                - min(r.captured_ns for r in s.records.values())
+                for s in completed if s.records)
+            result.update(
+                total=len(snapshots), completed=len(completed),
+                usable=len(usable),
+                median_ttc_ns=spans[len(spans) // 2] if spans else None,
+                retries=sum(s.retries for s in snapshots))
+        return result
+
+    return finish
+
+
+def _run_recovery_sharded(spec: TrialSpec) -> TrialResult:
+    """The same (policy, profile) cell on a space-parallel simulation:
+    every shard arms its slice of the compiled schedule, the observer
+    shard assembles completion, and recovery overhead is summed across
+    shards."""
+    p = spec.params
+    duration = campaign_window(p["rounds"], p["interval_ns"])
+    results = run_sharded(
+        leaf_spine(hosts_per_leaf=p["hosts_per_leaf"]),
+        NetworkConfig(seed=spec.seed), shards=spec.shards,
+        until=duration, setup=_sharded_recovery_setup,
+        setup_args=(p["policy"], p["schedule"], p["rounds"],
+                    p["interval_ns"]))
+    observer = results[OBSERVER_SHARD]
+    total = observer["total"]
+    reinitiations = sum(r["reinitiations"] for r in results)
+    probes = sum(r["probes"] for r in results)
+    polls = sum(r["polls"] for r in results)
+    retries = observer["retries"]
+    overhead = (reinitiations + probes + polls + retries) / total
+    return make_result(spec, {
+        "policy": RecoveryPolicy.from_jsonable(p["policy"]).name,
+        "profile": p["profile_label"],
+        "total": total,
+        "completed": observer["completed"],
+        "completion_rate": observer["completed"] / total,
+        "usable_rate": observer["usable"] / total,
+        "median_ttc_ns": observer["median_ttc_ns"],
+        "reinitiations": reinitiations,
+        "probes": probes,
+        "register_polls": polls,
+        "observer_retries": retries,
+        "overhead_per_epoch": overhead,
+        "faults_applied": sum(r["faults_applied"] for r in results),
+    })
 
 
 @trial("recovery_sweep")
 def run_recovery_trial(spec: TrialSpec) -> TrialResult:
+    if spec.shards > 1:
+        return _run_recovery_sharded(spec)
     p = spec.params
     policy = RecoveryPolicy.from_jsonable(p["policy"])
     schedule = FaultSchedule.from_jsonable(p["schedule"])

@@ -25,7 +25,7 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.analysis.stats import Cdf
-from repro.core import (DeploymentConfig, ObserverConfig,
+from repro.core import (AggregationConfig, DeploymentConfig, ObserverConfig,
                         ShardedSpeedlightDeployment, SpeedlightDeployment)
 from repro.core.sharded import OBSERVER_SHARD
 from repro.experiments.campaigns import start_poisson
@@ -74,6 +74,11 @@ class ScalingConfig:
     #: path only (fault profiles need channel state, which sharded
     #: deployments do not support).
     shards: int = 1
+    #: Aggregation-tree fan-out (:mod:`repro.core.aggregation`).  None —
+    #: the default — ships records over the flat unicast path; 0 models
+    #: a flat observer intake; >= 1 routes records through a spanning
+    #: relay tree of that degree (docs/AGGREGATION.md).
+    agg_degree: Optional[int] = None
 
     @classmethod
     def quick(cls) -> "ScalingConfig":
@@ -152,7 +157,8 @@ def specs(config: ScalingConfig) -> list[TrialSpec]:
     return [TrialSpec(kind="scaling",
                       params=dict(params, arity=arity),
                       seed=config.seed, label=f"scaling/k{arity}",
-                      shards=config.shards)
+                      shards=config.shards,
+                      agg_degree=config.agg_degree)
             for arity in config.arities]
 
 
@@ -164,7 +170,8 @@ def run_trial(spec: TrialSpec) -> TrialResult:
                            interval_ns=p["interval_ns"],
                            profile=p.get("profile"),
                            rate_pps=p.get("rate_pps", 5_000.0),
-                           shards=spec.shards)
+                           shards=spec.shards,
+                           agg_degree=spec.agg_degree)
     measure = _measure_sharded if config.shards > 1 else _measure
     point = measure(config, p["arity"])
     return make_result(spec, {
@@ -222,7 +229,9 @@ def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
     deployment = SpeedlightDeployment(network, DeploymentConfig(
         metric="packet_count",
         channel_state=config.profile is not None,
-        observer=ObserverConfig(lead_time_ns=10 * MS)))
+        observer=ObserverConfig(lead_time_ns=10 * MS),
+        aggregation=(None if config.agg_degree is None
+                     else AggregationConfig(degree=config.agg_degree))))
     if config.profile is not None:
         injector = FaultInjector(network, schedule, deployment=deployment)
         injector.arm()
@@ -258,7 +267,7 @@ def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
 
 
 def _sharded_setup(worker: ShardWorker, snapshots: int, interval_ns: int,
-                   lead_ns: int):
+                   lead_ns: int, agg_degree: Optional[int] = None):
     """Per-shard setup for the sharded scaling measurement.
 
     Module-level (and with plain-data arguments) so the process runner
@@ -268,7 +277,9 @@ def _sharded_setup(worker: ShardWorker, snapshots: int, interval_ns: int,
     """
     deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
         metric="packet_count",
-        observer=ObserverConfig(lead_time_ns=lead_ns)))
+        observer=ObserverConfig(lead_time_ns=lead_ns),
+        aggregation=(None if agg_degree is None
+                     else AggregationConfig(degree=agg_degree))))
     finish_times: dict[int, int] = {}
     epochs: list[int] = []
     if deployment.is_observer_shard:
@@ -312,7 +323,8 @@ def _measure_sharded(config: ScalingConfig, arity: int) -> ScalingPoint:
     results = run_sharded(
         topo, NetworkConfig(seed=config.seed), shards=config.shards,
         until=duration, setup=_sharded_setup,
-        setup_args=(config.snapshots, config.interval_ns, 10 * MS))
+        setup_args=(config.snapshots, config.interval_ns, 10 * MS,
+                    config.agg_degree))
     observer = results[OBSERVER_SHARD]
     epochs = observer["epochs"]
     finish = observer["finish"]

@@ -94,6 +94,10 @@ class TrialSpec:
     #: Space-parallel simulation shards (repro.sim.shard).  1 — the
     #: default — is the plain single-process path.
     shards: int = 1
+    #: Aggregation-tree fan-out (repro.core.aggregation).  ``None`` —
+    #: the default — is the flat unicast notification path; ``0`` is the
+    #: flat-*modeled* observer intake; ``>= 1`` enables the tree.
+    agg_degree: int | None = None
 
     def __post_init__(self) -> None:
         # Normalise eagerly so a malformed spec fails at construction,
@@ -101,16 +105,22 @@ class TrialSpec:
         object.__setattr__(self, "params", canonical(self.params))
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.agg_degree is not None and self.agg_degree < 0:
+            raise ValueError(
+                f"agg_degree must be >= 0, got {self.agg_degree}")
 
     def fingerprint(self) -> str:
         """Stable content hash of ``(kind, params, seed)`` — plus
-        ``shards`` when sharded.  ``shards=1`` is deliberately absent
-        from the payload so every pre-sharding fingerprint (and cached
-        result) stays valid."""
+        ``shards`` when sharded and ``agg_degree`` when aggregation is
+        configured.  ``shards=1`` / ``agg_degree=None`` are deliberately
+        absent from the payload so every pre-existing fingerprint (and
+        cached result) stays valid."""
         payload_dict: dict[str, Any] = {
             "kind": self.kind, "params": self.params, "seed": self.seed}
         if self.shards != 1:
             payload_dict["shards"] = self.shards
+        if self.agg_degree is not None:
+            payload_dict["agg_degree"] = self.agg_degree
         payload = canonical_json(payload_dict)
         return hashlib.sha256(payload.encode()).hexdigest()
 

@@ -1,0 +1,260 @@
+"""The hierarchical snapshot fabric (repro.core.aggregation).
+
+Covers the tentpole's contract from the outside in: deterministic tree
+construction, record-conservation across every fabric mode (off / flat-
+modeled / tree), the gating-min reduction, crash coupling with
+silent-relay attribution at the observer, and composition with the
+space-parallel sharded deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (AggregationConfig, AggregationTree, DeploymentConfig,
+                        ObserverConfig, SpeedlightDeployment)
+from repro.core.sharded import OBSERVER_SHARD, ShardedSpeedlightDeployment
+from repro.core.snapshot import SnapshotStatus
+from repro.sim.engine import MS, S
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.shard import InProcessShardRunner
+from repro.topology import fat_tree, leaf_spine
+
+
+def _deploy(agg, seed=7, topo=None, **config_kwargs):
+    network = Network(topo or fat_tree(k=4), NetworkConfig(seed=seed))
+    deployment = SpeedlightDeployment(network, DeploymentConfig(
+        metric="packet_count", aggregation=agg, **config_kwargs))
+    return network, deployment
+
+
+def _campaign(network, deployment, count=4, interval_ns=10 * MS):
+    epochs = deployment.schedule_campaign(count, interval_ns)
+    network.run(until=1 * S)
+    return [deployment.observer.snapshot(e) for e in epochs]
+
+
+class TestTreeConstruction:
+    def test_spans_participants_within_degree(self):
+        topo = fat_tree(k=4)
+        for degree in (1, 2, 4, 8):
+            tree = AggregationTree.build(topo, sorted(topo.switches), degree)
+            assert set(tree.order) == set(topo.switches)
+            assert tree.parent[tree.root] is None
+            for node, kids in tree.children.items():
+                assert len(kids) <= degree, (node, kids)
+            # Every non-root node's parent links back to it.
+            for node in tree.order:
+                if node != tree.root:
+                    assert node in tree.children[tree.parent[node]]
+
+    def test_deterministic_and_input_order_independent(self):
+        topo = fat_tree(k=4)
+        names = sorted(topo.switches)
+        a = AggregationTree.build(topo, names, degree=3)
+        b = AggregationTree.build(topo, list(reversed(names)), degree=3)
+        assert a.root == b.root
+        assert a.parent == b.parent
+        assert a.children == b.children
+        assert a.order == b.order
+
+    def test_non_adjacent_participants_attach_as_leftovers(self):
+        # Two leaves of a leaf-spine are only connected through spines;
+        # with the spines excluded, BFS cannot reach the second leaf and
+        # the leftover pass must still produce a spanning tree.
+        topo = leaf_spine()
+        leaves = [s for s in sorted(topo.switches) if s.startswith("leaf")]
+        assert len(leaves) >= 2
+        tree = AggregationTree.build(topo, leaves, degree=2)
+        assert set(tree.order) == set(leaves)
+        assert tree.parent[leaves[1]] in leaves
+
+    def test_rejects_degenerate_inputs(self):
+        topo = fat_tree(k=4)
+        with pytest.raises(ValueError, match="degree"):
+            AggregationTree.build(topo, sorted(topo.switches), degree=0)
+        with pytest.raises(ValueError, match="zero"):
+            AggregationTree.build(topo, [], degree=2)
+
+    def test_config_rejects_negative_degree(self):
+        with pytest.raises(ValueError, match="degree"):
+            AggregationConfig(degree=-1)
+
+
+class TestRecordConservation:
+    def test_all_modes_complete_with_equal_totals(self):
+        baseline = None
+        for agg in (None, AggregationConfig(degree=0),
+                    AggregationConfig(degree=4)):
+            network, deployment = _deploy(agg)
+            snaps = _campaign(network, deployment)
+            assert all(s.usable for s in snaps), agg
+            values = [s.values_by_unit() for s in snaps]
+            if baseline is None:
+                baseline = values
+            else:
+                assert values == baseline, agg
+
+    def test_tree_collapses_observer_intake(self):
+        _, flat = _deploy(AggregationConfig(degree=0))
+        network_f = flat.network
+        _campaign(network_f, flat)
+        _, tree = _deploy(AggregationConfig(degree=4))
+        _campaign(tree.network, tree)
+        flat_stats = flat.aggregation.stats()
+        tree_stats = tree.aggregation.stats()
+        # 4 epochs x 160 units, one message each, vs O(1) per epoch.
+        assert flat_stats["intake_processed"] == 4 * 160
+        assert tree_stats["intake_processed"] < 4 * 160 / 10
+        assert tree_stats["records_lost"] == 0
+        assert tree_stats["dropped"] == 0
+
+    def test_aggregation_off_wires_nothing(self):
+        _, deployment = _deploy(None)
+        assert deployment.aggregation is None
+        assert deployment.observer.initiate_via_fabric is None
+        assert deployment.observer.relay_tree is None
+
+    def test_tree_run_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            network, deployment = _deploy(AggregationConfig(degree=4))
+            snaps = _campaign(network, deployment)
+            runs.append((network.sim.events_run,
+                         [s.values_by_unit() for s in snaps],
+                         deployment.aggregation.stats()))
+        assert runs[0] == runs[1]
+
+
+class TestGatingMinReduction:
+    def test_progress_floor_reaches_observer(self):
+        network, deployment = _deploy(AggregationConfig(degree=4))
+        epochs = deployment.schedule_campaign(3, 10 * MS)
+        assert deployment.observer.fabric_min_epoch == 0
+        network.run(until=1 * S)
+        floor = deployment.observer.fabric_min_epoch
+        assert 1 <= floor <= epochs[-1] + 1
+
+    def test_unheard_child_caps_the_floor(self):
+        network, deployment = _deploy(AggregationConfig(degree=2))
+        tree = deployment.aggregation.tree
+        relay = next(n for n in tree.order if tree.children[n])
+        agent = deployment.aggregation.agents[relay]
+        # Before any child reports, the subtree floor must stay at 0 no
+        # matter how far the local control plane has advanced.
+        assert agent.min_finalized() == 0
+
+
+class TestCrashCouplingAndAttribution:
+    def _crash_relay_setup(self):
+        # device_timeout must outlast the partial-flush cascade (one
+        # flush_timeout after initiation) or every device looks silent.
+        observer = ObserverConfig(lead_time_ns=5 * MS,
+                                  retry_timeout_ns=10 * MS, max_retries=1,
+                                  device_timeout_ns=40 * MS)
+        network, deployment = _deploy(
+            AggregationConfig(degree=2, flush_timeout_ns=10 * MS),
+            observer=observer)
+        tree = deployment.aggregation.tree
+        # A mid-tree relay: not the root, and has children to strand.
+        relay = next(n for n in tree.order
+                     if tree.children[n] and tree.parent[n] is not None)
+        subtree = list(tree.children[relay])
+        frontier = list(subtree)
+        while frontier:
+            node = frontier.pop()
+            frontier.extend(tree.children[node])
+            if node not in subtree:
+                subtree.append(node)
+        return network, deployment, relay, subtree
+
+    def test_silent_relay_subtree_attributed_not_blamed(self):
+        network, deployment, relay, subtree = self._crash_relay_setup()
+        deployment.control_planes[relay].crash()
+        epoch = deployment.take_snapshot()
+        network.run(until=200 * MS)
+        snapshot = deployment.observer.snapshot(epoch)
+        assert snapshot.status is not SnapshotStatus.PENDING
+        # Exactly the crashed relay and its stranded subtree dropped out;
+        # every device outside it reported.
+        assert snapshot.excluded_devices == set(subtree) | {relay}
+        # The crashed relay itself is the genuinely silent device...
+        assert snapshot.exclusion_reasons[relay] == "silent"
+        # ...and every stranded descendant is attributed to it instead
+        # of being marked silent (satellite: no unattributed timeout).
+        for device in subtree:
+            assert snapshot.exclusion_reasons[device] == f"relay:{relay}", (
+                device, snapshot.exclusion_reasons)
+
+    def test_restarted_relay_carries_later_epochs(self):
+        network, deployment, relay, _subtree = self._crash_relay_setup()
+        cp = deployment.control_planes[relay]
+        network.sim.schedule_at(1 * MS, cp.crash)
+        network.sim.schedule_at(40 * MS, cp.restart)
+        first = deployment.take_snapshot()          # lost behind the crash
+        network.run(until=60 * MS)
+        second = deployment.take_snapshot()         # after the restart
+        network.run(until=300 * MS)
+        assert deployment.observer.snapshot(first).excluded_devices
+        assert deployment.observer.snapshot(second).usable
+
+    def test_crash_takes_agent_offline_and_back(self):
+        network, deployment, relay, _subtree = self._crash_relay_setup()
+        agent = deployment.aggregation.agents[relay]
+        cp = deployment.control_planes[relay]
+        assert agent.online
+        cp.crash()
+        assert not agent.online and not agent.channel.online
+        cp.restart()
+        assert agent.online and agent.channel.online
+
+
+def _sharded_setup(worker, agg_degree):
+    agg = (None if agg_degree is None
+           else AggregationConfig(degree=agg_degree))
+    deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
+        metric="packet_count", aggregation=agg))
+    epochs = []
+    if deployment.is_observer_shard:
+        epochs.extend(deployment.schedule_campaign(3, 10 * MS))
+
+    def finish():
+        out = {"agg": (deployment.aggregation.stats()
+                       if deployment.aggregation else None)}
+        if deployment.is_observer_shard:
+            snaps = [deployment.observer.snapshot(e) for e in epochs]
+            out["usable"] = sum(s.usable for s in snaps)
+            out["values"] = [sorted((str(u), v)
+                                    for u, v in s.values_by_unit().items())
+                             for s in snaps]
+        return out
+
+    return finish
+
+
+class TestShardedComposition:
+    @pytest.mark.parametrize("degree", [0, 4])
+    def test_sharded_matches_single_process(self, degree):
+        results = {}
+        for shards in (1, 3):
+            runner = InProcessShardRunner(
+                fat_tree(k=4), NetworkConfig(seed=7), shards=shards,
+                setup=_sharded_setup, setup_args=(degree,))
+            out = runner.run(until=1 * S)
+            results[shards] = out[OBSERVER_SHARD]
+        assert results[1]["usable"] == results[3]["usable"] == 3
+        assert results[1]["values"] == results[3]["values"]
+
+    def test_tree_collapses_cross_shard_intake_too(self):
+        runner = InProcessShardRunner(
+            fat_tree(k=4), NetworkConfig(seed=7), shards=3,
+            setup=_sharded_setup, setup_args=(4,))
+        out = runner.run(until=1 * S)
+        merged = {}
+        for shard in out:
+            for key, value in shard["agg"].items():
+                merged[key] = merged.get(key, 0) + value
+        assert merged["records_lost"] == 0
+        assert merged["dropped"] == 0
+        # Only the observer shard hosts an intake; O(1) per epoch.
+        assert 0 < merged["intake_processed"] < 3 * 160 / 10

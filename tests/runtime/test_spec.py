@@ -66,6 +66,25 @@ class TestFingerprint:
         with pytest.raises(ValueError, match="shards"):
             TrialSpec(kind="k", params={}, seed=7, shards=0)
 
+    def test_default_agg_degree_leaves_fingerprint_unchanged(self):
+        # Back-compat: every pre-aggregation fingerprint (and cached
+        # result) must survive the new field at its default.
+        base = TrialSpec(kind="k", params={"x": 1}, seed=7)
+        explicit = TrialSpec(kind="k", params={"x": 1}, seed=7,
+                             agg_degree=None)
+        assert base.fingerprint() == explicit.fingerprint()
+
+    def test_agg_degree_is_fingerprinted(self):
+        base = TrialSpec(kind="k", params={"x": 1}, seed=7)
+        flat = TrialSpec(kind="k", params={"x": 1}, seed=7, agg_degree=0)
+        tree = TrialSpec(kind="k", params={"x": 1}, seed=7, agg_degree=4)
+        assert len({base.fingerprint(), flat.fingerprint(),
+                    tree.fingerprint()}) == 3
+
+    def test_agg_degree_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="agg_degree"):
+            TrialSpec(kind="k", params={}, seed=7, agg_degree=-1)
+
     def test_fingerprint_is_stable_across_processes(self):
         # A hard-coded value: sha256 must not drift with interpreter
         # hash randomization (unlike hash()).

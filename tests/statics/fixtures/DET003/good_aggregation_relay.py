@@ -1,0 +1,11 @@
+# statics-fixture-scope: core
+# The aggregation-fabric idiom: relays hold unordered child/record sets
+# but every iteration that touches simulation state goes through
+# sorted(), so fan-in order is independent of the hash seed.
+def flush_pending(agents: dict, pending: set) -> int:
+    floor = 0
+    for name in sorted(pending):
+        floor = min(floor, agents[name].min_finalized())
+    for name in sorted(agents):
+        agents[name].forward(floor)
+    return floor

@@ -15,7 +15,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.statics import ALL_RULE_IDS, ALL_RULES, check_source
+from repro.statics import ALL_RULE_IDS, ALL_RULES, check_file, check_source
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -200,3 +200,22 @@ class TestRuleBehaviour:
                "def f(spec):\n"
                "    return DEFAULTS['a']\n")
         assert check_source(src, "x.py", ALL_RULES, scope="experiments").ok
+
+
+class TestAggregationModuleIsClean:
+    """The hierarchical snapshot fabric against the real rule set.
+
+    The fabric is exactly the kind of code the DET/SIM rules exist for
+    (unordered child sets, __slots__ epoch state, per-epoch timers), so
+    it must pass every rule in its own ``core`` scope — with zero
+    pragmas, not suppressed findings.
+    """
+
+    MODULE = (Path(__file__).parents[2] / "src" / "repro" / "core" /
+              "aggregation.py")
+
+    def test_passes_every_rule_without_pragmas(self):
+        report = check_file(str(self.MODULE), ALL_RULES)
+        assert report.ok, [f"{f.rule}:{f.line} {f.message}"
+                           for f in report.findings]
+        assert report.suppressed == 0
