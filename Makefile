@@ -40,7 +40,7 @@ static-checks: statics typecheck lint
 bench:
 	$(PYTHON) -m repro.perf.bench --label $(BENCH_LABEL) \
 	    --out BENCH_core.json --check-against BENCH_core.json \
-	    --baseline-label aggregation-tree --max-regression 0.25
+	    --baseline-label snapshot-service --max-regression 0.25
 
 # CI-sized variant: quick iteration counts, no history rewrite.
 # Includes the 2-shard fat-tree smoke of the space-parallel core
@@ -48,7 +48,7 @@ bench:
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --quick --label ci-smoke \
 	    --out bench-smoke.json --check-against BENCH_core.json \
-	    --baseline-label aggregation-tree --max-regression 0.25
+	    --baseline-label snapshot-service --max-regression 0.25
 
 # The full experiment regeneration benchmarks (pytest-benchmark).
 bench-experiments:
@@ -59,7 +59,11 @@ bench-experiments:
 # sweep, all uncached; fails if any completed-and-consistent snapshot
 # violates the link non-negativity or conservation audits, or if the
 # recovery sweep leaves any profile without a Pareto frontier.
+# Ends with the service-under-faults check (docs/SERVICE.md): a control
+# plane crashes and restarts mid-stream while the continuous snapshot
+# pipeline keeps ingesting into its bounded delta store.
 chaos-smoke:
+	$(PYTHON) -m repro.service.smoke
 	$(PYTHON) -c "import sys; \
 	from repro.experiments import faults, recovery; \
 	from repro.runtime import TrialRunner; \

@@ -21,6 +21,8 @@ from repro.analysis.consistency import (
 )
 from repro.analysis.report import (
     CampaignSeries,
+    epoch_from_record,
+    epoch_record,
     snapshot_rows,
     snapshot_to_json,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "LoopDetector",
     "LoopVerdict",
     "CampaignSeries",
+    "epoch_from_record",
+    "epoch_record",
     "snapshot_rows",
     "snapshot_to_json",
     "Cdf",

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from collections.abc import Sequence
 from typing import Optional
 
-from repro.core.snapshot import GlobalSnapshot
+from repro.core.control_plane import UnitSnapshotRecord
+from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
 from repro.runtime.result import TrialResult
 from repro.sim.switch import Direction, UnitId
 
@@ -36,22 +37,80 @@ def snapshot_rows(snapshot: GlobalSnapshot) -> list[dict[str, object]]:
             "total": record.total_value,
             "consistent": record.consistent,
             "captured_ns": record.captured_ns,
+            "read_ns": record.read_ns,
         })
     return rows
 
 
-def snapshot_to_json(snapshot: GlobalSnapshot, indent: Optional[int] = None) -> str:
-    """A self-describing JSON document for one snapshot."""
-    doc = {
+def _unit_name(unit: UnitId) -> str:
+    return f"{unit.device}:{unit.port}:{unit.direction.value}"
+
+
+def _parse_unit(name: str) -> UnitId:
+    device, port, direction = name.rsplit(":", 2)
+    return UnitId(device, int(port), Direction(direction))
+
+
+def epoch_record(snapshot: GlobalSnapshot) -> dict[str, object]:
+    """*The* JSON-stable epoch-record shape.
+
+    Every exporter — batch reports, :func:`snapshot_to_json`, the
+    service-mode delta store and its query API — serializes epochs
+    through this one function, so ``exclusion_reasons`` and per-unit
+    records round-trip identically everywhere.  The document is pure
+    JSON types with deterministic ordering, and
+    :func:`epoch_from_record` inverts it exactly:
+    ``epoch_record(epoch_from_record(doc)) == doc``.
+    """
+    return {
         "epoch": snapshot.epoch,
         "status": snapshot.status.value,
+        "retries": snapshot.retries,
         "consistent": snapshot.consistent,
         "requested_wall_ns": snapshot.requested_wall_ns,
         "capture_spread_ns": snapshot.capture_spread_ns,
         "excluded_devices": sorted(snapshot.excluded_devices),
+        "exclusion_reasons": {d: snapshot.exclusion_reasons[d]
+                              for d in sorted(snapshot.exclusion_reasons)},
+        "missing_units": sorted(_unit_name(u)
+                                for u in snapshot.missing_units),
         "records": snapshot_rows(snapshot),
     }
-    return json.dumps(doc, indent=indent)
+
+
+def epoch_from_record(doc: dict[str, object]) -> GlobalSnapshot:
+    """Rebuild a :class:`GlobalSnapshot` from its :func:`epoch_record`
+    document (the derived fields — ``consistent``,
+    ``capture_spread_ns`` — are recomputed from the records, not
+    trusted from the document)."""
+    epoch = int(doc["epoch"])  # type: ignore[arg-type]
+    records: dict[UnitId, UnitSnapshotRecord] = {}
+    for row in doc["records"]:  # type: ignore[union-attr]
+        unit = UnitId(row["device"], int(row["port"]),
+                      Direction(row["direction"]))
+        records[unit] = UnitSnapshotRecord(
+            unit=unit, epoch=epoch, value=int(row["value"]),
+            channel_state=(None if row["channel_state"] is None
+                           else int(row["channel_state"])),
+            consistent=bool(row["consistent"]),
+            captured_ns=int(row["captured_ns"]),
+            read_ns=int(row["read_ns"]))
+    missing = {_parse_unit(name)
+               for name in doc["missing_units"]}  # type: ignore[union-attr]
+    return GlobalSnapshot(
+        epoch=epoch,
+        requested_wall_ns=int(doc["requested_wall_ns"]),  # type: ignore[arg-type]
+        expected_units=set(records) | missing,
+        records=records,
+        excluded_devices=set(doc["excluded_devices"]),  # type: ignore[arg-type]
+        exclusion_reasons=dict(doc["exclusion_reasons"]),  # type: ignore[arg-type]
+        status=SnapshotStatus(doc["status"]),
+        retries=int(doc["retries"]))  # type: ignore[arg-type]
+
+
+def snapshot_to_json(snapshot: GlobalSnapshot, indent: Optional[int] = None) -> str:
+    """A self-describing JSON document for one snapshot."""
+    return json.dumps(epoch_record(snapshot), indent=indent)
 
 
 @dataclass

@@ -29,6 +29,12 @@ Commands:
     non-zero on findings.  CI gates on ``repro statics src tests``.
     ``--profile external`` audits out-of-tree simulation models with
     the repo-convention rules (DET002, TRIAL001) dropped.
+``serve [--epochs N] [--interval-us U] [--conservation] [...]``
+    Snapshot-as-a-service (docs/SERVICE.md): run a continuous epoch
+    pipeline under the sustained memcache incast workload — bounded
+    delta store, coalescing backpressure — then answer epoch-range,
+    conservation, and heavy-hitter queries from the stored history.
+    ``--fault-smoke`` runs the chaos-smoke crash scenario instead.
 ``demo``
     A 30-second tour: build the testbed, take snapshots, print results.
 
@@ -341,6 +347,89 @@ def cmd_statics(args: argparse.Namespace) -> int:
     return statics_main(argv)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.pipeline import PipelineConfig
+    from repro.sim.engine import US
+    from repro.runtime.streaming import ServiceRun, ServiceSpec
+
+    if args.fault_smoke:
+        from repro.service.smoke import main as smoke_main
+
+        return smoke_main()
+
+    spec = ServiceSpec(
+        seed=args.seed,
+        num_leaves=args.leaves,
+        num_spines=args.spines,
+        hosts_per_leaf=args.hosts_per_leaf,
+        interval_ns=args.interval_us * US,
+        metric=args.metric,
+        agg_degree=args.agg_degree,
+        pipeline=PipelineConfig(retention=args.retention,
+                                keyframe_interval=args.keyframe_interval,
+                                queue_capacity=args.queue_capacity))
+    run = ServiceRun(spec)
+
+    def progress(r: ServiceRun) -> None:
+        print(f"  [{r.pipeline.ingested}/{args.epochs} epochs stored, "
+              f"{r.pipeline.store.encoded_bytes} store bytes, "
+              f"backlog {r.pipeline.backlog}]", file=sys.stderr)
+
+    report = run.run(args.epochs,
+                     on_chunk=progress if args.verbose else None,
+                     max_wall_seconds=args.max_wall_seconds)
+    engine = run.query_engine()
+    doc: dict = {
+        "epochs_stored": report.epochs_stored,
+        "ticks": report.ticks,
+        "sim_time_ms": report.sim_time_ns // 1_000_000,
+        "wall_seconds": round(report.wall_seconds, 3),
+        "epochs_per_sec": round(report.epochs_per_sec, 1),
+        "events_per_sec": round(report.events_per_sec, 1),
+        "pipeline": report.stats,
+        "summary": engine.summary(),
+    }
+    if args.query_range:
+        start, end = args.query_range
+        doc["range"] = engine.range(start, end)
+    if args.conservation:
+        doc["conservation"] = engine.conservation()
+    if args.heavy_hitters:
+        doc["heavy_hitters"] = engine.heavy_hitters(top=args.heavy_hitters)
+    if args.as_json:
+        json.dump(doc, sys.stdout, indent=2, default=str)
+        sys.stdout.write("\n")
+        return 0
+    print(f"served {doc['epochs_stored']} epochs "
+          f"({doc['epochs_per_sec']} epochs/s wall, "
+          f"{doc['sim_time_ms']} ms simulated)")
+    summary = doc["summary"]
+    print(f"store: {summary['epochs_stored']} epochs "
+          f"[{summary['min_epoch']}..{summary['max_epoch']}], "
+          f"{summary['encoded_bytes']} bytes, "
+          f"{summary['keyframes']} keyframes, "
+          f"{summary['evicted']} evicted, "
+          f"{summary['merged_epochs']} merged under backpressure")
+    if "conservation" in doc:
+        cons = doc["conservation"]
+        verdict = ("ok" if not cons["violations"]
+                   else f"VIOLATIONS: {cons['violations']}")
+        print(f"conservation: {cons['checked']} epochs checked, {verdict}")
+    if "heavy_hitters" in doc:
+        hh = doc["heavy_hitters"]
+        print(f"heavy hitters @ epoch {hh['epoch']}:")
+        for unit in hh["units"]:
+            print(f"  {unit['device']}:{unit['port']}:{unit['direction']} "
+                  f"= {unit['value']}")
+        for flow in hh["flows"]:
+            print(f"  {flow['unit']} {flow['flow']} ~{flow['estimate']}")
+    if "range" in doc:
+        print(f"range query returned {len(doc['range'])} epochs")
+    return 0
+
+
 def cmd_demo(_args: argparse.Namespace) -> int:
     from repro.core import DeploymentConfig, SpeedlightDeployment
     from repro.sim.engine import MS
@@ -410,6 +499,64 @@ def build_parser() -> argparse.ArgumentParser:
                                      "TRIAL001, forces the 'sim' scope, "
                                      "requires explicit paths)")
 
+    serve_parser = sub.add_parser(
+        "serve",
+        help="snapshot-as-a-service: continuous epochs under sustained "
+             "incast, with queries over the bounded delta store "
+             "(docs/SERVICE.md)")
+    serve_parser.add_argument("--epochs", type=_positive_int, default=500,
+                              metavar="N",
+                              help="epochs to store before reporting "
+                                   "(default: 500)")
+    serve_parser.add_argument("--interval-us", type=_positive_int,
+                              default=2000, metavar="US",
+                              help="snapshot cadence in microseconds "
+                                   "(default: 2000)")
+    serve_parser.add_argument("--metric", default="packet_count",
+                              help="snapshot metric (heavy_hitter enables "
+                                   "flow drilldown; default: packet_count)")
+    serve_parser.add_argument("--seed", type=int, default=42)
+    serve_parser.add_argument("--leaves", type=_positive_int, default=2)
+    serve_parser.add_argument("--spines", type=_positive_int, default=1)
+    serve_parser.add_argument("--hosts-per-leaf", type=_positive_int,
+                              default=2)
+    serve_parser.add_argument("--agg-degree", type=_nonnegative_int,
+                              default=None, metavar="D",
+                              help="route records through the aggregation "
+                                   "fabric (docs/AGGREGATION.md)")
+    serve_parser.add_argument("--retention", type=_positive_int,
+                              default=1024,
+                              help="store ring size in epochs "
+                                   "(default: 1024)")
+    serve_parser.add_argument("--keyframe-interval", type=_positive_int,
+                              default=64,
+                              help="entries between full keyframes "
+                                   "(default: 64)")
+    serve_parser.add_argument("--queue-capacity", type=_positive_int,
+                              default=64,
+                              help="ingest queue bound; overflow coalesces "
+                                   "epochs (default: 64)")
+    serve_parser.add_argument("--query-range", type=int, nargs=2,
+                              metavar=("START", "END"),
+                              help="print stored epochs in [START, END]")
+    serve_parser.add_argument("--conservation", action="store_true",
+                              help="audit stored history against the "
+                                   "per-link conservation law")
+    serve_parser.add_argument("--heavy-hitters", type=_positive_int,
+                              default=None, metavar="N",
+                              help="print the N heaviest units (and flows, "
+                                   "with --metric heavy_hitter)")
+    serve_parser.add_argument("--max-wall-seconds", type=float, default=None,
+                              help="stop early after this much wall time")
+    serve_parser.add_argument("--json", action="store_true", dest="as_json",
+                              help="machine-readable report")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="per-chunk progress on stderr")
+    serve_parser.add_argument("--fault-smoke", action="store_true",
+                              help="run the service-under-faults smoke "
+                                   "check instead (CP crash mid-stream; "
+                                   "exit 0 iff the store stays queryable)")
+
     sub.add_parser("demo", help="a 30-second end-to-end tour")
     return parser
 
@@ -422,6 +569,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "run": cmd_run,
         "metrics": cmd_metrics,
         "statics": cmd_statics,
+        "serve": cmd_serve,
         "demo": cmd_demo,
     }
     if args.command is None:

@@ -375,14 +375,21 @@ class SpeedlightDeployment:
 
     def _agg_finalize(self, tree: AggregationTree,
                       agents: dict[str, AggregationAgent]) -> None:
-        """Attach the fabric to the observer: fan-out through the root."""
+        """Attach the fabric to the observer: fan-out through the root,
+        plus direct per-subtree re-initiation for tree-aware retries
+        (the observer addresses a silent relay's children directly, so a
+        dead relay never sits on its own recovery path)."""
         mgmt = self.network.mgmt
         root_agent = agents[tree.root]
 
         def initiate(epoch: int, at_wall_ns: int) -> None:
             mgmt.send(root_agent.on_initiation, epoch, at_wall_ns)
 
-        self.observer.attach_fabric(initiate, tree)
+        def retry_subtree(device: str, epoch: int, at_wall_ns: int) -> None:
+            mgmt.send(agents[device].on_initiation, epoch, at_wall_ns)
+
+        self.observer.attach_fabric(initiate, tree,
+                                    retry_subtree=retry_subtree)
 
     # ------------------------------------------------------------------
     # Convenience passthroughs

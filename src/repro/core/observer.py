@@ -80,12 +80,20 @@ class SnapshotObserver:
         self.snapshots: dict[int, GlobalSnapshot] = {}
         self._next_epoch = 1  # epoch 0 is the power-on state, never taken
         self._completion_callbacks: list[Callable[[GlobalSnapshot], None]] = []
+        self._resolution_callbacks: list[Callable[[GlobalSnapshot], None]] = []
+        #: Retry-round accounting (exposed for the tree-aware retry
+        #: cost analysis): messages sent per mechanism across all rounds.
+        self.retry_rounds = 0
+        self.retry_unicasts = 0
+        self.retry_fabric_sends = 0
+        self.retry_subtree_sends = 0
         #: Aggregation-fabric hooks (installed by the deployment when an
         #: aggregation tree is wired; see :meth:`attach_fabric`).  All
         #: None/0 means the flat unicast design — byte-identical event
         #: stream to the pre-aggregation observer.
         self.initiate_via_fabric: Optional[Callable[[int, int], None]] = None
         self.relay_tree: Optional["AggregationTree"] = None
+        self.retry_subtree: Optional[Callable[[str, int, int], None]] = None
         #: Latest fabric-wide gating-min progress floor (MIN over every
         #: control plane's finalized epoch, reduced bottom-up).
         self.fabric_min_epoch = 0
@@ -110,16 +118,45 @@ class SnapshotObserver:
         """Run ``callback`` whenever a snapshot reaches COMPLETE."""
         self._completion_callbacks.append(callback)
 
+    def on_resolved(self, callback: Callable[[GlobalSnapshot], None]) -> None:
+        """Run ``callback`` once per snapshot when it leaves PENDING —
+        COMPLETE, PARTIAL, and ABANDONED alike.  This is the streaming
+        intake hook: a continuous consumer hears about every epoch's
+        final disposition exactly once, in resolution order, without
+        polling :attr:`snapshots` at end of run."""
+        self._resolution_callbacks.append(callback)
+
+    def _resolve(self, snapshot: GlobalSnapshot,
+                 status: SnapshotStatus) -> None:
+        """Move ``snapshot`` to a terminal ``status`` and fire hooks.
+
+        Pure-Python callbacks: nothing here schedules events, so wiring
+        (or not wiring) consumers leaves the event stream byte-identical.
+        """
+        snapshot.status = status
+        if status is SnapshotStatus.COMPLETE:
+            for callback in self._completion_callbacks:
+                callback(snapshot)
+        for callback in self._resolution_callbacks:
+            callback(snapshot)
+
     def attach_fabric(self, initiate: Optional[Callable[[int, int], None]],
-                      tree: Optional["AggregationTree"]) -> None:
+                      tree: Optional["AggregationTree"],
+                      retry_subtree: Optional[
+                          Callable[[str, int, int], None]] = None) -> None:
         """Wire the aggregation fabric (deployment-installed).
 
         ``initiate(epoch, at_wall_ns)`` replaces the N-unicast initiation
         loop with one send to the tree root; ``tree`` lets the timeout
         path attribute a silent subtree to its silent relay ancestor.
+        ``retry_subtree(device, epoch, at_wall_ns)`` re-initiates one
+        device's fabric subtree directly (bypassing its ancestors) —
+        when present, retry rounds route around silent relays at
+        O(fan-out) cost instead of unicasting to O(devices).
         """
         self.initiate_via_fabric = initiate
         self.relay_tree = tree
+        self.retry_subtree = retry_subtree
 
     # ------------------------------------------------------------------
     # Taking snapshots
@@ -194,7 +231,7 @@ class SnapshotObserver:
             return
         for epoch, snapshot in self.snapshots.items():
             if epoch < floor and snapshot.status is SnapshotStatus.PENDING:
-                snapshot.status = SnapshotStatus.ABANDONED
+                self._resolve(snapshot, SnapshotStatus.ABANDONED)
 
     # ------------------------------------------------------------------
     # Record intake
@@ -209,9 +246,7 @@ class SnapshotObserver:
             return
         accepted = snapshot.add_record(record)
         if accepted and snapshot.complete and snapshot.status is SnapshotStatus.PENDING:
-            snapshot.status = SnapshotStatus.COMPLETE
-            for callback in self._completion_callbacks:
-                callback(snapshot)
+            self._resolve(snapshot, SnapshotStatus.COMPLETE)
 
     def on_aggregate(self, message: "AggregateMessage") -> None:
         """Entry point for tree-aggregated messages (the fabric intake's
@@ -231,15 +266,22 @@ class SnapshotObserver:
             return
         if snapshot.retries < self.config.max_retries:
             snapshot.retries += 1
+            self.retry_rounds += 1
             # Re-register the initiation: duplicate initiations are
             # ignored by data planes that already advanced, and they
-            # recover lost registration/initiation messages.  Retries
-            # are always unicast, even with an aggregation fabric — the
-            # loss being recovered may be a dead relay inside the tree,
-            # so the retry must not depend on the tree.
-            for cp in self.control_planes.values():
-                self.mgmt.send(cp.schedule_initiation, epoch,
-                               self.sim.now + self.config.lead_time_ns)
+            # recover lost registration/initiation messages.  The loss
+            # being recovered may be a dead relay inside the tree, so a
+            # retry must never depend on the silent part of the fabric:
+            # with a tree wired, healthy subtrees are re-covered by one
+            # send to the root and each stranded subtree is rerouted
+            # around its silent relay; without one (or when silence
+            # gives the tree nothing to route around), every control
+            # plane is unicast directly.
+            at_wall = self.sim.now + self.config.lead_time_ns
+            if not self._retry_around_silence(snapshot, at_wall):
+                for cp in self.control_planes.values():
+                    self.mgmt.send(cp.schedule_initiation, epoch, at_wall)
+                    self.retry_unicasts += 1
             self.sim.schedule(self.config.retry_timeout_ns,
                               self._check_progress, epoch)
             return
@@ -264,11 +306,51 @@ class SnapshotObserver:
                                     reason=self._silence_reason(device,
                                                                 silent_set))
         if snapshot.complete:
-            snapshot.status = SnapshotStatus.COMPLETE
-            for callback in self._completion_callbacks:
-                callback(snapshot)
+            self._resolve(snapshot, SnapshotStatus.COMPLETE)
         else:
-            snapshot.status = SnapshotStatus.PARTIAL
+            self._resolve(snapshot, SnapshotStatus.PARTIAL)
+
+    def _retry_around_silence(self, snapshot: GlobalSnapshot,
+                              at_wall_ns: int) -> bool:
+        """Tree-aware retry routing; returns True when it handled the
+        round (False falls back to the full unicast sweep).
+
+        One fabric send to the root re-initiates every subtree whose
+        relays are alive (duplicate initiations are ignored).  Each
+        *highest* silent device — the relay whose silence strands its
+        descendants, the same attribution :meth:`_silence_reason` pins
+        exclusions on — then gets a direct unicast (it may merely be
+        slow) while its children are re-initiated subtree-by-subtree,
+        bypassing the dead relay on the way down.  Cost per round is
+        1 + culprits x (1 + fan-out) instead of O(devices).
+        """
+        tree = self.relay_tree
+        if (tree is None or self.initiate_via_fabric is None
+                or self.retry_subtree is None):
+            return False
+        reported = {u.device for u in snapshot.records}
+        silent_devices = sorted({u.device for u in snapshot.missing_units}
+                                - reported)
+        if not silent_devices or not reported:
+            # Nothing attributably silent (records lost from devices
+            # that did report), or *everything* silent (the root itself
+            # may be down): no subtree to route around — unicast.
+            return False
+        silent_set = set(silent_devices)
+        self.initiate_via_fabric(snapshot.epoch, at_wall_ns)
+        self.retry_fabric_sends += 1
+        for device in silent_devices:
+            if any(a in silent_set for a in tree.ancestors(device)):
+                continue  # stranded descendant: its culprit's round covers it
+            cp = self.control_planes.get(device)
+            if cp is not None:
+                self.mgmt.send(cp.schedule_initiation,
+                               snapshot.epoch, at_wall_ns)
+                self.retry_unicasts += 1
+            for child in tree.children.get(device, ()):
+                self.retry_subtree(child, snapshot.epoch, at_wall_ns)
+                self.retry_subtree_sends += 1
+        return True
 
     def _silence_reason(self, device: str, silent_set: set[str]) -> str:
         """Attribute one silent device's exclusion.

@@ -270,18 +270,28 @@ class ShardedSpeedlightDeployment(SpeedlightDeployment):
             return
         root_agent = agents.get(tree.root)
         mgmt = self.network.mgmt
+        worker = self.worker
         if root_agent is not None:
             def initiate(epoch: int, at_wall_ns: int) -> None:
                 mgmt.send(root_agent.on_initiation, epoch, at_wall_ns)
         else:
-            worker = self.worker
             mailbox = _agg_mailbox(tree.root)
 
             def initiate(epoch: int, at_wall_ns: int) -> None:
                 worker.send_ctrl(mailbox, ("init", epoch, at_wall_ns),
                                  extra_ns=mgmt.one_way_latency_ns())
 
-        self.observer.attach_fabric(initiate, tree)
+        def retry_subtree(device: str, epoch: int, at_wall_ns: int) -> None:
+            agent = agents.get(device)
+            if agent is not None:
+                mgmt.send(agent.on_initiation, epoch, at_wall_ns)
+            else:
+                worker.send_ctrl(_agg_mailbox(device),
+                                 ("init", epoch, at_wall_ns),
+                                 extra_ns=mgmt.one_way_latency_ns())
+
+        self.observer.attach_fabric(initiate, tree,
+                                    retry_subtree=retry_subtree)
 
     # ------------------------------------------------------------------
     # Guard rails

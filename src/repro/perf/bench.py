@@ -17,6 +17,12 @@ Times the three layers the optimization targets, from innermost out:
   (:mod:`repro.core.aggregation`): ``agg_smoke`` is the CI-sized k=4
   comparison, ``agg_knee`` the headline k=8 run whose ``speedup`` field
   is the tentpole's acceptance number.
+* ``service_smoke`` — the snapshot service (:mod:`repro.service`)
+  sustaining >= 10^4 continuous epochs under a memcache incast:
+  epochs/second of the full intake -> delta store pipeline, with the
+  store's exact byte accounting asserted flat after the retention ring
+  fills (the bounded-memory acceptance check — the bench *fails* if
+  store memory grows with run length).
 
 Throughput benchmarks are normalized by a fixed pure-Python calibration
 loop so the regression gate survives machine changes: ``score =
@@ -58,7 +64,8 @@ GATE_BENCH = "event_loop"
 #: Every benchmark the regression gate checks (when the baseline entry
 #: has a score for it): the engine hot path, the sharded core, and the
 #: two model-normalized knees (Fig. 10 per-switch, aggregation fabric).
-GATE_BENCHES = (GATE_BENCH, "shard_smoke", "fig10_knee", "agg_smoke")
+GATE_BENCHES = (GATE_BENCH, "shard_smoke", "fig10_knee", "agg_smoke",
+                "service_smoke")
 
 
 # ----------------------------------------------------------------------
@@ -342,6 +349,61 @@ def bench_shard_smoke(k: int = 4, shards: int = 2, rate_pps: float = 400.0,
             "k": k, "shards": shards, "rounds": int(run["rounds"])}
 
 
+def bench_service_smoke(epochs: int = 10_000) -> dict[str, Any]:
+    """The snapshot-as-a-service sustained-throughput gate.
+
+    Drives :class:`repro.runtime.streaming.ServiceRun` — a leaf-spine
+    under memcache incast with a continuous 1 ms snapshot cadence —
+    until ``epochs`` epoch documents are stored, then reports wall-clock
+    epochs/second and events/second (the latter is the normalized,
+    regression-gated score, comparable across epoch counts because the
+    run is steady-state).
+
+    Bounded memory is *asserted*, not just reported: the store's exact
+    canonical-JSON byte accounting is sampled every simulation chunk
+    once the retention ring has filled, and the bench raises if the
+    ring overflows or the byte count drifts past a constant band —
+    store memory growing with run length is a correctness regression,
+    not a slowdown.
+    """
+    from repro.runtime.streaming import ServiceRun, ServiceSpec
+    from repro.service.pipeline import PipelineConfig
+    from repro.sim.engine import US
+
+    retention = 512
+    run = ServiceRun(ServiceSpec(
+        seed=11, interval_ns=1 * MS, mean_request_gap_ns=2000 * US,
+        pipeline=PipelineConfig(retention=retention, keyframe_interval=32),
+        chunk_ns=200 * MS))
+    store = run.pipeline.store
+    samples: list[int] = []
+
+    def sample_store(_run: Any) -> None:
+        if store.appended >= retention:
+            samples.append(store.encoded_bytes)
+
+    report = run.run(epochs=epochs, on_chunk=sample_store)
+    samples.append(store.encoded_bytes)
+
+    entries = len(store)
+    if entries > retention:
+        raise RuntimeError(
+            f"service store overflowed its ring: {entries} entries "
+            f"held, retention is {retention}")
+    flatness = max(samples) / min(samples)
+    if flatness > 1.5:
+        raise RuntimeError(
+            f"service store memory is not flat: encoded bytes ranged "
+            f"{min(samples)}..{max(samples)} ({flatness:.2f}x) after "
+            f"the retention ring filled")
+    return {"seconds": report.wall_seconds, "events": report.events,
+            "events_per_sec": report.events_per_sec,
+            "epochs": report.epochs_stored,
+            "epochs_per_sec": round(report.epochs_per_sec, 1),
+            "store_bytes": store.encoded_bytes,
+            "flatness": round(flatness, 3)}
+
+
 # ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
@@ -410,6 +472,8 @@ def run_suite(label: str = "adhoc", quick: bool = False,
     note("calibrating")
     calibration = max(calibrate() for _ in range(2))
 
+    # Plans are (name, fn) or (name, fn, repeat_cap): sustained runs like
+    # service_smoke are self-averaging, so best-of-N only burns time.
     if quick:
         plans = [
             ("event_loop", lambda: bench_event_loop(events=150_000)),
@@ -419,6 +483,7 @@ def run_suite(label: str = "adhoc", quick: bool = False,
                 ports=8, burst=15, search_iterations=6)),
             ("shard_smoke", lambda: bench_shard_smoke(duration_ms=10)),
             ("agg_smoke", bench_agg_smoke),
+            ("service_smoke", lambda: bench_service_smoke(epochs=2_500), 1),
         ]
     else:
         plans = [
@@ -430,6 +495,7 @@ def run_suite(label: str = "adhoc", quick: bool = False,
             ("shard_scaling", bench_shard_scaling),
             ("agg_smoke", bench_agg_smoke),
             ("agg_knee", bench_agg_knee),
+            ("service_smoke", bench_service_smoke, 1),
         ]
 
     result = BenchResult(
@@ -439,9 +505,9 @@ def run_suite(label: str = "adhoc", quick: bool = False,
                f"{platform.python_version()}",
         machine=platform.machine())
 
-    for name, fn in plans:
+    for name, fn, *cap in plans:
         note(f"running {name}")
-        r = _best_of(fn, repeat)
+        r = _best_of(fn, min([repeat, *cap]))
         r["seconds"] = round(r["seconds"], 4)
         if "events_per_sec" in r:
             r["events_per_sec"] = round(r["events_per_sec"], 1)

@@ -1,0 +1,42 @@
+"""Snapshot-as-a-service: continuous epoch pipeline over the observer.
+
+The batch layers answer "what did the network look like during that
+trial?"; this package answers "what does the network look like *now*,
+and what did it look like a moment ago?" — the §8 management-plane
+consumer the paper motivates.  It is a pipeline of small parts:
+
+* :mod:`~repro.service.stream` — incremental intake of resolved epochs
+  from the observer (no end-of-run collection);
+* :mod:`~repro.service.store` — delta-encoded, keyframed, hard-bounded
+  epoch history with exact self-accounting of its size;
+* :mod:`~repro.service.pipeline` — the continuous ticker plus a
+  modeled, bounded ingest server with a coalescing backpressure policy;
+* :mod:`~repro.service.query` — epoch-range, conservation, and
+  heavy-hitter queries over the stored history;
+* :mod:`~repro.service.smoke` — the service-under-faults invariant
+  check wired into ``make chaos-smoke``.
+
+Simulation-pure by construction: nothing in this package reads a wall
+clock (enforced by ``repro.statics``); wall-clock throughput lives in
+:mod:`repro.runtime.streaming`.
+"""
+
+from repro.service.pipeline import (ContinuousCampaign, PipelineConfig,
+                                    SnapshotPipeline)
+from repro.service.query import QueryEngine
+from repro.service.store import (EpochStore, StoreConfig, apply_delta,
+                                 canonical_bytes, encode_delta)
+from repro.service.stream import SnapshotStream
+
+__all__ = [
+    "ContinuousCampaign",
+    "EpochStore",
+    "PipelineConfig",
+    "QueryEngine",
+    "SnapshotPipeline",
+    "SnapshotStream",
+    "StoreConfig",
+    "apply_delta",
+    "canonical_bytes",
+    "encode_delta",
+]

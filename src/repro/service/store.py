@@ -1,0 +1,260 @@
+"""Delta-encoded, bounded epoch storage for the snapshot service.
+
+The store holds a rolling window of epoch-record documents (the
+JSON-stable shape produced by :func:`repro.analysis.report.epoch_record`)
+as a chain of **keyframes** and **deltas**:
+
+* a keyframe is the full document;
+* a delta records, against the *previously stored* epoch, only the unit
+  rows that changed, the rows that disappeared, and the top-level fields
+  that moved — idle units and stable metadata cost nothing.
+
+Retention is a hard ring: past ``retention`` entries the oldest entry is
+evicted, and if that orphans a delta the delta is *promoted* — merged
+with the evicted state into a fresh keyframe — so the chain always
+decodes from its first entry and memory never grows with run length.
+The store accounts for its own size exactly (canonical-JSON bytes of
+every stored payload), which is what the service bench asserts flat.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from collections.abc import Iterator
+from typing import Optional
+
+#: An epoch-record document (``repro.analysis.report.epoch_record``
+#: output, possibly with service annotations such as ``merged_epochs``).
+EpochDoc = dict[str, object]
+
+_KEYFRAME = "key"
+_DELTA = "delta"
+
+
+def canonical_bytes(payload: object) -> int:
+    """Exact size of ``payload`` as canonical (sorted, separator-free)
+    JSON — the store's unit of memory accounting."""
+    return len(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+
+
+def _row_key(row: EpochDoc) -> str:
+    return f"{row['device']}:{row['port']}:{row['direction']}"
+
+
+def _row_sort_key(name: str) -> tuple[str, int, str]:
+    device, port, direction = name.rsplit(":", 2)
+    return (device, int(port), direction)
+
+
+def _strip_epoch(row: EpochDoc) -> EpochDoc:
+    return {k: v for k, v in row.items() if k != "epoch"}
+
+
+def _rows_equal(a: EpochDoc, b: EpochDoc) -> bool:
+    return _strip_epoch(a) == _strip_epoch(b)
+
+
+def encode_delta(prev: EpochDoc, doc: EpochDoc) -> EpochDoc:
+    """Encode ``doc`` as a delta against ``prev``.
+
+    The encoding is exact: :func:`apply_delta` reproduces ``doc``
+    bit-for-bit (canonical-JSON identical).  Unit rows are keyed
+    ``device:port:direction``; a row's ``epoch`` field is implied by the
+    document and never stored twice.
+    """
+    prev_rows = {_row_key(r): r for r in prev["records"]}  # type: ignore[union-attr]
+    new_rows = {_row_key(r): r for r in doc["records"]}  # type: ignore[union-attr]
+    changed: dict[str, EpochDoc] = {}
+    for key in sorted(new_rows, key=_row_sort_key):
+        old = prev_rows.get(key)
+        if old is None or not _rows_equal(old, new_rows[key]):
+            changed[key] = _strip_epoch(new_rows[key])
+    removed = sorted((k for k in prev_rows if k not in new_rows),
+                     key=_row_sort_key)
+    meta = {k: v for k, v in doc.items()
+            if k != "records" and (k not in prev or prev[k] != v)}
+    meta_removed = sorted(k for k in prev
+                          if k != "records" and k not in doc)
+    return {"base": prev["epoch"], "meta": meta,
+            "meta_removed": meta_removed, "rows": changed,
+            "rows_removed": removed}
+
+
+def apply_delta(prev: EpochDoc, delta: EpochDoc) -> EpochDoc:
+    """Invert :func:`encode_delta`: rebuild the full document."""
+    doc: EpochDoc = {k: v for k, v in prev.items() if k != "records"}
+    for k in delta["meta_removed"]:  # type: ignore[union-attr]
+        doc.pop(k, None)
+    doc.update(delta["meta"])  # type: ignore[arg-type]
+    rows = {_row_key(r): _strip_epoch(r)
+            for r in prev["records"]}  # type: ignore[union-attr]
+    for key in delta["rows_removed"]:  # type: ignore[union-attr]
+        rows.pop(key, None)
+    for key, row in delta["rows"].items():  # type: ignore[union-attr]
+        rows[key] = dict(row)
+    epoch = doc["epoch"]
+    records = []
+    for key in sorted(rows, key=_row_sort_key):
+        row = dict(rows[key])
+        row["epoch"] = epoch
+        records.append(row)
+    doc["records"] = records
+    return doc
+
+
+def _copy_doc(doc: EpochDoc) -> EpochDoc:
+    out = {k: v for k, v in doc.items() if k != "records"}
+    out["records"] = [dict(r) for r in doc["records"]]  # type: ignore[union-attr]
+    return out
+
+
+@dataclass
+class StoreConfig:
+    """Retention and encoding policy of one :class:`EpochStore`."""
+
+    #: Ring size: the store never holds more than this many epochs.
+    retention: int = 1024
+    #: A full keyframe every this many entries (deltas in between).
+    #: Bounds the decode chain a range scan must walk.
+    keyframe_interval: int = 64
+
+    def __post_init__(self) -> None:
+        if self.retention < 1:
+            raise ValueError("retention must be >= 1")
+        if self.keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+
+
+class _Entry:
+    __slots__ = ("epoch", "kind", "payload", "size")
+
+    def __init__(self, epoch: int, kind: str, payload: EpochDoc) -> None:
+        self.epoch = epoch
+        self.kind = kind
+        self.payload = payload
+        self.size = canonical_bytes(payload)
+
+
+class EpochStore:
+    """Bounded, delta-encoded history of epoch records."""
+
+    def __init__(self, config: Optional[StoreConfig] = None,
+                 **config_kwargs) -> None:
+        if config is None:
+            config = StoreConfig(**config_kwargs)
+        elif config_kwargs:
+            raise ValueError("pass config or kwargs, not both")
+        self.config = config
+        self._entries: deque[_Entry] = deque()
+        self._tail: Optional[EpochDoc] = None  # newest full document
+        self._since_keyframe = 0
+        #: Lifetime counters (monotonic; eviction does not reset them).
+        self.appended = 0
+        self.evicted = 0
+        self.keyframes = 0
+        self.promoted = 0
+        #: Exact bytes of every stored payload, maintained incrementally.
+        self.encoded_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, doc: EpochDoc) -> None:
+        """Store one epoch document (newest; callers must not mutate it
+        afterwards — the store keeps a reference)."""
+        epoch = int(doc["epoch"])  # type: ignore[arg-type]
+        if (self._tail is None
+                or self._since_keyframe + 1 >= self.config.keyframe_interval):
+            entry = _Entry(epoch, _KEYFRAME, doc)
+            self._since_keyframe = 0
+            self.keyframes += 1
+        else:
+            entry = _Entry(epoch, _DELTA, encode_delta(self._tail, doc))
+            self._since_keyframe += 1
+        self._entries.append(entry)
+        self._tail = doc
+        self.appended += 1
+        self.encoded_bytes += entry.size
+        while len(self._entries) > self.config.retention:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        oldest = self._entries.popleft()
+        # Invariant: the first entry is always a keyframe (the first
+        # append is one, and promotion below restores it after every
+        # eviction), so the chain always decodes from the front.
+        self.encoded_bytes -= oldest.size
+        self.evicted += 1
+        if self._entries and self._entries[0].kind == _DELTA:
+            head = self._entries[0]
+            full = apply_delta(oldest.payload, head.payload)
+            promoted = _Entry(head.epoch, _KEYFRAME, full)
+            self.encoded_bytes += promoted.size - head.size
+            self._entries[0] = promoted
+            self.promoted += 1
+            self.keyframes += 1
+        if not self._entries:
+            self._tail = None
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def min_epoch(self) -> Optional[int]:
+        return self._entries[0].epoch if self._entries else None
+
+    @property
+    def max_epoch(self) -> Optional[int]:
+        return self._entries[-1].epoch if self._entries else None
+
+    def epochs(self) -> list[int]:
+        """Stored epochs, ascending."""
+        return sorted(e.epoch for e in self._entries)
+
+    def scan(self, start: Optional[int] = None,
+             end: Optional[int] = None) -> Iterator[EpochDoc]:
+        """Decode stored documents in storage (resolution) order,
+        yielding those with ``start <= epoch <= end``.  Yielded
+        documents are fresh copies — callers may mutate them."""
+        current: Optional[EpochDoc] = None
+        for entry in self._entries:
+            if entry.kind == _KEYFRAME:
+                current = entry.payload
+            else:
+                assert current is not None
+                current = apply_delta(current, entry.payload)
+            if start is not None and entry.epoch < start:
+                continue
+            if end is not None and entry.epoch > end:
+                continue
+            # Always a copy: the generator suspends at yield, and the
+            # caller may mutate the document before the next delta is
+            # applied against ``current``.
+            yield _copy_doc(current)
+
+    def get(self, epoch: int) -> Optional[EpochDoc]:
+        """The document for one epoch, or None if outside the ring."""
+        for doc in self.scan(start=epoch, end=epoch):
+            return doc
+        return None
+
+    def stats(self) -> dict[str, int]:
+        """Counters + exact size, for service reporting and benches."""
+        return {
+            "entries": len(self._entries),
+            "appended": self.appended,
+            "evicted": self.evicted,
+            "keyframes": self.keyframes,
+            "promoted": self.promoted,
+            "encoded_bytes": self.encoded_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EpochStore({len(self._entries)} entries, "
+                f"epochs {self.min_epoch}..{self.max_epoch}, "
+                f"{self.encoded_bytes} bytes)")

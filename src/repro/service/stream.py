@@ -1,0 +1,64 @@
+"""Incremental epoch intake from the snapshot observer.
+
+Batch mode collects snapshots after the run ends; a service cannot.
+:class:`SnapshotStream` hooks the observer's resolution callback
+(:meth:`~repro.core.observer.SnapshotObserver.on_resolved`) and hands
+every epoch's final disposition downstream the moment it is known —
+COMPLETE and PARTIAL snapshots by default (both carry records),
+ABANDONED ones counted and dropped.  Consumption is push (subscribe) or
+pull (drain); the pipeline drains synchronously on every notification,
+so the stream itself holds at most the snapshots resolved inside one
+simulation event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterator
+
+from repro.core.observer import SnapshotObserver
+from repro.core.snapshot import GlobalSnapshot, SnapshotStatus
+
+#: Statuses forwarded downstream by default.
+DEFAULT_STATUSES = (SnapshotStatus.COMPLETE, SnapshotStatus.PARTIAL)
+
+
+class SnapshotStream:
+    """Drains resolved epochs from an observer as the simulation runs."""
+
+    def __init__(self, observer: SnapshotObserver,
+                 statuses: tuple[SnapshotStatus, ...] = DEFAULT_STATUSES
+                 ) -> None:
+        self._statuses = tuple(statuses)
+        self._pending: deque[GlobalSnapshot] = deque()
+        self._listeners: list[Callable[[], None]] = []
+        #: Epochs heard / filtered out (e.g. ABANDONED), lifetime.
+        self.resolved = 0
+        self.filtered = 0
+        observer.on_resolved(self._on_resolved)
+
+    def _on_resolved(self, snapshot: GlobalSnapshot) -> None:
+        self.resolved += 1
+        if snapshot.status not in self._statuses:
+            self.filtered += 1
+            return
+        self._pending.append(snapshot)
+        for listener in self._listeners:
+            listener()
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` whenever a new epoch becomes drainable."""
+        self._listeners.append(listener)
+
+    def drain(self) -> Iterator[GlobalSnapshot]:
+        """Yield and remove everything pending, in resolution order."""
+        while self._pending:
+            yield self._pending.popleft()
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SnapshotStream(pending={len(self._pending)}, "
+                f"resolved={self.resolved}, filtered={self.filtered})")

@@ -219,3 +219,24 @@ class TestAggregationModuleIsClean:
         assert report.ok, [f"{f.rule}:{f.line} {f.message}"
                            for f in report.findings]
         assert report.suppressed == 0
+
+
+class TestServicePackageIsClean:
+    """Every snapshot-service module against the real rule set.
+
+    The service is simulation-pure by design (wall-clock throughput
+    lives in ``repro.runtime.streaming``, a scope DET002 exempts), so
+    each module must pass every rule in its own ``service`` scope —
+    with zero pragmas, not suppressed findings.
+    """
+
+    PACKAGE = Path(__file__).parents[2] / "src" / "repro" / "service"
+
+    @pytest.mark.parametrize(
+        "module", sorted(p.name for p in (Path(__file__).parents[2] / "src"
+                                          / "repro" / "service").glob("*.py")))
+    def test_passes_every_rule_without_pragmas(self, module):
+        report = check_file(str(self.PACKAGE / module), ALL_RULES)
+        assert report.ok, [f"{f.rule}:{f.line} {f.message}"
+                           for f in report.findings]
+        assert report.suppressed == 0

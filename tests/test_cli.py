@@ -133,3 +133,36 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "total packets" in out
         assert "consistent" in out
+
+
+class TestServe:
+    def test_serve_reports_throughput_and_summary(self, capsys):
+        assert main(["serve", "--epochs", "10", "--interval-us", "1000",
+                     "--seed", "3", "--json"]) == 0
+        import json
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["epochs_stored"] >= 10
+        assert doc["epochs_per_sec"] > 0
+        assert doc["pipeline"]["backlog"] == 0
+        assert doc["summary"]["epochs_stored"] == doc["pipeline"]["ingested"]
+
+    def test_serve_queries_inline(self, capsys):
+        assert main(["serve", "--epochs", "12", "--interval-us", "1000",
+                     "--seed", "3", "--retention", "8",
+                     "--query-range", "5", "8", "--conservation",
+                     "--heavy-hitters", "3", "--json"]) == 0
+        import json
+        doc = json.loads(capsys.readouterr().out)
+        epochs = [d["epoch"] for d in doc["range"]]
+        assert epochs == sorted(epochs)
+        assert all(5 <= e <= 8 for e in epochs)
+        assert doc["conservation"]["violations"] == {}
+        assert doc["summary"]["epochs_stored"] == 8  # retention ring held
+        assert "units" in doc["heavy_hitters"]
+
+    def test_serve_human_readable(self, capsys):
+        assert main(["serve", "--epochs", "5", "--interval-us", "1000",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert "epochs/s wall" in out
