@@ -8,7 +8,7 @@ BENCH_LABEL ?= adhoc
 # Experiment profiled by `make profile` (any name from `experiments --list`).
 PROFILE_EXP ?= fig10
 
-.PHONY: install test lint statics typecheck static-checks \
+.PHONY: install test lint statics statics-flow typecheck static-checks \
         bench bench-smoke bench-experiments \
         chaos-smoke profile figures experiments examples \
         quick-experiments clean
@@ -27,11 +27,20 @@ lint:
 statics:
 	$(PYTHON) -m repro statics src tests
 
+# Whole-program flow rules (FLOW001/MSG001/MSG002/DET005) over the
+# sharded actor packages, pragma-free — the CI gate, locally.  Summaries
+# are cached content-keyed under .repro-cache/statics-flow, so warm
+# re-runs are milliseconds.
+statics-flow:
+	$(PYTHON) -m repro statics --flow --forbid-pragmas \
+	    src/repro/sim/shard.py src/repro/core/sharded.py \
+	    src/repro/core/aggregation.py src/repro/service
+
 typecheck:
 	mypy
 
-# Everything the CI static-checks job runs (statics + types + lint).
-static-checks: statics typecheck lint
+# Everything the CI static-checks job runs (statics + flow + types + lint).
+static-checks: statics statics-flow typecheck lint
 
 # Hot-path micro-suite (docs/PERF.md): records a labelled entry in
 # BENCH_core.json and fails on >25% normalized event-loop or

@@ -23,12 +23,15 @@ Commands:
 ``metrics``
     List the snapshot-capable metrics and whether they support channel
     state.
-``statics [paths] [--json] [--rules A,B] [--list-rules] [--profile P]``
+``statics [paths] [--json] [--sarif F] [--rules A,B] [--flow] [...]``
     Run the determinism & simulation-invariant static analysis pass
     (docs/DETERMINISM.md) over ``src tests`` or the given paths; exits
     non-zero on findings.  CI gates on ``repro statics src tests``.
     ``--profile external`` audits out-of-tree simulation models with
-    the repo-convention rules (DET002, TRIAL001) dropped.
+    the repo-convention rules (DET002, TRIAL001) dropped.  ``--flow``
+    links the paths into one program and runs the whole-program
+    families (cross-actor races, mailbox dead letters, ordering and
+    float taint feeding cross-boundary sends).
 ``serve [--epochs N] [--interval-us U] [--conservation] [...]``
     Snapshot-as-a-service (docs/SERVICE.md): run a continuous epoch
     pipeline under the sustained memcache incast workload — bounded
@@ -344,6 +347,20 @@ def cmd_statics(args: argparse.Namespace) -> int:
         argv.append("--list-rules")
     if args.profile != "default":
         argv.extend(["--profile", args.profile])
+    if args.flow:
+        argv.append("--flow")
+    if args.graph_dump:
+        argv.append("--graph-dump")
+    if args.sarif:
+        argv.extend(["--sarif", args.sarif])
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.forbid_pragmas:
+        argv.append("--forbid-pragmas")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.flow_cache_dir:
+        argv.extend(["--cache-dir", args.flow_cache_dir])
     return statics_main(argv)
 
 
@@ -498,6 +515,30 @@ def build_parser() -> argparse.ArgumentParser:
                                      "simulation models (drops DET002/"
                                      "TRIAL001, forces the 'sim' scope, "
                                      "requires explicit paths)")
+    statics_parser.add_argument("--flow", action="store_true",
+                                help="whole-program analysis "
+                                     "(FLOW001/MSG001/MSG002/DET005)")
+    statics_parser.add_argument("--graph-dump", action="store_true",
+                                dest="graph_dump",
+                                help="with --flow: dump the linked "
+                                     "call/message graphs")
+    statics_parser.add_argument("--sarif", metavar="FILE", default=None,
+                                help="also write SARIF 2.1.0 output")
+    statics_parser.add_argument("--jobs", type=int, default=1,
+                                metavar="N",
+                                help="parallel per-file parse phase")
+    statics_parser.add_argument("--forbid-pragmas", action="store_true",
+                                dest="forbid_pragmas",
+                                help="fail if anything was suppressed "
+                                     "by a pragma")
+    statics_parser.add_argument("--no-cache", action="store_true",
+                                dest="no_cache",
+                                help="with --flow: disable the summary "
+                                     "cache")
+    statics_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                                dest="flow_cache_dir",
+                                help="with --flow: summary cache root "
+                                     "(default: .repro-cache/statics-flow)")
 
     serve_parser = sub.add_parser(
         "serve",

@@ -14,12 +14,20 @@ from repro.statics.engine import (FileContext, Report, Rule, check_file,
                                   check_source, iter_python_files,
                                   run_paths, scope_of)
 from repro.statics.findings import Finding
+from repro.statics.flow import (FLOW_RULE_IDS, FLOW_RULES, load_program,
+                                run_flow)
+from repro.statics.graphs import Program
 from repro.statics.pragmas import Pragma, PragmaTable, parse_pragmas
 from repro.statics.rules import ALL_RULE_IDS, ALL_RULES
 
 __all__ = [
     "ALL_RULES",
     "ALL_RULE_IDS",
+    "FLOW_RULES",
+    "FLOW_RULE_IDS",
+    "Program",
+    "load_program",
+    "run_flow",
     "FileContext",
     "Finding",
     "Pragma",

@@ -25,6 +25,7 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from collections.abc import Iterator
+from typing import Optional
 
 from repro.statics.findings import Finding
 
@@ -130,11 +131,25 @@ class PragmaTable:
                 return True
         return False
 
-    def unused_findings(self, path: str) -> list[Finding]:
-        """PRAGMA002 findings for allows that suppressed nothing."""
+    def unused_findings(self, path: str,
+                        active_rules: Optional[set[str]] = None
+                        ) -> list[Finding]:
+        """PRAGMA002 findings for allows that suppressed nothing.
+
+        Audited **per rule id**: a multi-rule pragma
+        (``allow[DET003,DET004]``) where only DET003 fired is reported
+        unused for DET004 alone, not wholesale.  ``active_rules``
+        restricts the audit to the rules that actually ran — ids
+        outside it *cannot* have fired this run, so reporting them
+        would be noise (this is what lets ``--rules`` subsets and the
+        ``--flow`` pass audit pragmas without misreporting each
+        other's)."""
         out = []
         for pragma in self.pragmas:
-            for rule in sorted(pragma.rules - pragma.used):
+            candidates = pragma.rules - pragma.used
+            if active_rules is not None:
+                candidates &= active_rules
+            for rule in sorted(candidates):
                 out.append(Finding(
                     rule=PRAGMA_UNUSED, path=path, line=pragma.line, col=1,
                     message=f"unused suppression: allow[{rule}] matched "

@@ -330,7 +330,14 @@ class HashIdOrderingRule(Rule):
 
     def check(self, ctx: FileContext) -> list[Finding]:
         out: list[Finding] = []
-        for node in ast.walk(ctx.tree):
+        self._scan(ctx.tree, ctx, out)
+        return out
+
+    def _scan(self, root: ast.AST, ctx: FileContext,
+              out: list[Finding]) -> None:
+        """Scan ``root`` (a file or any subtree — the flow layer reuses
+        this per-function) for hash()/id() inside ordering keys."""
+        for node in ast.walk(root):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
@@ -350,7 +357,6 @@ class HashIdOrderingRule(Rule):
             if heappush and len(node.args) >= 2:
                 out.extend(self._flag_hash_id(ctx, node.args[1],
                                               "heap entry"))
-        return out
 
     def _flag_hash_id(self, ctx: FileContext, subtree: ast.AST,
                       where: str) -> list[Finding]:

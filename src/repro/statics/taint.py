@@ -1,0 +1,188 @@
+"""Interprocedural float-time taint (the DET005 engine).
+
+Per-file extraction (:mod:`repro.statics.project`) already reduced every
+function to: the taint of each ``schedule*``/``Event`` time argument,
+the taint of its return value, and the taint of every argument it
+passes onward — each expressed over three atoms: *intrinsic sources*
+(float literals, true division, ``float()``, ``time.*``), *own
+parameters*, and *call returns*.  This module closes the system over
+the call graph:
+
+1. a **return fixpoint** resolves every function's return taint to
+   intrinsic sources plus residual own-parameter dependence, and
+2. an **obligation pass** walks parameter-dependent sinks up the caller
+   graph until an intrinsic source (finding) or an analysis root
+   (no caller passes taint — clean) is reached.
+
+The result is SIM001 across call boundaries: ``helper() / 2`` feeding
+``schedule`` three frames up still surfaces, attributed to the sink
+line with the call chain in the message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.statics.graphs import Program
+from repro.statics.project import CallSite, FunctionSummary, Sink, Taint
+
+_MAX_ITER = 50
+_MAX_CHAIN = 8
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """One interprocedural float-taint hit, anchored at the sink."""
+
+    path: str
+    line: int
+    col: int
+    sink_fn: str
+    fn_qualname: str
+    sources: tuple[str, ...]
+    chain: tuple[str, ...]   #: caller path from taint entry down to sink
+
+
+def _effective_params(target: FunctionSummary) -> list[str]:
+    """Positional-argument view of a callee's parameters (``self``
+    stripped for methods/constructors)."""
+    if target.class_name is not None and target.params:
+        return target.params[1:]
+    return list(target.params)
+
+
+class TaintAnalysis:
+    """Whole-program float-taint solver over linked summaries."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: qualname -> (intrinsic sources, residual own-param deps)
+        self.returns: dict[str, tuple[frozenset[str], frozenset[str]]] = {
+            qual: (frozenset(), frozenset())
+            for qual in program.functions}
+        #: callee qualname -> [(caller, call site)]
+        self.callers: dict[str, list[tuple[FunctionSummary, CallSite]]] = {}
+        for fn in program.functions.values():
+            for site in fn.calls:
+                for target in program.resolve_call(fn, site):
+                    self.callers.setdefault(target.qualname, []).append(
+                        (fn, site))
+        self._solve_returns()
+
+    # -- expansion -------------------------------------------------------
+    def expand(self, fn: FunctionSummary,
+               taint: Taint) -> tuple[frozenset[str], frozenset[str]]:
+        """Resolve a local taint in ``fn``'s context to (intrinsic
+        sources, residual dependence on ``fn``'s own parameters)."""
+        return self._expand(fn, taint, frozenset())
+
+    def _expand(self, fn: FunctionSummary, taint: Taint,
+                in_progress: frozenset[int]) -> tuple[frozenset[str],
+                                                      frozenset[str]]:
+        sources = set(taint.sources)
+        params = {p for p in taint.params if p in fn.params}
+        for call_id in taint.calls:
+            if call_id in in_progress or call_id >= len(fn.calls):
+                continue
+            site = fn.calls[call_id]
+            guard = in_progress | {call_id}
+            for target in self.program.resolve_call(fn, site):
+                ret_sources, ret_params = self.returns[target.qualname]
+                sources.update(ret_sources)
+                if not ret_params:
+                    continue
+                eff = _effective_params(target)
+                for param in ret_params:
+                    arg = self._arg_for(site, eff, param)
+                    if arg is None:
+                        continue
+                    arg_sources, arg_params = self._expand(fn, arg, guard)
+                    sources.update(arg_sources)
+                    params.update(arg_params)
+        return frozenset(sources), frozenset(params)
+
+    @staticmethod
+    def _arg_for(site: CallSite, eff_params: list[str],
+                 param: str) -> Optional[Taint]:
+        if param in site.kwargs:
+            return site.kwargs[param]
+        try:
+            index = eff_params.index(param)
+        except ValueError:
+            return None
+        if index < len(site.args):
+            return site.args[index]
+        return None
+
+    # -- return fixpoint -------------------------------------------------
+    def _solve_returns(self) -> None:
+        functions = sorted(self.program.functions.values(),
+                           key=lambda f: f.qualname)
+        for _ in range(_MAX_ITER):
+            changed = False
+            for fn in functions:
+                new = self.expand(fn, fn.returns)
+                if new != self.returns[fn.qualname]:
+                    old_sources, old_params = self.returns[fn.qualname]
+                    self.returns[fn.qualname] = (new[0] | old_sources,
+                                                 new[1] | old_params)
+                    changed = True
+            if not changed:
+                break
+
+    # -- sinks + obligations ---------------------------------------------
+    def sink_findings(self) -> list[TaintFinding]:
+        """All DET005 hits: sinks whose time argument can carry float
+        taint, directly or through any resolvable call chain."""
+        out: list[TaintFinding] = []
+        reported: set[tuple[str, int, int, tuple[str, ...]]] = set()
+
+        def report(fn: FunctionSummary, sink: Sink,
+                   sources: frozenset[str], chain: tuple[str, ...]) -> None:
+            key = (fn.path, sink.line, sink.col, tuple(sorted(sources)))
+            if key in reported or not sources:
+                return
+            reported.add(key)
+            out.append(TaintFinding(
+                path=fn.path, line=sink.line, col=sink.col,
+                sink_fn=sink.fn, fn_qualname=fn.qualname,
+                sources=tuple(sorted(sources)), chain=chain))
+
+        # Obligation: "param P of FN flows into this sink" — walk the
+        # caller graph looking for an intrinsically-tainted argument.
+        def discharge(fn: FunctionSummary, sink: Sink, param_fn: str,
+                      param: str, chain: tuple[str, ...],
+                      seen: frozenset[tuple[str, str]]) -> None:
+            if len(chain) >= _MAX_CHAIN or (param_fn, param) in seen:
+                return
+            seen = seen | {(param_fn, param)}
+            target = self.program.functions.get(param_fn)
+            if target is None:
+                return
+            eff = _effective_params(target)
+            for caller, site in self.callers.get(param_fn, ()):
+                arg = self._arg_for(site, eff, param)
+                if arg is None:
+                    continue
+                arg_sources, arg_params = self.expand(caller, arg)
+                if arg_sources:
+                    report(fn, sink, arg_sources,
+                           (f"{caller.qualname}:{site.line}",) + chain)
+                for up in sorted(arg_params):
+                    discharge(fn, sink, caller.qualname, up,
+                              (f"{caller.qualname}:{site.line}",) + chain,
+                              seen)
+
+        for fn in sorted(self.program.functions.values(),
+                         key=lambda f: f.qualname):
+            for sink in fn.sinks:
+                if sink.direct:
+                    continue       # SIM001's per-file territory
+                sources, params = self.expand(fn, sink.taint)
+                report(fn, sink, sources, ())
+                for param in sorted(params):
+                    discharge(fn, sink, fn.qualname, param, (),
+                              frozenset())
+        out.sort(key=lambda f: (f.path, f.line, f.col, f.sources))
+        return out

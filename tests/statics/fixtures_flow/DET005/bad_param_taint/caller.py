@@ -1,0 +1,8 @@
+"""BAD: a caller passes a float literal into a parameter that flows
+into schedule() one frame down."""
+
+from sched import arm
+
+
+def kick(sim) -> None:
+    arm(sim, 1.5)

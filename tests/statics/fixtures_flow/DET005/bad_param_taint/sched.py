@@ -1,0 +1,6 @@
+"""The sink function itself is innocent: the taint arrives through a
+parameter."""
+
+
+def arm(sim, delay: int) -> None:
+    sim.schedule(delay, print)

@@ -1,0 +1,6 @@
+"""Helper whose return value is float-tainted (ms -> ns via true
+division)."""
+
+
+def settle_delay(budget_ns: int) -> float:
+    return budget_ns / 4

@@ -1,0 +1,9 @@
+"""BAD: a float-returning helper feeds schedule() — SIM001 cannot see
+it (the sink expression is a clean-looking name), DET005 can."""
+
+from helpers import settle_delay
+
+
+def arm(sim, budget_ns: int) -> None:
+    delay = settle_delay(budget_ns)
+    sim.schedule(delay, print)

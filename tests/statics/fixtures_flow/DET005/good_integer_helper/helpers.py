@@ -1,0 +1,5 @@
+"""Helper in pure integer arithmetic — floor division stays exact."""
+
+
+def settle_delay(budget_ns: int) -> int:
+    return budget_ns // 4

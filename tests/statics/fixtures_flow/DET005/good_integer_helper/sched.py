@@ -1,0 +1,9 @@
+"""GOOD: integer helper through an intermediate local and on into
+schedule() — no float anywhere on the path."""
+
+from helpers import settle_delay
+
+
+def arm(sim, budget_ns: int) -> None:
+    delay = settle_delay(budget_ns)
+    sim.schedule(delay, print)

@@ -1,0 +1,6 @@
+"""Helper with a float intermediate, laundered to int at the edge."""
+
+
+def settle_delay(budget_ns: int) -> int:
+    raw = budget_ns / 4
+    return int(raw)

@@ -1,0 +1,8 @@
+"""GOOD: int() at the helper's return edge sanitizes the taint before
+it ever starts flowing toward schedule()."""
+
+from helpers import settle_delay
+
+
+def arm(sim, budget_ns: int) -> None:
+    sim.schedule(settle_delay(budget_ns), print)

@@ -1,0 +1,7 @@
+"""BAD: stores straight into another actor's private state."""
+
+from actors import Worker
+
+
+def handle(worker: Worker, value: int) -> None:
+    worker._state = value

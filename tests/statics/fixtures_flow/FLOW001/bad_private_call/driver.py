@@ -1,0 +1,8 @@
+"""BAD: calls a private method on an actor from outside it."""
+
+from actors import Worker
+
+
+def tick(workers: list[Worker]) -> None:
+    for worker in workers:
+        worker._flush()

@@ -1,0 +1,11 @@
+"""GOOD: state crosses the actor boundary through a mailbox send."""
+
+from actors import Worker
+
+
+def wire(worker: Worker) -> None:
+    worker.register_mailbox("inbox", print)
+
+
+def handle(worker: Worker, value: int) -> None:
+    worker.send_ctrl("inbox", value)

@@ -1,0 +1,10 @@
+"""GOOD: a subclass shares its base's state — inheritance is not a
+cross-actor boundary."""
+
+from actors import Worker
+
+
+class BatchWorker(Worker):
+    def absorb(self, other: Worker) -> None:
+        self._state += other._state
+        other._flush()

@@ -1,0 +1,12 @@
+"""BAD: sends to a mailbox nothing ever registers (dead letter), and
+registers a mailbox nothing ever sends to (dead mailbox)."""
+
+from actors import Worker
+
+
+def wire(worker: Worker) -> None:
+    worker.register_mailbox("inbox", print)
+
+
+def publish(worker: Worker, value: int) -> None:
+    worker.send_ctrl("outbox", value)

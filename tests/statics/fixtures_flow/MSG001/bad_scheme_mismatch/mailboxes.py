@@ -1,0 +1,9 @@
+"""Mailbox-name helpers (mirrors the deployment's _agg_mailbox)."""
+
+
+def agg_mailbox(switch: str) -> str:
+    return f"agg:{switch}"
+
+
+def agx_mailbox(switch: str) -> str:
+    return f"agx:{switch}"

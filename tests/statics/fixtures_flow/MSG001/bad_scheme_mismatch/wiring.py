@@ -1,0 +1,13 @@
+"""BAD: registrations use the agg: scheme but sends use agx: — a
+typo'd namespace means every aggregation message is a dead letter."""
+
+from actors import Worker
+from mailboxes import agg_mailbox, agx_mailbox
+
+
+def wire(worker: Worker, name: str) -> None:
+    worker.register_mailbox(agg_mailbox(name), print)
+
+
+def send_up(worker: Worker, parent: str, payload: object) -> None:
+    worker.send_ctrl(agx_mailbox(parent), payload)

@@ -1,0 +1,13 @@
+"""GOOD: send and registration share one module constant."""
+
+from actors import Worker
+
+OBSERVER_MAILBOX = "observer"
+
+
+def wire(worker: Worker) -> None:
+    worker.register_mailbox(OBSERVER_MAILBOX, print)
+
+
+def ship(worker: Worker, record: object) -> None:
+    worker.send_ctrl(OBSERVER_MAILBOX, record)

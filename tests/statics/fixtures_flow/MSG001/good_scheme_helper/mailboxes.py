@@ -1,0 +1,5 @@
+"""Mailbox-name helper (mirrors the deployment's _agg_mailbox)."""
+
+
+def agg_mailbox(switch: str) -> str:
+    return f"agg:{switch}"

@@ -1,0 +1,15 @@
+"""GOOD: per-switch mailboxes under one f-string scheme — the
+registration and the send both resolve to the agg: prefix."""
+
+from actors import Worker
+from mailboxes import agg_mailbox
+
+
+def wire(worker: Worker, switches: list[str]) -> None:
+    for name in switches:
+        worker.register_mailbox(agg_mailbox(name), print)
+
+
+def send_up(worker: Worker, parent: str, payload: object) -> None:
+    mailbox = agg_mailbox(parent)
+    worker.send_ctrl(mailbox, payload)

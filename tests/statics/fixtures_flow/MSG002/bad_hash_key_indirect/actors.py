@@ -1,0 +1,17 @@
+"""Minimal actor stub: owning register_mailbox + send_ctrl makes
+Worker an actor, so its underscore state is mailbox-protected."""
+
+
+class Worker:
+    def __init__(self):
+        self._state = 0
+        self._mailboxes = {}
+
+    def register_mailbox(self, name, handler):
+        self._mailboxes[name] = handler
+
+    def send_ctrl(self, name, payload):
+        self._mailboxes[name](payload)
+
+    def _flush(self):
+        self._state = 0

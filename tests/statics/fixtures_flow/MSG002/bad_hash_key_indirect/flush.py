@@ -1,0 +1,18 @@
+"""BAD: hash()-keyed sort two calls above a boundary send — the
+per-file DET004 scope would miss it, the call graph does not."""
+
+from actors import Worker
+
+
+def wire(worker: Worker) -> None:
+    worker.register_mailbox("inbox", print)
+
+
+def _ship(worker: Worker, batch: list[str]) -> None:
+    for name in batch:
+        worker.send_ctrl("inbox", name)
+
+
+def flush(worker: Worker, names: list[str]) -> None:
+    ordered = sorted(names, key=hash)
+    _ship(worker, ordered)

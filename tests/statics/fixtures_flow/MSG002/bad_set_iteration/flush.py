@@ -1,0 +1,13 @@
+"""BAD: set-ordered iteration in a function that sends across the
+actor boundary — delivery order varies with PYTHONHASHSEED."""
+
+from actors import Worker
+
+
+def wire(worker: Worker) -> None:
+    worker.register_mailbox("inbox", print)
+
+
+def flush(worker: Worker, pending: set[str]) -> None:
+    for name in pending:
+        worker.send_ctrl("inbox", name)

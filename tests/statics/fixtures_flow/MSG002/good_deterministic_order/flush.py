@@ -1,0 +1,12 @@
+"""GOOD: the boundary send walks a sorted list — deterministic."""
+
+from actors import Worker
+
+
+def wire(worker: Worker) -> None:
+    worker.register_mailbox("inbox", print)
+
+
+def flush(worker: Worker, pending: set[str]) -> None:
+    for name in sorted(pending):
+        worker.send_ctrl("inbox", name)

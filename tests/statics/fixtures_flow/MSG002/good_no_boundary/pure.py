@@ -1,0 +1,9 @@
+"""GOOD: set iteration in a function that never feeds another actor —
+a local aggregate is order-insensitive and stays per-file territory."""
+
+
+def census(names: set[str]) -> int:
+    total = 0
+    for name in names:
+        total += len(name)
+    return total

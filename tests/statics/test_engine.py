@@ -77,6 +77,46 @@ class TestEngineOutput:
         assert "p.py:3:7" in text and "DET001" in text and "fix it" in text
 
 
+class TestParallelParse:
+    """--jobs N must change wall-clock only, never the report."""
+
+    def _render(self, report):
+        lines = [f.render() for f in report.findings]
+        lines.append(f"{report.files_checked}:{report.suppressed}")
+        return "\n".join(lines)
+
+    def test_parallel_report_is_byte_identical_to_serial(self):
+        paths = [str(REPO / "src" / "repro" / "statics"),
+                 str(REPO / "src" / "repro" / "sim")]
+        serial = run_paths(paths, ALL_RULES)
+        parallel = run_paths(paths, ALL_RULES, jobs=4)
+        assert self._render(parallel) == self._render(serial)
+        assert json.dumps(parallel.to_dict(), sort_keys=True) == \
+            json.dumps(serial.to_dict(), sort_keys=True)
+
+    def test_parallel_report_with_findings_matches(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "def f(xs):\n    return sorted(xs, key=hash)\n")
+        (tmp_path / "b.py").write_text(
+            "def g(xs):\n    return sorted(xs, key=lambda x: id(x))\n")
+        (tmp_path / "c.py").write_text("x = 1\n")
+        serial = run_paths([str(tmp_path)], ALL_RULES)
+        parallel = run_paths([str(tmp_path)], ALL_RULES, jobs=3)
+        assert not serial.ok
+        assert self._render(parallel) == self._render(serial)
+
+    def test_cli_jobs_flag_matches_serial_output(self):
+        env = {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"}
+        argv = [sys.executable, "-m", "repro", "statics",
+                "src/repro/statics"]
+        serial = subprocess.run(argv, cwd=REPO, capture_output=True,
+                                text=True, env=env)
+        parallel = subprocess.run(argv + ["--jobs", "4"], cwd=REPO,
+                                  capture_output=True, text=True, env=env)
+        assert serial.returncode == parallel.returncode == 0
+        assert serial.stdout == parallel.stdout
+
+
 class TestSelfRun:
     """The acceptance gate: the tree itself is clean under all rules."""
 

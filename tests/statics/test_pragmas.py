@@ -72,16 +72,43 @@ class TestPragmaAuditing:
         report = check_source(src, "x.py", ALL_RULES, scope="sim")
         assert [f.rule for f in report.findings] == ["PRAGMA002"]
 
-    def test_unused_reporting_disabled_for_rule_subsets(self):
+    def test_rule_subset_audits_only_active_rules(self):
         # A partial --rules run must not misreport pragmas for rules it
-        # did not execute.
+        # did not execute — but it *does* audit pragmas for rules that
+        # ran.  The DET001 allow is neither used nor unused here,
+        # because DET001 never ran.
         subset = [r for r in ALL_RULES if r.id == "SIM001"]
         src = BAD_LINE.format(
             pragma="  # statics: allow[DET001] suppressed under full set")
         report = check_source(src, "x.py", subset, scope="sim",
-                              report_unused_pragmas=False,
                               known_rules={r.id for r in ALL_RULES})
         assert report.ok
+
+    def test_rule_subset_still_flags_unused_active_pragma(self):
+        subset = [r for r in ALL_RULES if r.id == "SIM001"]
+        src = "x = 1  # statics: allow[SIM001] nothing here\n"
+        report = check_source(src, "x.py", subset, scope="sim",
+                              known_rules={r.id for r in ALL_RULES})
+        assert [f.rule for f in report.findings] == ["PRAGMA002"]
+
+    def test_multi_rule_pragma_audited_per_rule_id(self):
+        # allow[DET001,DET004] where only DET001 fires: the pragma is
+        # not wholesale-unused — exactly the DET004 half is.
+        src = BAD_LINE.format(
+            pragma="  # statics: allow[DET001,DET004] one half is stale")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert report.suppressed == 1
+        assert [f.rule for f in report.findings] == ["PRAGMA002"]
+        assert "DET004" in report.findings[0].message
+        assert "DET001" not in report.findings[0].message
+
+    def test_multi_rule_pragma_fully_used_is_silent(self):
+        src = ("import random\n"
+               "sim.schedule(random.random() / 2, fn)"
+               "  # statics: allow[SIM001,DET001] both fire\n")
+        report = check_source(src, "x.py", ALL_RULES, scope="sim")
+        assert report.ok
+        assert report.suppressed == 2
 
     def test_docstring_pragma_examples_are_inert(self):
         src = ('"""Docs.\n'
