@@ -34,7 +34,8 @@ statics:
 statics-flow:
 	$(PYTHON) -m repro statics --flow --forbid-pragmas \
 	    src/repro/sim/shard.py src/repro/core/sharded.py \
-	    src/repro/core/aggregation.py src/repro/service
+	    src/repro/core/aggregation.py src/repro/service \
+	    src/repro/updates
 
 typecheck:
 	mypy
@@ -64,17 +65,19 @@ bench-experiments:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Snapshots-under-failure smoke (docs/FAULTS.md): the quick fault
-# sweep, the correlated rack-loss scenario, and the quick recovery
-# sweep, all uncached; fails if any completed-and-consistent snapshot
-# violates the link non-negativity or conservation audits, or if the
-# recovery sweep leaves any profile without a Pareto frontier.
+# sweep, the correlated rack-loss scenario, the quick recovery sweep
+# and the updates-under-chaos scenario (docs/UPDATES.md), all uncached;
+# fails if any completed-and-consistent snapshot violates the link
+# non-negativity or conservation audits, if the recovery sweep leaves
+# any profile without a Pareto frontier, or if the update verdict
+# ordering (timed monotone, twophase loop-free) breaks under faults.
 # Ends with the service-under-faults check (docs/SERVICE.md): a control
 # plane crashes and restarts mid-stream while the continuous snapshot
 # pipeline keeps ingesting into its bounded delta store.
 chaos-smoke:
 	$(PYTHON) -m repro.service.smoke
 	$(PYTHON) -c "import sys; \
-	from repro.experiments import faults, recovery; \
+	from repro.experiments import faults, recovery, updates; \
 	from repro.runtime import TrialRunner; \
 	runner = TrialRunner(jobs=$(JOBS)); \
 	sweep = faults.run(faults.FaultsConfig.quick(), runner); \
@@ -87,8 +90,11 @@ chaos-smoke:
 	print(); print(rec.report()); \
 	frontiers = all(rec.frontier(prof) \
 	                for prof in {p for (_, p) in rec.rows}); \
+	upd = updates.run(updates.UpdatesConfig.chaos(), runner); \
+	print(); print(upd.report()); \
 	sys.exit(0 if sweep.all_audits_ok and correlated.all_audits_ok \
-	         and partial.ok and frontiers else 1)"
+	         and partial.ok and frontiers \
+	         and upd.ordering_ok and upd.all_audits_ok else 1)"
 
 # cProfile one experiment end-to-end: one .prof per trial under
 # profiles/, then print the hottest functions of each.

@@ -10,9 +10,9 @@ Quick tour
 
 >>> from repro.topology import leaf_spine
 >>> from repro.sim import Network
->>> from repro.core import SpeedlightDeployment
+>>> from repro.core import deploy
 >>> net = Network(leaf_spine())
->>> deployment = SpeedlightDeployment(net, metric="packet_count")
+>>> deployment = deploy(net, metric="packet_count")
 >>> observer = deployment.observer
 
 Subpackages

@@ -14,10 +14,13 @@ Commands:
     accept ``--fault-profile <json|file>`` with a serialized
     :class:`~repro.faults.FaultProfile` (see docs/FAULTS.md; the flag is
     not called ``--profile`` because that already selects cProfile
-    output).  ``--shards N`` partitions each trial's network across N
-    worker processes for experiments that support space-parallel
-    simulation (docs/SHARDING.md; currently ``scaling`` and
-    ``recovery``).  ``--agg-degree D`` routes snapshot records through
+    output).  ``updates`` additionally accepts ``--update-plan
+    <json|file>`` with a serialized :class:`~repro.updates.UpdatePlan`
+    (docs/UPDATES.md).  ``--shards N`` partitions each trial's network
+    across N worker processes for experiments that support
+    space-parallel simulation (docs/SHARDING.md; currently ``scaling``,
+    ``recovery`` and ``updates``).  ``--agg-degree D`` routes snapshot
+    records through
     the hierarchical aggregation fabric for experiments that support it
     (docs/AGGREGATION.md; currently ``scaling``).
 ``metrics``
@@ -116,13 +119,18 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
                              "fault-aware experiments: faults and scaling "
                              "run it as their scenario, recovery sweeps "
                              "its policies against it")
+    parser.add_argument("--update-plan", metavar="JSON|FILE", default=None,
+                        help="serialized UpdatePlan (inline JSON or a path "
+                             "to a .json file) swapped in as the updates "
+                             "experiment's scenario and swept over its "
+                             "clock-error levels — see docs/UPDATES.md")
     parser.add_argument("--shards", type=_positive_int, default=None,
                         metavar="N",
                         help="space-parallel simulation shards for the "
                              "experiments that support them (currently "
-                             "scaling and recovery); each trial partitions "
-                             "its network across N worker processes — see "
-                             "docs/SHARDING.md")
+                             "scaling, recovery and updates); each trial "
+                             "partitions its network across N worker "
+                             "processes — see docs/SHARDING.md")
     parser.add_argument("--agg-degree", type=_nonnegative_int, default=None,
                         metavar="D",
                         help="aggregation-tree fan-out for the experiments "
@@ -156,6 +164,43 @@ def _load_fault_profile(text: str) -> Optional[dict]:
     except (ValueError, TypeError) as exc:
         print(f"invalid fault profile: {exc}", file=sys.stderr)
         return None
+
+
+def _load_update_plan(text: str) -> Optional[dict]:
+    """Parse ``--update-plan``: inline JSON or a path to a JSON file.
+    Validates by round-tripping through UpdatePlan.from_jsonable.
+    Returns None (after printing the reason) on bad input."""
+    import json
+    import os
+
+    from repro.updates import UpdatePlan
+
+    raw = text
+    if os.path.exists(text):
+        with open(text, encoding="utf-8") as handle:
+            raw = handle.read()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"--update-plan is neither a file nor valid JSON: {exc}",
+              file=sys.stderr)
+        return None
+    try:
+        return UpdatePlan.from_jsonable(data).to_jsonable()
+    except (ValueError, TypeError, KeyError) as exc:
+        print(f"invalid update plan: {exc}", file=sys.stderr)
+        return None
+
+
+def _apply_update_plan(configs: dict, plan_json: dict) -> list[str]:
+    """Thread a serialized update plan into every config that
+    understands one (a ``plan`` attribute — currently updates)."""
+    applied = []
+    for name, config in configs.items():
+        if hasattr(config, "plan"):
+            config.plan = plan_json
+            applied.append(name)
+    return applied
 
 
 def _apply_fault_profile(configs: dict, profile_json: dict) -> list[str]:
@@ -232,11 +277,22 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             return 2
         print(f"[fault profile applied to: {', '.join(applied)}]",
               file=sys.stderr)
+    if args.update_plan:
+        plan_json = _load_update_plan(args.update_plan)
+        if plan_json is None:
+            return 2
+        applied = _apply_update_plan(configs, plan_json)
+        if not applied:
+            print("--update-plan: none of the selected experiments "
+                  "accept an update plan (try updates)", file=sys.stderr)
+            return 2
+        print(f"[update plan applied to: {', '.join(applied)}]",
+              file=sys.stderr)
     if args.shards:
         applied = _apply_shards(configs, args.shards)
         if not applied:
             print("--shards: none of the selected experiments support "
-                  "sharded simulation (try scaling, recovery)",
+                  "sharded simulation (try scaling, recovery, updates)",
                   file=sys.stderr)
             return 2
         print(f"[{args.shards} shards applied to: {', '.join(applied)}]",
@@ -299,11 +355,22 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         print(f"[fault profile applied to: {', '.join(applied)}]",
               file=sys.stderr)
+    if args.update_plan:
+        plan_json = _load_update_plan(args.update_plan)
+        if plan_json is None:
+            return 2
+        applied = _apply_update_plan({args.name: config}, plan_json)
+        if not applied:
+            print(f"--update-plan: {args.name} does not accept an update "
+                  "plan (try updates)", file=sys.stderr)
+            return 2
+        print(f"[update plan applied to: {args.name}]", file=sys.stderr)
     if args.shards:
         applied = _apply_shards({args.name: config}, args.shards)
         if not applied:
             print(f"--shards: {args.name} does not support sharded "
-                  "simulation (try scaling, recovery)", file=sys.stderr)
+                  "simulation (try scaling, recovery, updates)",
+                  file=sys.stderr)
             return 2
         print(f"[{args.shards} shards applied to: {args.name}]",
               file=sys.stderr)
@@ -448,7 +515,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_demo(_args: argparse.Namespace) -> int:
-    from repro.core import DeploymentConfig, SpeedlightDeployment
+    from repro.core import deploy
     from repro.sim.engine import MS
     from repro.sim.network import Network, NetworkConfig
     from repro.topology import leaf_spine
@@ -459,8 +526,7 @@ def cmd_demo(_args: argparse.Namespace) -> int:
     PoissonWorkload(network, PoissonConfig(rate_pps=20_000,
                                            stop_ns=400 * MS,
                                            sport_churn=True)).start()
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count"))
+    deployment = deploy(network, metric="packet_count")
     epochs = deployment.schedule_campaign(count=5, interval_ns=20 * MS)
     network.run(until=400 * MS)
     print(f"{'epoch':>6} {'sync (us)':>10} {'total packets':>14}")

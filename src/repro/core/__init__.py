@@ -18,10 +18,11 @@ Layering (mirroring §4–§6 of the paper):
 * :mod:`~repro.core.deployment` — one-call wiring of all of the above
   onto a simulated network (including partial deployment, §10).
 
-Most users only need :class:`SpeedlightDeployment`::
+Most users only need :func:`deploy` (sugar over
+:class:`SpeedlightDeployment`, which stays the primitive)::
 
     net = Network(leaf_spine())
-    sl = SpeedlightDeployment(net, metric="packet_count", channel_state=True)
+    sl = deploy(net, metric="packet_count", channel_state=True)
     epochs = sl.schedule_campaign(count=100, interval_ns=10 * MS)
     net.run(until=2 * S)
     snaps = sl.observer.completed_snapshots(require_consistent=True)
@@ -58,6 +59,7 @@ from repro.core.deployment import (
     SpeedlightDeployment,
     GAUGE_METRICS,
 )
+from repro.core.builder import deploy
 from repro.core.sharded import (
     RemoteControlPlane,
     ShardedSpeedlightDeployment,
@@ -92,6 +94,7 @@ __all__ = [
     "DeploymentConfig",
     "SpeedlightDeployment",
     "GAUGE_METRICS",
+    "deploy",
     "RemoteControlPlane",
     "ShardedSpeedlightDeployment",
 ]

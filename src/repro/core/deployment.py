@@ -155,6 +155,10 @@ class SpeedlightDeployment:
         #: every shipper takes the legacy direct-to-observer path.
         self._record_sinks: dict[str, Callable[[UnitSnapshotRecord], None]] = {}
         self.aggregation: Optional[AggregationFabric] = None
+        #: Armed update driver (:mod:`repro.updates.driver`), attached by
+        #: :func:`repro.core.deploy` when an update plan is given; None —
+        #: the default — means no coordinated update is scheduled.
+        self.update_driver = None
         self._deploy()
         self._wire_aggregation()
         network.refresh_header_stripping()

@@ -79,7 +79,7 @@ def registry() -> dict[str, Experiment]:
     """
     from repro.experiments import (ablations, faults, fig9, fig10, fig11,
                                    fig12, fig13, motivation, recovery,
-                                   scaling, sweeps, table1)
+                                   scaling, sweeps, table1, updates)
 
     entries = [
         Experiment("motivation", "Figure 1: balanced vs. alternating queues",
@@ -131,6 +131,9 @@ def registry() -> dict[str, Experiment]:
                    "completion-vs-overhead frontier of recovery policies",
                    recovery.RecoveryConfig, recovery.specs,
                    recovery.assemble),
+        Experiment("updates",
+                   "coordinated-update verdicts vs. injected clock error",
+                   updates.UpdatesConfig, updates.specs, updates.assemble),
     ]
     return {e.name: e for e in entries}
 

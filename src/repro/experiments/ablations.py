@@ -26,8 +26,7 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.analysis.stats import Cdf
-from repro.core import (ControlPlaneConfig, DeploymentConfig, ObserverConfig,
-                        SpeedlightDeployment)
+from repro.core import ControlPlaneConfig, ObserverConfig, deploy
 from repro.experiments.campaigns import start_poisson
 from repro.experiments.harness import TextTable, header
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
@@ -88,12 +87,12 @@ def _run_starved(config: IdealVsSpeedlightConfig, ideal: bool) -> dict[str, int]
     duration = 30 * MS + config.snapshots * config.interval_ns + 300 * MS
     start_poisson(network, seed=config.seed + 1, rate_pps=config.rate_pps,
                   stop_ns=duration)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=True, ideal_units=ideal,
-        max_sid=None if ideal else 4095,
+    deployment = deploy(
+        network, metric="packet_count", channel_state=True,
+        ideal_units=ideal, max_sid=None if ideal else 4095,
         control_plane=ControlPlaneConfig(probe_delay_ns=0,
                                          reinitiation_timeout_ns=0),
-        observer=ObserverConfig(retry_timeout_ns=200 * MS, max_retries=0)))
+        observer=ObserverConfig(retry_timeout_ns=200 * MS, max_retries=0))
     all_devices = sorted(deployment.control_planes)
     degraded = [n for n in all_devices if n != config.starved_switch]
     epochs = []
@@ -196,8 +195,8 @@ def _sync_samples(config: InitiationConfig,
     duration = 30 * MS + config.snapshots * config.interval_ns + 200 * MS
     start_poisson(network, seed=config.seed + 1, rate_pps=config.rate_pps,
                   stop_ns=duration)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=False, max_sid=4095))
+    deployment = deploy(network, metric="packet_count",
+                        channel_state=False, max_sid=4095)
     epochs = [deployment.observer.take_snapshot(
         at_wall_ns=network.sim.now + 10 * MS + i * config.interval_ns,
         initiators=initiators) for i in range(config.snapshots)]
@@ -308,9 +307,8 @@ def _transport_completion(config: TransportConfig, transport: str) -> float:
     # snapshot, so batching transports sit on the flush timer.
     network = Network(single_switch(num_hosts=4),
                       NetworkConfig(seed=config.seed))
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=False,
-        control_plane=_transport_cp_config(transport)))
+    deployment = deploy(network, metric="packet_count", channel_state=False,
+                        control_plane=_transport_cp_config(transport))
     finish_times: dict[int, int] = {}
     deployment.observer.on_complete(
         lambda snap: finish_times.setdefault(snap.epoch, network.sim.now))

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from collections.abc import Callable
 from typing import Optional
 
-from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
+from repro.core import ObserverConfig, deploy
 from repro.lb import EcmpBalancer, FlowletBalancer
 from repro.polling import PollTarget, PollingConfig, PollingObserver
 from repro.sim.clock import PTPConfig
@@ -181,9 +181,9 @@ def snapshot_campaign(spec: CampaignSpec,
     workload = make_workload(spec.workload, network, seed=spec.seed + 1,
                              stop_ns=spec.duration_ns)
     workload.start()
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric=spec.metric, channel_state=False, max_sid=4095,
-        observer=ObserverConfig(lead_time_ns=spec.warmup_ns)))
+    deployment = deploy(
+        network, metric=spec.metric, channel_state=False, max_sid=4095,
+        observer=ObserverConfig(lead_time_ns=spec.warmup_ns))
     targets = target_fn(network)
     epochs = deployment.schedule_campaign(spec.rounds, spec.interval_ns)
     last_wall = deployment.observer.snapshot(epochs[-1]).requested_wall_ns
@@ -207,8 +207,7 @@ def polling_campaign(spec: CampaignSpec,
     workload.start()
     # Counters must exist on the units; the Speedlight deployment
     # installs them but no snapshots are taken in this run.
-    SpeedlightDeployment(network, DeploymentConfig(
-        metric=spec.metric, channel_state=False, max_sid=4095))
+    deploy(network, metric=spec.metric, channel_state=False, max_sid=4095)
     targets = target_fn(network)
     poller = PollingObserver(
         network,

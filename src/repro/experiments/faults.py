@@ -41,7 +41,7 @@ from typing import Any, Optional
 
 from repro.analysis.consistency import ConsistencyChecker
 from repro.analysis.invariants import LinkAudit
-from repro.core import DeploymentConfig, SpeedlightDeployment
+from repro.core import deploy
 from repro.experiments.campaigns import campaign_window, start_poisson
 from repro.experiments.harness import TextTable, header
 from repro.faults import (CorrelatedGroup, FaultInjector, FaultProfile,
@@ -268,9 +268,8 @@ def run_faults_trial(spec: TrialSpec) -> TrialResult:
     duration = campaign_window(p["rounds"], p["interval_ns"])
     start_poisson(network, seed=spec.seed + 1, rate_pps=p["rate_pps"],
                   stop_ns=duration)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=True,
-        switches=p.get("deploy")))
+    deployment = deploy(network, metric="packet_count", channel_state=True,
+                        switches=p.get("deploy"))
     injector = FaultInjector(network, schedule, deployment=deployment)
     injector.arm()
     epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])

@@ -24,8 +24,7 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.core import (AggregationConfig, ControlPlaneConfig,
-                        DeploymentConfig, ObserverConfig,
-                        SpeedlightDeployment)
+                        ObserverConfig, deploy)
 from repro.experiments.harness import TextTable, header
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
 from repro.sim.engine import MS, S
@@ -122,10 +121,10 @@ def _sustained(ports: int, rate_hz: float, config: Fig10Config,
         control_plane = ControlPlaneConfig(
             reinitiation_timeout_ns=0,  # retries would double the load
             probe_delay_ns=0)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=False, max_sid=None,
+    deployment = deploy(
+        network, metric="packet_count", channel_state=False, max_sid=None,
         control_plane=control_plane,
-        observer=ObserverConfig(retry_timeout_ns=10 * S)))
+        observer=ObserverConfig(retry_timeout_ns=10 * S))
     interval_ns = int(1e9 / rate_hz)
     deployment.schedule_campaign(config.burst, interval_ns)
     # Run to the end of the burst plus a generous drain window.
@@ -276,13 +275,13 @@ def _agg_sustained(arity: int, degree: int, rate_hz: float,
     agents, and the observer intake all drained without drops and
     without unbounded backlog."""
     network = Network(fat_tree(k=arity), NetworkConfig(seed=config.seed))
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=False, max_sid=None,
+    deployment = deploy(
+        network, metric="packet_count", channel_state=False, max_sid=None,
         control_plane=ControlPlaneConfig(
             reinitiation_timeout_ns=0,  # retries would double the load
             probe_delay_ns=0),
         observer=ObserverConfig(retry_timeout_ns=10 * S),
-        aggregation=AggregationConfig(degree=degree)))
+        aggregation=AggregationConfig(degree=degree))
     interval_ns = int(1e9 / rate_hz)
     deployment.schedule_campaign(config.burst, interval_ns)
     network.run(until=10 * MS + config.burst * interval_ns + 500 * MS)

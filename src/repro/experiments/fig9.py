@@ -29,7 +29,7 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.analysis.stats import Cdf
-from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
+from repro.core import ControlPlaneConfig, deploy
 from repro.experiments.campaigns import (campaign_window, poisson_network,
                                          start_poisson)
 from repro.experiments.harness import (TextTable, ascii_cdf, drain_campaign,
@@ -152,9 +152,9 @@ def _snapshot_series(config: Fig9Config, channel_state: bool,
     duration = campaign_window(config.rounds, config.interval_ns)
     start_poisson(network, seed=config.seed + 1, rate_pps=config.rate_pps,
                   stop_ns=duration)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=channel_state, max_sid=4095,
-        control_plane=ControlPlaneConfig(probe_delay_ns=0)))
+    deployment = deploy(
+        network, metric="packet_count", channel_state=channel_state,
+        max_sid=4095, control_plane=ControlPlaneConfig(probe_delay_ns=0))
     epochs = deployment.schedule_campaign(config.rounds, config.interval_ns)
     drain_campaign(network, deployment, epochs, settle_ns=100 * MS)
     spreads = [deployment.sync_spread_ns(e) for e in epochs]
@@ -173,8 +173,7 @@ def _polling_series(config: Fig9Config, seed_offset: int) -> list[int]:
     # Polling needs the counters in place; deploy Speedlight's counters
     # but take no snapshots (the polling framework reads the same
     # registers a snapshot would).
-    SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=False))
+    deploy(network, metric="packet_count", channel_state=False)
     targets = [PollTarget(sw, port, direction, "packet_count")
                for sw in sorted(network.switches)
                for port in network.switch(sw).connected_ports()

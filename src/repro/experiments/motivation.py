@@ -32,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core import DeploymentConfig, ObserverConfig, SpeedlightDeployment
+from repro.core import ObserverConfig, deploy
 from repro.experiments.harness import TextTable, header
 from repro.polling import PollTarget, PollingConfig, PollingObserver
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
@@ -155,9 +155,8 @@ def _measure(config: MotivationConfig, alternating: bool,
 
     pairs: list[tuple[float, float]] = []
     if method == "snapshots":
-        deployment = SpeedlightDeployment(network, DeploymentConfig(
-            metric="queue_depth",
-            observer=ObserverConfig(lead_time_ns=5 * MS)))
+        deployment = deploy(network, metric="queue_depth",
+                            observer=ObserverConfig(lead_time_ns=5 * MS))
         epochs = deployment.schedule_campaign(config.rounds,
                                               config.interval_ns)
         network.run(until=duration)
@@ -168,7 +167,7 @@ def _measure(config: MotivationConfig, alternating: bool,
             pairs.append((snap.value_of("sw0", x_port, Direction.EGRESS),
                           snap.value_of("sw0", y_port, Direction.EGRESS)))
     else:
-        SpeedlightDeployment(network, DeploymentConfig(metric="queue_depth"))
+        deploy(network, metric="queue_depth")
         poller = PollingObserver(
             network,
             [PollTarget("sw0", x_port, Direction.EGRESS, "queue_depth"),

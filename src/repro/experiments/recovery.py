@@ -32,8 +32,7 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 from typing import Any, Optional
 
-from repro.core import (DeploymentConfig, RecoveryPolicy,
-                        ShardedSpeedlightDeployment, SpeedlightDeployment)
+from repro.core import RecoveryPolicy, deploy
 from repro.core.recovery import RECOVERY_PRESETS
 from repro.core.sharded import OBSERVER_SHARD
 from repro.experiments.campaigns import campaign_window, start_poisson
@@ -214,9 +213,8 @@ def _sharded_recovery_setup(worker: ShardWorker, policy_json: dict,
     the process runner can pickle it).  Clean protocol path: sharded
     deployments cannot see cross-cut gating sets, so channel state stays
     off and the sweep measures completion + recovery overhead."""
-    deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
-        metric="packet_count",
-        recovery=RecoveryPolicy.from_jsonable(policy_json)))
+    deployment = deploy(worker, metric="packet_count",
+                        recovery=RecoveryPolicy.from_jsonable(policy_json))
     local = _shard_fault_slice(FaultSchedule.from_jsonable(schedule_json),
                                worker.plan.assignment, worker.shard_id)
     injector = FaultInjector(worker.network, local, deployment=deployment)
@@ -301,8 +299,8 @@ def run_recovery_trial(spec: TrialSpec) -> TrialResult:
     duration = campaign_window(p["rounds"], p["interval_ns"])
     start_poisson(network, seed=spec.seed + 1, rate_pps=p["rate_pps"],
                   stop_ns=duration)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=True, recovery=policy))
+    deployment = deploy(network, metric="packet_count", channel_state=True,
+                        recovery=policy)
     injector = FaultInjector(network, schedule, deployment=deployment)
     injector.arm()
     epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])

@@ -25,8 +25,7 @@ from collections.abc import Sequence
 from typing import Optional
 
 from repro.analysis.stats import Cdf
-from repro.core import (AggregationConfig, DeploymentConfig, ObserverConfig,
-                        ShardedSpeedlightDeployment, SpeedlightDeployment)
+from repro.core import AggregationConfig, ObserverConfig, deploy
 from repro.core.sharded import OBSERVER_SHARD
 from repro.experiments.campaigns import start_poisson
 from repro.experiments.harness import TextTable, header
@@ -226,12 +225,12 @@ def _measure(config: ScalingConfig, arity: int) -> ScalingPoint:
         pairs = max(1, hosts * (hosts - 1))
         start_poisson(network, seed=config.seed + 1,
                       rate_pps=config.rate_pps / pairs, stop_ns=duration)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count",
+    deployment = deploy(
+        network, metric="packet_count",
         channel_state=config.profile is not None,
         observer=ObserverConfig(lead_time_ns=10 * MS),
         aggregation=(None if config.agg_degree is None
-                     else AggregationConfig(degree=config.agg_degree))))
+                     else AggregationConfig(degree=config.agg_degree)))
     if config.profile is not None:
         injector = FaultInjector(network, schedule, deployment=deployment)
         injector.arm()
@@ -275,11 +274,11 @@ def _sharded_setup(worker: ShardWorker, snapshots: int, interval_ns: int,
     over the pipe: progress samples and notification stats from every
     shard, campaign bookkeeping from the observer shard only.
     """
-    deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
-        metric="packet_count",
+    deployment = deploy(
+        worker, metric="packet_count",
         observer=ObserverConfig(lead_time_ns=lead_ns),
         aggregation=(None if agg_degree is None
-                     else AggregationConfig(degree=agg_degree))))
+                     else AggregationConfig(degree=agg_degree)))
     finish_times: dict[int, int] = {}
     epochs: list[int] = []
     if deployment.is_observer_shard:

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from collections.abc import Sequence
 from typing import Optional
 
-from repro.core import ControlPlaneConfig, DeploymentConfig, SpeedlightDeployment
+from repro.core import ControlPlaneConfig, deploy
 from repro.experiments.campaigns import poisson_network, start_poisson
 from repro.experiments.harness import TextTable, header
 from repro.runtime import TrialResult, TrialRunner, TrialSpec, make_result, trial
@@ -171,8 +171,7 @@ def run_ptp_trial(spec: TrialSpec) -> TrialResult:
     sigma = p["sigma_ns"]
     ptp = PTPConfig(residual_sigma_ns=sigma, residual_max_ns=6 * sigma)
     network = poisson_network(seed=spec.seed, ptp=ptp)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count"))
+    deployment = deploy(network, metric="packet_count")
     epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])
     network.run(until=20 * MS + p["rounds"] * p["interval_ns"] + 200 * MS)
     spreads = sorted(s for s in (deployment.sync_spread_ns(e)
@@ -247,9 +246,9 @@ def run_rate_trial(spec: TrialSpec) -> TrialResult:
     duration = 20 * MS + p["rounds"] * p["interval_ns"] + 200 * MS
     start_poisson(network, seed=spec.seed + 1, rate_pps=p["rate_pps"],
                   stop_ns=duration)
-    deployment = SpeedlightDeployment(network, DeploymentConfig(
-        metric="packet_count", channel_state=True, max_sid=4095,
-        control_plane=ControlPlaneConfig(probe_delay_ns=0)))
+    deployment = deploy(
+        network, metric="packet_count", channel_state=True, max_sid=4095,
+        control_plane=ControlPlaneConfig(probe_delay_ns=0))
     epochs = deployment.schedule_campaign(p["rounds"], p["interval_ns"])
     network.run(until=duration)
     spreads = sorted(s for s in (deployment.sync_spread_ns(e)

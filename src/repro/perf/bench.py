@@ -136,7 +136,7 @@ def bench_timer_churn(timers: int = 150_000, cancel_mod: int = 4) -> dict[str, A
 
 def bench_snapshot_round(snapshots: int = 4, rate_pps: float = 40_000.0) -> dict[str, Any]:
     """A 4-switch leaf-spine snapshot campaign over Poisson traffic."""
-    from repro.core import DeploymentConfig, SpeedlightDeployment
+    from repro.core import deploy
     from repro.sim.network import Network, NetworkConfig
     from repro.topology import leaf_spine
     from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
@@ -148,8 +148,7 @@ def bench_snapshot_round(snapshots: int = 4, rate_pps: float = 40_000.0) -> dict
     PoissonWorkload(network, PoissonConfig(rate_pps=rate_pps,
                                            stop_ns=snapshots * interval,
                                            sport_churn=True)).start()
-    deployment = SpeedlightDeployment(
-        network, DeploymentConfig(metric="packet_count", channel_state=True))
+    deployment = deploy(network, metric="packet_count", channel_state=True)
     deployment.schedule_campaign(count=snapshots, interval_ns=interval)
 
     started = time.perf_counter()
@@ -253,7 +252,7 @@ def _shard_bench_setup(worker, rate_pps: float, stop_ns: int,
     from this shard's hosts to *all* hosts (so a constant share crosses
     the cut) under a short snapshot campaign.  Module-level so the
     process runner could pickle it too."""
-    from repro.core import DeploymentConfig, ShardedSpeedlightDeployment
+    from repro.core import deploy
     from repro.workloads.synthetic import PoissonConfig, PoissonWorkload
 
     topo = worker.network.topology
@@ -263,8 +262,7 @@ def _shard_bench_setup(worker, rate_pps: float, stop_ns: int,
     PoissonWorkload(worker.network, PoissonConfig(
         seed=worker.shard_id + 1, rate_pps=rate_pps, stop_ns=stop_ns,
         pairs=pairs, sport_churn=True)).start()
-    deployment = ShardedSpeedlightDeployment(worker, DeploymentConfig(
-        metric="packet_count"))
+    deployment = deploy(worker, metric="packet_count")
     if deployment.is_observer_shard and snapshots:
         deployment.schedule_campaign(snapshots, interval_ns)
     return lambda: worker.sim.events_run

@@ -22,7 +22,7 @@ from typing import Callable, Optional
 
 from repro.analysis.invariants import LinkAudit
 from repro.core.aggregation import AggregationConfig
-from repro.core.deployment import DeploymentConfig, SpeedlightDeployment
+from repro.core.builder import deploy
 from repro.service.pipeline import (ContinuousCampaign, PipelineConfig,
                                     SnapshotPipeline)
 from repro.service.query import FlowResolver, QueryEngine
@@ -96,9 +96,8 @@ class ServiceRun:
         self.sim = self.network.sim
         aggregation = (None if spec.agg_degree is None
                        else AggregationConfig(degree=spec.agg_degree))
-        self.deployment = SpeedlightDeployment(
-            self.network,
-            DeploymentConfig(metric=spec.metric, aggregation=aggregation))
+        self.deployment = deploy(self.network, metric=spec.metric,
+                                 aggregation=aggregation)
         self.workload: Optional[MemcacheWorkload] = None
         if spec.mean_request_gap_ns > 0:
             self.workload = MemcacheWorkload(self.network, MemcacheConfig(

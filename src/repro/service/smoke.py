@@ -17,7 +17,7 @@ import json
 import sys
 
 from repro.analysis.invariants import LinkAudit
-from repro.core.deployment import DeploymentConfig, SpeedlightDeployment
+from repro.core.builder import deploy
 from repro.service.pipeline import (ContinuousCampaign, PipelineConfig,
                                     SnapshotPipeline)
 from repro.service.query import QueryEngine
@@ -40,8 +40,7 @@ def run_fault_smoke(seed: int = 42, epochs: int = 120,
         leaf_spine(num_leaves=2, num_spines=1, hosts_per_leaf=2),
         NetworkConfig(seed=seed))
     sim = network.sim
-    deployment = SpeedlightDeployment(network,
-                                      DeploymentConfig(metric="packet_count"))
+    deployment = deploy(network, metric="packet_count")
     workload = MemcacheWorkload(network, MemcacheConfig(
         seed=seed, stop_ns=2**62, mean_request_gap_ns=400 * US))
     workload.start()

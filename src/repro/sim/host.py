@@ -58,6 +58,14 @@ class Host:
         self.packets_received = 0
         self.bytes_received = 0
         self.packets_sent = 0
+        #: When set, every packet leaving this host without an explicit
+        #: TTL gets this hop limit (IP-style; switches decrement it and
+        #: expire packets at zero).  ``None`` — the default — disables
+        #: TTL processing entirely, so pre-existing scenarios and the
+        #: golden trace are untouched.  Update experiments set a tight
+        #: limit to turn transient forwarding loops into countable
+        #: ``packets_ttl_expired`` drops (:mod:`repro.updates`).
+        self.default_ttl: Optional[int] = None
         #: Optional callback invoked on every received packet (used by
         #: request/response workloads such as the memcache generator).
         self.on_receive: Optional[Callable[[Packet], None]] = None
@@ -114,6 +122,8 @@ class Host:
             raise RuntimeError(f"host {self.name} is not connected")
         self.packets_sent += 1
         packet.created_ns = self.sim.now
+        if packet.ttl is None and self.default_ttl is not None:
+            packet.ttl = self.default_ttl
         self._nic.push(packet)
 
     def _serialization_ns(self, packet: Packet) -> int:

@@ -244,6 +244,11 @@ class Network:
                 if not next_hops:
                     continue
                 switch.install_route(host, [ports_of[n] for n in next_hops])
+            # Construction-order generations are meaningless; declare the
+            # built table to be generation 0 on every device so the §10
+            # fib_version metric (and repro.updates verdicts) start from
+            # a common baseline.  Pure state reset: no events scheduled.
+            switch.seal_fib()
 
     # ------------------------------------------------------------------
     # Accessors

@@ -174,16 +174,26 @@ class Packet:
 
     ``payload`` is free-form application data (request ids, probe TTLs);
     the network never interprets it except for broadcast-probe TTLs.
+
+    ``ttl`` is an optional IP-style hop limit: ``None`` (the default)
+    means "no TTL processing at all" — switches only decrement and
+    expire packets whose sender opted in (see
+    :attr:`repro.sim.host.Host.default_ttl`), so pre-existing scenarios
+    are untouched.  ``route_tag`` is the two-phase-update rule tag of
+    §10-style versioned forwarding (:mod:`repro.updates`): a tagged
+    packet matches a switch's staged rule set when one exists for the
+    tag, and the base FIB otherwise.
     """
 
     __slots__ = ("flow", "size_bytes", "seq", "created_ns", "snapshot",
-                 "uid", "cos", "payload")
+                 "uid", "cos", "payload", "ttl", "route_tag")
 
     def __init__(self, flow: FlowKey, size_bytes: int = 1500, seq: int = 0,
                  created_ns: int = 0,
                  snapshot: Optional[SnapshotHeader] = None,
                  uid: Optional[int] = None, cos: int = 0,
-                 payload: Any = None) -> None:
+                 payload: Any = None, ttl: Optional[int] = None,
+                 route_tag: Optional[str] = None) -> None:
         self.flow = flow
         self.size_bytes = size_bytes
         self.seq = seq
@@ -192,6 +202,8 @@ class Packet:
         self.uid = next(_packet_uid) if uid is None else uid
         self.cos = cos
         self.payload = payload
+        self.ttl = ttl
+        self.route_tag = route_tag
 
     @property
     def src(self) -> str:

@@ -431,6 +431,27 @@ class IngressUnit(_ProcessingUnit):
                                  packet, self.port_index)
             return
 
+        # Hop limit (opt-in: only packets whose sender set a TTL).  The
+        # expiry drop sits *after* the counter update so per-link counts
+        # stay conserved — the receiver counted exactly what the sender
+        # emitted; the packet merely dies here instead of forwarding.
+        ttl = packet.ttl
+        if ttl is not None:
+            if ttl <= 0:
+                sw.packets_ttl_expired += 1
+                monitor = sw.drop_monitor
+                if monitor is not None:
+                    monitor(sw.name, "ttl_expired", packet, sw.sim.now)
+                return
+            packet.ttl = ttl - 1
+
+        # Two-phase edge stamp: tag traffic entering through a stamped
+        # (host-facing) port so it matches staged rules downstream.
+        if sw.ingress_stamps and packet.route_tag is None:
+            stamp = sw.ingress_stamps.get(self.port_index)
+            if stamp is not None:
+                packet.route_tag = stamp
+
         if packet.flow.dst == BROADCAST_DST:
             self._flood(packet, sw.config.ingress_latency_ns)
             return
@@ -438,6 +459,9 @@ class IngressUnit(_ProcessingUnit):
         out_port = sw.forward(packet, self.port_index)
         if out_port is None:
             sw.packets_unroutable += 1
+            monitor = sw.drop_monitor
+            if monitor is not None:
+                monitor(sw.name, "unroutable", packet, sw.sim.now)
             return
         sw.sim.schedule_fast(sw._ingress_fabric_ns,
                              sw.ports[out_port].egress.handle_packet,
@@ -619,13 +643,38 @@ class Switch:
         self.routes: dict[str, list[int]] = {}
         self.lb: LoadBalancer = lb or _FirstPortBalancer()
         self.packets_unroutable = 0
+        #: Packets dropped because their hop limit ran out (only packets
+        #: whose sender set a TTL participate; see
+        #: :attr:`repro.sim.packet.Packet.ttl`).  A spike of these inside
+        #: an update window is the in-flight forwarding-loop signature
+        #: the update verifier looks for (:mod:`repro.updates.verify`).
+        self.packets_ttl_expired = 0
+        #: Optional callback ``(device, kind, packet, time_ns)`` invoked
+        #: on attributable data-plane drops (``kind`` is "ttl_expired" or
+        #: "unroutable").  ``None`` — the default — costs one attribute
+        #: load on the drop path and nothing on the forward path.
+        self.drop_monitor: Optional[Callable[[str, str, Packet, int], None]] = None
         #: FIB versioning for forwarding-state snapshots (§10): every
         #: route install/update bumps the generation and tags the rule;
         #: the last version matched at each ingress is a data-plane
-        #: register the snapshot primitive can capture.
+        #: register the snapshot primitive can capture.  After topology
+        #: build, :meth:`seal_fib` re-baselines the install-time bumps to
+        #: generation 0 so coordinated updates (:mod:`repro.updates`)
+        #: count from a common origin.
         self.fib_generation = 0
         self.route_version: dict[str, int] = {}
         self.last_matched_version: list[int] = [0] * self.config.num_ports
+        #: Atomic table flips applied via :meth:`apply_route_swap`.
+        self.route_swaps = 0
+        #: Two-phase-update staging: rule tag -> dst -> candidate ports.
+        #: Staged rules are invisible to untagged traffic; a packet whose
+        #: ``route_tag`` names a staged set matches it in preference to
+        #: the base FIB (install-then-flip, §10's versioned rules).
+        self.staged_routes: dict[str, dict[str, list[int]]] = {}
+        #: Per-port edge stamps: packets entering through a stamped port
+        #: get the tag written into ``route_tag`` (the "flip" half of a
+        #: two-phase update, applied at host-facing ports only).
+        self.ingress_stamps: dict[int, str] = {}
         #: Callback used by snapshot agents to ship notifications to the
         #: local control plane; installed by the control plane at attach.
         self.notification_sink: Optional[Callable[[object], None]] = None
@@ -653,13 +702,135 @@ class Switch:
         self.fib_generation += 1
         self.route_version[dst] = self.fib_generation
 
+    def seal_fib(self) -> None:
+        """Re-baseline FIB versioning after topology build.
+
+        :meth:`install_route` bumps the generation per install, so a
+        freshly built network encodes its construction order in the
+        generation numbers (leaf0 ends at N, spine1 at M…).  Sealing
+        declares the current table to be *the* initial forwarding state:
+        generation 0, every rule tagged 0, every ``last_matched_version``
+        register cleared.  Update experiments then read "device is on
+        generation g" uniformly across devices.  Called once by
+        :class:`repro.sim.network.Network` right after route
+        installation; later installs/swaps count up from the seal.
+        """
+        self.fib_generation = 0
+        for dst in self.route_version:
+            self.route_version[dst] = 0
+        registers = self.last_matched_version
+        for i in range(len(registers)):
+            registers[i] = 0
+
+    def apply_route_swap(self, changes: list) -> int:
+        """Apply a batch of route changes as one atomic table flip.
+
+        ``changes`` is a list of ``(dst, ports)`` pairs; an empty/None
+        ``ports`` removes the route (deliberate black-holing, e.g. a
+        drain).  Modeled as a Time4-style double-buffered table swap: the
+        shadow table (current routes + changes) becomes active in a
+        single write, so the generation bumps **exactly once** no matter
+        how many rules changed, every surviving rule is re-tagged with
+        the new generation, and the per-ingress ``last_matched_version``
+        registers — part of the same table memory — are refreshed to it.
+        The refresh is what makes "which generation is this device on?"
+        well-defined even for ports idle since the flip; only subsequent
+        matches against rules of an *older* generation (impossible
+        locally, visible cross-device through snapshot propagation) can
+        lower the answer.
+        """
+        generation = self.fib_generation + 1
+        for dst, ports in changes:
+            if ports:
+                for p in ports:
+                    if not 0 <= p < len(self.ports):
+                        raise ValueError(
+                            f"port {p} out of range for {self.name}")
+                self.routes[dst] = list(ports)
+            else:
+                self.routes.pop(dst, None)
+                self.route_version.pop(dst, None)
+        self.fib_generation = generation
+        for dst in self.routes:
+            self.route_version[dst] = generation
+        registers = self.last_matched_version
+        for i in range(len(registers)):
+            registers[i] = generation
+        self.route_swaps += 1
+        return generation
+
+    def schedule_route_swap(self, at_true_ns: int, changes: list,
+                            on_applied: Optional[
+                                Callable[[int, int], None]] = None) -> None:
+        """Schedule :meth:`apply_route_swap` at a true-time instant.
+
+        The caller (:mod:`repro.updates.driver`) converts the plan's
+        scheduled wall instant through this device's *local* clock first,
+        so real PTP error skews when the swap actually fires — exactly
+        the skew the snapshot verifier measures.  The swap is modeled as
+        hardware-timed (Time4's timed ``add``/``delete``): it fires at
+        the scheduled instant with no CPU wakeup jitter.
+        ``on_applied(generation, true_ns)`` runs right after the flip
+        (driver-side logging).
+        """
+        at = at_true_ns if at_true_ns > self.sim.now else self.sim.now
+        self.sim.schedule_at(at, self._apply_scheduled_swap, list(changes),
+                             on_applied)
+
+    def _apply_scheduled_swap(self, changes: list,
+                              on_applied: Optional[
+                                  Callable[[int, int], None]]) -> None:
+        generation = self.apply_route_swap(changes)
+        if on_applied is not None:
+            on_applied(generation, self.sim.now)
+
+    # -- two-phase (install-then-flip) staging --------------------------
+    def stage_routes(self, tag: str, changes: list) -> None:
+        """Install tagged shadow rules for a two-phase update.
+
+        Staged rules never affect untagged traffic; route removals are
+        deferred to the commit swap (a staged "remove" would black-hole
+        tagged packets mid-transition).
+        """
+        staged = self.staged_routes.setdefault(tag, {})
+        for dst, ports in changes:
+            if not ports:
+                continue
+            for p in ports:
+                if not 0 <= p < len(self.ports):
+                    raise ValueError(f"port {p} out of range for {self.name}")
+            staged[dst] = list(ports)
+
+    def clear_staged(self, tag: str) -> None:
+        """Drop one tag's staged rule set (two-phase cleanup)."""
+        self.staged_routes.pop(tag, None)
+
+    def set_ingress_stamp(self, port: int, tag: Optional[str]) -> None:
+        """Set or clear the edge stamp on one port (two-phase "flip")."""
+        if tag is None:
+            self.ingress_stamps.pop(port, None)
+        else:
+            self.ingress_stamps[port] = tag
+
     def forward(self, packet: Packet, in_port: int) -> Optional[int]:
         """Forwarding lookup + load-balancer selection.
 
         Stores the matched rule's version tag into the per-ingress
         ``last_matched_version`` register (the §10 forwarding-state
-        snapshot target).
+        snapshot target).  A packet carrying a ``route_tag`` with a
+        matching staged rule set uses it in preference to the base FIB;
+        staged rules are tagged with the generation they will commit as.
         """
+        tag = packet.route_tag
+        if tag is not None and self.staged_routes:
+            staged = self.staged_routes.get(tag)
+            if staged is not None:
+                candidates = staged.get(packet.dst)
+                if candidates is not None:
+                    self.last_matched_version[in_port] = self.fib_generation + 1
+                    if len(candidates) == 1:
+                        return candidates[0]
+                    return self.lb.select(candidates, packet, self.sim.now)
         candidates = self.routes.get(packet.dst)
         if not candidates:
             return None

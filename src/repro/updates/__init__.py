@@ -1,0 +1,50 @@
+"""Time-triggered coordinated updates, verified by synchronized snapshots.
+
+The paper motivates snapshots with "is my network update consistent?"
+(§8) but never builds the update side; Time4 and "The Case for Timing
+in SDN" (Mizrahi & Moses) argue updates should fire at synchronized
+instants.  This package owns both halves:
+
+* :mod:`repro.updates.plan` — the declarative update-plan algebra
+  (:class:`TimedSwap`, :class:`PhasedUpdate`,
+  :class:`TwoPhaseVersioned`, composed with ``|``), sharing the
+  spec contract of :class:`repro.faults.profile.FaultProfile`
+  (``docs/SPECS.md``);
+* :mod:`repro.updates.driver` — compiles a plan's schedule onto the
+  event engine through each device's *local* clock, so real PTP error
+  skews the rollout;
+* :mod:`repro.updates.verify` — the snapshot verifier: atomicity score
+  from ``fib_version`` cuts, loop detection from TTL-expiry spikes,
+  black-hole attribution from unroutable drops.
+
+See ``docs/UPDATES.md`` for the strategy table and verdict semantics,
+and :mod:`repro.experiments.updates` for the strategy × clock-error ×
+fault-profile sweep.
+"""
+
+from repro.updates.driver import (AppliedUpdate, DropRecord, UpdateDriver,
+                                  inject_clock_error, noiseless_ptp)
+from repro.updates.plan import (Compose, PhasedUpdate, TimedSwap,
+                                TwoPhaseVersioned, UpdateCommand,
+                                UpdateContext, UpdatePlan, UpdateSchedule,
+                                UpdateWave)
+from repro.updates.verify import UpdateVerifier, WaveVerdict
+
+__all__ = [
+    "AppliedUpdate",
+    "Compose",
+    "DropRecord",
+    "PhasedUpdate",
+    "TimedSwap",
+    "TwoPhaseVersioned",
+    "UpdateCommand",
+    "UpdateContext",
+    "UpdateDriver",
+    "UpdatePlan",
+    "UpdateSchedule",
+    "UpdateVerifier",
+    "UpdateWave",
+    "WaveVerdict",
+    "inject_clock_error",
+    "noiseless_ptp",
+]

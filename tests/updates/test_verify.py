@@ -1,0 +1,104 @@
+"""Unit tests for the snapshot verdict logic (synthetic inputs)."""
+
+from repro.sim.engine import MS
+from repro.topology import leaf_spine
+from repro.updates import (TimedSwap, UpdateContext, UpdateVerifier,
+                           UpdateSchedule)
+from repro.updates.driver import DropRecord
+
+
+def _schedule(plan) -> UpdateSchedule:
+    ctx = UpdateContext.for_topology(leaf_spine(hosts_per_leaf=1),
+                                     horizon_ns=100 * MS)
+    return plan.compile(ctx)
+
+
+DETOUR = TimedSwap(at_ns=20 * MS, label="detour", routes=(
+    ("leaf0", "server1", ("spine1",)),
+    ("spine0", "server1", ("leaf0",))))
+DRAIN = TimedSwap(at_ns=40 * MS, label="drain", routes=(
+    ("leaf0", "server1", ("spine1",)),
+    ("spine0", "server1", ())))
+
+
+class TestAtomicity:
+    def test_all_on_new_generation_scores_one(self):
+        verifier = UpdateVerifier(_schedule(DETOUR))
+        [wave] = verifier.schedule.waves
+        verdict = verifier.verdict_data(
+            wave, {"leaf0": 1, "spine0": 1, "leaf1": 0, "spine1": 0},
+            epoch=7, drops=[])
+        assert verdict.atomicity == 1.0
+        assert verdict.conclusive
+        assert verdict.stale_devices == ()
+
+    def test_stale_device_lowers_score(self):
+        verifier = UpdateVerifier(_schedule(DETOUR))
+        [wave] = verifier.schedule.waves
+        verdict = verifier.verdict_data(
+            wave, {"leaf0": 0, "spine0": 1}, epoch=7, drops=[])
+        assert verdict.atomicity == 0.5
+        assert verdict.stale_devices == ("leaf0",)
+
+    def test_untouched_devices_not_in_denominator(self):
+        verifier = UpdateVerifier(_schedule(DETOUR))
+        [wave] = verifier.schedule.waves
+        # leaf1/spine1 still on generation 0 is *correct* — the wave
+        # never updated them, so they cannot count against it.
+        verdict = verifier.verdict_data(
+            wave, {"leaf0": 1, "spine0": 1, "leaf1": 0, "spine1": 0},
+            epoch=7, drops=[])
+        assert verdict.devices_total == 2
+
+    def test_expected_generations_accumulate_across_waves(self):
+        verifier = UpdateVerifier(_schedule(DETOUR | DRAIN))
+        assert verifier.expected_generations(0) == {"leaf0": 1, "spine0": 1}
+        assert verifier.expected_generations(1) == {"leaf0": 2, "spine0": 2}
+        wave = verifier.schedule.waves[1]
+        verdict = verifier.verdict_data(
+            wave, {"leaf0": 1, "spine0": 2}, epoch=8, drops=[])
+        assert verdict.stale_devices == ("leaf0",)
+
+    def test_unusable_cut_is_inconclusive_not_zero(self):
+        verifier = UpdateVerifier(_schedule(DETOUR))
+        [wave] = verifier.schedule.waves
+        drops = [DropRecord(20 * MS, "leaf0", "ttl_expired", "server1")]
+        verdict = verifier.verdict_data(wave, None, epoch=None, drops=drops)
+        assert not verdict.conclusive
+        assert verdict.atomicity is None
+        assert verdict.loop_drops == 1  # drop counts stay valid
+
+
+class TestDropAttribution:
+    def test_drops_outside_window_excluded(self):
+        verifier = UpdateVerifier(_schedule(DETOUR), margin_ns=1 * MS)
+        [wave] = verifier.schedule.waves
+        drops = [
+            DropRecord(5 * MS, "leaf0", "ttl_expired", "server1"),
+            DropRecord(20 * MS + 500_000, "leaf0", "ttl_expired", "server1"),
+            DropRecord(90 * MS, "leaf0", "ttl_expired", "server1"),
+        ]
+        verdict = verifier.verdict_data(wave, {"leaf0": 1, "spine0": 1},
+                                        epoch=1, drops=drops)
+        assert verdict.loop_drops == 1
+
+    def test_blackholes_attributed_to_withdrawing_device(self):
+        verifier = UpdateVerifier(_schedule(DETOUR | DRAIN))
+        wave = verifier.schedule.waves[1]
+        drops = [
+            # At spine0, whose drain wave withdrew a route: attributed.
+            DropRecord(40 * MS, "spine0", "unroutable", "server1"),
+            # Collateral at a device with no withdrawal this wave.
+            DropRecord(40 * MS, "leaf1", "unroutable", "server1"),
+        ]
+        verdict = verifier.verdict_data(wave, {"leaf0": 2, "spine0": 2},
+                                        epoch=2, drops=drops)
+        assert verdict.blackhole_drops == 2
+        assert verdict.attributed_blackholes == 1
+        assert verdict.blackhole_devices == ("leaf1", "spine0")
+
+    def test_verdicts_render_in_wave_order(self):
+        verifier = UpdateVerifier(_schedule(DETOUR | DRAIN))
+        verdicts = verifier.verdicts({}, [])
+        assert [v.wave for v in verdicts] == [0, 1]
+        assert all(not v.conclusive for v in verdicts)
